@@ -1,0 +1,124 @@
+// Command teatrace records a benchmark's execution as a binary cycle
+// trace and replays traces offline — the TraceDoctor capture-once /
+// analyze-many workflow of Section 4 as a standalone tool.
+//
+//	teatrace -record lbm.trace -bench lbm -scale 0.5
+//	teatrace -replay lbm.trace -tech TEA -top 5
+//	teatrace -replay lbm.trace -tech IBS
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/pics"
+	"repro/internal/profilers"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	record := flag.String("record", "", "record the benchmark to this trace file")
+	replay := flag.String("replay", "", "replay this trace file")
+	bench := flag.String("bench", "lbm", "benchmark to record")
+	tech := flag.String("tech", "TEA", "technique for replay: TEA, NCI-TEA, IBS, SPE, RIS")
+	interval := flag.Uint64("interval", 256, "sampling interval in cycles")
+	top := flag.Int("top", 5, "instructions to print after replay")
+	scale := flag.Float64("scale", 0.5, "workload size multiplier")
+	flag.Parse()
+
+	switch {
+	case *record != "" && *replay == "":
+		if err := doRecord(*record, *bench, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, "teatrace:", err)
+			os.Exit(1)
+		}
+	case *replay != "" && *record == "":
+		if err := doReplay(*replay, *tech, *interval, *top); err != nil {
+			fmt.Fprintln(os.Stderr, "teatrace:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: teatrace -record FILE -bench NAME | teatrace -replay FILE -tech NAME")
+		os.Exit(2)
+	}
+}
+
+func doRecord(path, bench string, scale float64) error {
+	w, err := workloads.ByName(bench)
+	if err != nil {
+		return err
+	}
+	iters := int(float64(w.DefaultIters) * scale)
+	if iters < 2 {
+		iters = 2
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	c := cpu.New(cpu.DefaultConfig(), w.Build(iters))
+	tw := trace.NewWriter(f)
+	c.Attach(tw)
+	stats := c.Run()
+	if tw.Err() != nil {
+		return tw.Err()
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recorded %s: %d cycles, %d instructions -> %s (%d bytes, %.1f B/cycle, %d records)\n",
+		bench, stats.Cycles, stats.Committed, path, info.Size(),
+		float64(info.Size())/float64(stats.Cycles), tw.Records)
+	return nil
+}
+
+func doReplay(path, tech string, interval uint64, top int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	golden := core.NewGolden(nil)
+	var prof interface{ Profile() *pics.Profile }
+	jitter := interval / 16
+	switch tech {
+	case "TEA":
+		cfg := core.DefaultConfig()
+		cfg.IntervalCycles = interval
+		cfg.JitterCycles = jitter
+		prof = core.NewTEA(nil, cfg)
+	case "NCI-TEA":
+		prof = profilers.NewNCITEA(interval, jitter, 3)
+	case "IBS":
+		prof = profilers.NewIBS(interval, jitter, 4)
+	case "SPE":
+		prof = profilers.NewSPE(interval, jitter, 5)
+	case "RIS":
+		prof = profilers.NewRIS(interval, jitter, 6)
+	default:
+		return fmt.Errorf("unknown technique %q", tech)
+	}
+
+	cycles, err := trace.Replay(f, golden, prof.(cpu.Probe))
+	if err != nil {
+		return err
+	}
+	p := prof.Profile()
+	fmt.Printf("replayed %d cycles; %s error vs golden: %.1f%%\n\n",
+		cycles, p.Name, 100*pics.Error(p, golden.Profile()))
+	total := golden.Profile().Total()
+	fmt.Printf("top instructions (%s):\n", p.Name)
+	for _, pc := range p.TopInstructions(top) {
+		st := p.Insts[pc]
+		fmt.Printf("  %#08x  height %6.2f%%\n%s", pc, 100*st.Total()/total, st.RenderBars(total, 40))
+	}
+	return nil
+}

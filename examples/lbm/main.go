@@ -1,0 +1,51 @@
+// The lbm case study (Section 6, Figures 10 and 11): TEA identifies a
+// streaming load whose LLC misses are not hidden, software prefetching
+// is applied, and the prefetch distance is swept — the load-latency
+// bottleneck shrinks until store bandwidth (DR-SQ) takes over.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/events"
+)
+
+func main() {
+	rc := analysis.DefaultRunConfig()
+	rc.Scale = 0.5
+
+	fmt.Println("=== Figure 10: why is lbm slow? ===")
+	tp := analysis.CaseStudyLBM(rc)
+	total := tp.Golden.Total()
+	pc := tp.PCs[0]
+	in := tp.Run.Program.Inst(pc)
+	fmt.Printf("\nTEA's top instruction: %s\n", in.String())
+	fmt.Print(tp.TEA.RenderInstruction(pc, tp.Run.Program, total))
+	fmt.Println("\nThe leading load of each source line misses the LLC — (ST-L1,ST-LLC) —")
+	fmt.Println("and its latency is not hidden: the loop body fills the ROB, so the next")
+	fmt.Println("iteration's loads issue too late. Fix: software prefetching.")
+
+	fmt.Println("\n=== Figure 11: prefetch distance sweep ===")
+	pts := analysis.PrefetchSweep(rc, []int{0, 1, 2, 3, 4, 5, 6})
+	fmt.Printf("\n%-9s %10s %8s %12s %12s\n", "distance", "cycles", "speedup", "load LLC-miss", "store DR-SQ")
+	for _, pt := range pts {
+		var loadLLC, storeDRSQ float64
+		for sig, v := range pt.LoadStack {
+			if sig.Has(events.STLLC) {
+				loadLLC += v
+			}
+		}
+		for sig, v := range pt.StoreStack {
+			if sig.Has(events.DRSQ) {
+				storeDRSQ += v
+			}
+		}
+		gt := pt.Run.Golden.Total()
+		fmt.Printf("%-9d %10d %7.2fx %11.1f%% %11.1f%%\n",
+			pt.Distance, pt.Cycles, pt.Speedup, 100*loadLLC/gt, 100*storeDRSQ/gt)
+	}
+	fmt.Println("\nAs distance grows, the top load's LLC-miss component vanishes (its")
+	fmt.Println("time becomes ST-L1 'LLC hit') and the bottleneck moves toward store")
+	fmt.Println("bandwidth — the paper's 1.28x speedup at the interior optimum.")
+}

@@ -1,0 +1,63 @@
+// Quickstart: build a small program with the assembler, run it on the
+// out-of-order core with TEA attached, and print the time-proportional
+// Per-Instruction Cycle Stacks — the Figure 1 worked example, end to
+// end.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/pics"
+	"repro/internal/program"
+)
+
+func main() {
+	// A loop whose load misses deep into the memory hierarchy and whose
+	// branch is perfectly predictable — so the PICS should attribute
+	// almost all time to the load, under cache-miss signatures.
+	b := program.NewBuilder("quickstart")
+	buf := b.Alloc(16<<20, 4096) // 16 MiB: exceeds the 2 MiB LLC
+	b.Func("main")
+	b.MoviU(isa.X(1), buf)
+	b.Movi(isa.X(2), 0)
+	b.Movi(isa.X(3), 20000)
+	b.Label("loop")
+	b.Load(isa.X(4), isa.X(1), 0)       // I1: the performance-critical load
+	b.Add(isa.X(5), isa.X(4), isa.X(2)) // I2: depends on I1
+	b.Addi(isa.X(1), isa.X(1), 832)     // I3: stride crosses lines and pages
+	b.Addi(isa.X(2), isa.X(2), 1)       // I4
+	b.Blt(isa.X(2), isa.X(3), "loop")   // I5: well-predicted branch
+	b.Halt()
+	prog := b.MustBuild()
+
+	// Attach TEA (sampling) and the golden reference (per-cycle) to the
+	// same core: both observe the exact same execution.
+	c := cpu.New(cpu.DefaultConfig(), prog)
+	teaCfg := core.DefaultConfig()
+	teaCfg.IntervalCycles = 256
+	teaCfg.JitterCycles = 16
+	tea := core.NewTEA(c, teaCfg)
+	golden := core.NewGolden(c)
+	c.Attach(tea)
+	c.Attach(golden)
+
+	stats := c.Run()
+	fmt.Printf("ran %d instructions in %d cycles (IPC %.2f), %d TEA samples\n\n",
+		stats.Committed, stats.Cycles, stats.IPC(), tea.SampleCnt)
+
+	total := golden.Profile().Total()
+	fmt.Println("TEA Per-Instruction Cycle Stacks (top 5):")
+	for _, pc := range tea.Profile().TopInstructions(5) {
+		fmt.Print(tea.Profile().RenderInstruction(pc, prog, total))
+	}
+
+	fmt.Printf("\nTEA error vs the golden reference: %.1f%%\n",
+		100*pics.Error(tea.Profile(), golden.Profile()))
+	fmt.Println("\nReading the stacks: the load carries (ST-L1,ST-LLC) and")
+	fmt.Println("(ST-L1,ST-TLB,...) signatures — it misses the caches and the TLB and")
+	fmt.Println("its latency is what the core exposes. The ALU ops and the branch are")
+	fmt.Println("'Base': they commit in parallel without events.")
+}

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/pics"
+	"repro/internal/workloads"
+)
+
+// JitterRow compares TEA's accuracy with and without sample-clock
+// jitter on one benchmark. Statistical profilers randomize the sampling
+// period to avoid locking onto loop periods; this ablation validates
+// that design choice on the suite's highly regular kernels — the
+// failure mode a fixed-period sampler invites.
+type JitterRow struct {
+	Benchmark     string
+	WithJitter    float64
+	WithoutJitter float64
+}
+
+// JitterAblation runs TEA with the configured jitter and with jitter
+// disabled on every benchmark, against per-run golden references.
+func JitterAblation(rc RunConfig) []JitterRow {
+	var rows []JitterRow
+	var sumJ, sumN float64
+	for _, w := range workloads.All() {
+		run := func(jitter uint64) float64 {
+			c := cpu.New(rc.Core, w.Build(rc.iters(w)))
+			g := core.NewGolden(c)
+			cfg := core.DefaultConfig()
+			cfg.IntervalCycles = rc.Interval
+			cfg.JitterCycles = jitter
+			cfg.Seed = rc.Seed
+			tea := core.NewTEA(c, cfg)
+			c.Attach(g)
+			c.Attach(tea)
+			c.Run()
+			return pics.Error(tea.Profile(), g.Profile())
+		}
+		row := JitterRow{
+			Benchmark:     w.Name,
+			WithJitter:    run(rc.Jitter),
+			WithoutJitter: run(0),
+		}
+		sumJ += row.WithJitter
+		sumN += row.WithoutJitter
+		rows = append(rows, row)
+	}
+	n := float64(len(rows))
+	rows = append(rows, JitterRow{Benchmark: "average", WithJitter: sumJ / n, WithoutJitter: sumN / n})
+	return rows
+}
+
+// RenderJitter prints the jitter ablation.
+func RenderJitter(w io.Writer, rows []JitterRow) {
+	fmt.Fprintf(w, "Sampler-jitter ablation: TEA error with the default jitter versus a\n")
+	fmt.Fprintf(w, "fixed-period sample clock (aliasing with loop periods).\n\n")
+	fmt.Fprintf(w, "%-12s %12s %12s\n", "benchmark", "jittered", "fixed")
+	for _, r := range rows {
+		marker := ""
+		if r.WithoutJitter > 2*r.WithJitter && r.WithoutJitter > 0.05 {
+			marker = "  <- aliasing"
+		}
+		fmt.Fprintf(w, "%-12s %11.1f%% %11.1f%%%s\n",
+			r.Benchmark, 100*r.WithJitter, 100*r.WithoutJitter, marker)
+	}
+}

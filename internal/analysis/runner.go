@@ -1,0 +1,162 @@
+// Package analysis is the experiment harness: it runs the benchmark
+// suite with every profiling technique attached to one simulation (the
+// paper's single-trace, out-of-band evaluation methodology) and
+// regenerates the rows and series of every table and figure in the
+// paper's evaluation (Section 4-6). DESIGN.md maps each experiment ID
+// to the modules involved.
+package analysis
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/pics"
+	"repro/internal/profilers"
+	"repro/internal/program"
+	"repro/internal/workloads"
+)
+
+// RunConfig parameterizes one evaluation run.
+type RunConfig struct {
+	// Interval is the sampling period in cycles. The paper samples at
+	// 4 KHz on 3.2 GHz hardware (one sample per 800,000 cycles over
+	// minutes-long runs); simulated runs are scaled down, so the
+	// default interval keeps the per-run sample count comparable.
+	Interval uint64
+	// Jitter decorrelates the sample clock from loop periods.
+	Jitter uint64
+	// Seed drives the sample-clock jitter.
+	Seed uint64
+	// Scale multiplies each workload's default iteration count
+	// (1.0 = the evaluation size; tests use smaller values).
+	Scale float64
+	// Core is the core configuration (Table 2 defaults).
+	Core cpu.Config
+}
+
+// DefaultRunConfig returns the evaluation configuration. The sampling
+// interval is scaled with the run lengths: the paper samples once per
+// 800,000 cycles over trillion-cycle SPEC runs (~1.5M samples, tens of
+// samples per hot static instruction); the simulated kernels run for
+// ~10^6 cycles with ~10^2 hot static instructions, so a 256-cycle
+// interval keeps the samples-per-instruction density in the same
+// regime. The interval is a flag in cmd/teaexp and swept in Figure 8.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{
+		Interval: 256,
+		Jitter:   16,
+		Seed:     1,
+		Scale:    1.0,
+		Core:     cpu.DefaultConfig(),
+	}
+}
+
+func (rc RunConfig) iters(w workloads.Workload) int {
+	n := int(float64(w.DefaultIters) * rc.Scale)
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// BenchRun holds everything one simulation produced: the golden
+// reference, every technique's profile, event counters, and the
+// auxiliary statistics probes.
+type BenchRun struct {
+	Workload workloads.Workload
+	Program  *program.Program
+	Stats    *cpu.Stats
+
+	Golden   *pics.Profile
+	TEA      *pics.Profile
+	NCITEA   *pics.Profile
+	IBS      *pics.Profile
+	SPE      *pics.Profile
+	RIS      *pics.Profile
+	Counters *profilers.Counters
+	Events   *profilers.EventStats
+	Stalls   *profilers.StallProbe
+}
+
+// Techniques returns the sampled techniques' profiles in evaluation
+// order (IBS, SPE, RIS, NCI-TEA, TEA — the Figure 5 order).
+func (br *BenchRun) Techniques() []*pics.Profile {
+	return []*pics.Profile{br.IBS, br.SPE, br.RIS, br.NCITEA, br.TEA}
+}
+
+// RunBenchmark simulates one workload with every technique attached.
+func RunBenchmark(w workloads.Workload, rc RunConfig) *BenchRun {
+	return RunProgram(w, w.Build(rc.iters(w)), rc)
+}
+
+// RunProgram is RunBenchmark for an explicitly built program (used by
+// the case studies, which vary prefetch distance or fast-math).
+func RunProgram(w workloads.Workload, p *program.Program, rc RunConfig) *BenchRun {
+	c := cpu.New(rc.Core, p)
+
+	golden := core.NewGolden(c)
+	teaCfg := core.DefaultConfig()
+	teaCfg.IntervalCycles = rc.Interval
+	teaCfg.JitterCycles = rc.Jitter
+	teaCfg.Seed = rc.Seed
+	tea := core.NewTEA(c, teaCfg)
+	nci := profilers.NewNCITEA(rc.Interval, rc.Jitter, rc.Seed+1)
+	ibs := profilers.NewIBS(rc.Interval, rc.Jitter, rc.Seed+2)
+	spe := profilers.NewSPE(rc.Interval, rc.Jitter, rc.Seed+3)
+	ris := profilers.NewRIS(rc.Interval, rc.Jitter, rc.Seed+4)
+	counters := profilers.NewCounters()
+	eventStats := profilers.NewEventStats()
+	stalls := profilers.NewStallProbe()
+
+	for _, pr := range []cpu.Probe{golden, tea, nci, ibs, spe, ris, counters, eventStats, stalls} {
+		c.Attach(pr)
+	}
+	stats := c.Run()
+
+	return &BenchRun{
+		Workload: w,
+		Program:  p,
+		Stats:    stats,
+		Golden:   golden.Profile(),
+		TEA:      tea.Profile(),
+		NCITEA:   nci.Profile(),
+		IBS:      ibs.Profile(),
+		SPE:      spe.Profile(),
+		RIS:      ris.Profile(),
+		Counters: counters,
+		Events:   eventStats,
+		Stalls:   stalls,
+	}
+}
+
+// RunSuite runs the whole benchmark suite. Benchmarks are independent
+// simulations, so they run in parallel across the available CPUs; each
+// simulation is single-threaded and seeded, so results are identical to
+// a serial run.
+func RunSuite(rc RunConfig) []*BenchRun {
+	all := workloads.All()
+	runs := make([]*BenchRun, len(all))
+	par := runtime.GOMAXPROCS(0)
+	if par > len(all) {
+		par = len(all)
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for p := 0; p < par; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				runs[i] = RunBenchmark(all[i], rc)
+			}
+		}()
+	}
+	for i := range all {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return runs
+}

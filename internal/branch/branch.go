@@ -1,0 +1,183 @@
+// Package branch implements the direction predictor of the simulated
+// core: a TAGE-style predictor (base bimodal table plus tagged tables
+// indexed with geometrically increasing global-history lengths),
+// approximating the 28 KB TAGE predictor of the Table 2 configuration.
+// Unconditional jumps are always predicted correctly (the BTB holds
+// their targets); conditional branches consult the predictor.
+package branch
+
+// Config sizes the predictor.
+type Config struct {
+	// BimodalBits is log2 of the base bimodal table size.
+	BimodalBits int
+	// TableBits is log2 of each tagged table size.
+	TableBits int
+	// TagBits is the partial tag width in the tagged tables.
+	TagBits int
+	// HistoryLengths lists the global-history length per tagged table,
+	// shortest first (geometric series in real TAGE).
+	HistoryLengths []int
+}
+
+// DefaultConfig returns a four-table TAGE-lite predictor.
+func DefaultConfig() Config {
+	return Config{
+		BimodalBits:    13,
+		TableBits:      11,
+		TagBits:        9,
+		HistoryLengths: []int{5, 15, 44, 130},
+	}
+}
+
+type taggedEntry struct {
+	tag    uint32
+	ctr    int8 // signed 3-bit counter: >= 0 predicts taken
+	useful uint8
+}
+
+// Predictor is the TAGE-lite direction predictor.
+type Predictor struct {
+	cfg     Config
+	bimodal []int8 // 2-bit saturating counters: >= 2 predicts taken
+	tables  [][]taggedEntry
+	history uint64 // global history, newest outcome in bit 0
+
+	Lookups     uint64
+	Mispredicts uint64
+}
+
+// New builds a predictor.
+func New(cfg Config) *Predictor {
+	p := &Predictor{
+		cfg:     cfg,
+		bimodal: make([]int8, 1<<cfg.BimodalBits),
+		tables:  make([][]taggedEntry, len(cfg.HistoryLengths)),
+	}
+	for i := range p.bimodal {
+		p.bimodal[i] = 2 // weakly taken
+	}
+	for i := range p.tables {
+		p.tables[i] = make([]taggedEntry, 1<<cfg.TableBits)
+	}
+	return p
+}
+
+func (p *Predictor) foldHistory(length, bits int) uint64 {
+	// Fold the newest `length` history bits into `bits` bits.
+	h := p.history
+	if length < 64 {
+		h &= (1 << length) - 1
+	}
+	var folded uint64
+	for h != 0 {
+		folded ^= h & ((1 << bits) - 1)
+		h >>= bits
+	}
+	return folded
+}
+
+func (p *Predictor) index(pc uint64, table int) uint64 {
+	hl := p.cfg.HistoryLengths[table]
+	return (pc>>2 ^ p.foldHistory(hl, p.cfg.TableBits) ^ uint64(table)*0x9E37) &
+		((1 << p.cfg.TableBits) - 1)
+}
+
+func (p *Predictor) tag(pc uint64, table int) uint32 {
+	hl := p.cfg.HistoryLengths[table]
+	return uint32((pc>>2 ^ p.foldHistory(hl, p.cfg.TagBits)<<1 ^ uint64(table)*0x7F4A) &
+		((1 << p.cfg.TagBits) - 1))
+}
+
+// provider identifies which component supplied a prediction.
+type provider struct {
+	table int // -1 = bimodal
+	index uint64
+}
+
+// Predict returns the predicted direction for the conditional branch at
+// pc, along with an opaque provider token to pass to Update.
+func (p *Predictor) Predict(pc uint64) (taken bool, prov provider) {
+	p.Lookups++
+	for t := len(p.tables) - 1; t >= 0; t-- {
+		idx := p.index(pc, t)
+		e := &p.tables[t][idx]
+		if e.tag == p.tag(pc, t) && e.useful > 0 {
+			return e.ctr >= 0, provider{table: t, index: idx}
+		}
+	}
+	idx := pc >> 2 & ((1 << p.cfg.BimodalBits) - 1)
+	return p.bimodal[idx] >= 2, provider{table: -1, index: idx}
+}
+
+// Update trains the predictor with the branch's actual outcome and
+// records a misprediction if the earlier prediction was wrong.
+func (p *Predictor) Update(pc uint64, prov provider, predicted, actual bool) {
+	if predicted != actual {
+		p.Mispredicts++
+	}
+
+	if prov.table >= 0 {
+		e := &p.tables[prov.table][prov.index]
+		if actual {
+			if e.ctr < 3 {
+				e.ctr++
+			}
+		} else if e.ctr > -4 {
+			e.ctr--
+		}
+		if predicted == actual {
+			if e.useful < 3 {
+				e.useful++
+			}
+		} else if e.useful > 0 {
+			e.useful--
+		}
+	} else {
+		b := &p.bimodal[prov.index]
+		if actual {
+			if *b < 3 {
+				*b++
+			}
+		} else if *b > 0 {
+			*b--
+		}
+	}
+
+	// On a misprediction, allocate in a longer-history table to learn
+	// the correlated pattern.
+	if predicted != actual {
+		start := prov.table + 1
+		for t := start; t < len(p.tables); t++ {
+			idx := p.index(pc, t)
+			e := &p.tables[t][idx]
+			if e.useful == 0 {
+				e.tag = p.tag(pc, t)
+				e.useful = 1
+				if actual {
+					e.ctr = 0
+				} else {
+					e.ctr = -1
+				}
+				break
+			}
+			e.useful-- // age the occupant; allocate next time
+		}
+	}
+
+	p.history = p.history<<1 | b2u(actual)
+}
+
+// MispredictRate returns the fraction of predictions that were wrong.
+func (p *Predictor) MispredictRate() float64 {
+	if p.Lookups == 0 {
+		return 0
+	}
+	return float64(p.Mispredicts) / float64(p.Lookups)
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

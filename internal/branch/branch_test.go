@@ -1,0 +1,114 @@
+package branch
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// run feeds a deterministic outcome sequence for one branch PC and
+// returns the mispredict rate over the last half (after warm-up).
+func run(p *Predictor, pc uint64, outcomes []bool) float64 {
+	half := len(outcomes) / 2
+	wrong := 0
+	for i, actual := range outcomes {
+		pred, prov := p.Predict(pc)
+		p.Update(pc, prov, pred, actual)
+		if i >= half && pred != actual {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(len(outcomes)-half)
+}
+
+func TestAlwaysTakenLearned(t *testing.T) {
+	p := New(DefaultConfig())
+	outcomes := make([]bool, 200)
+	for i := range outcomes {
+		outcomes[i] = true
+	}
+	if rate := run(p, 0x10000, outcomes); rate != 0 {
+		t.Errorf("always-taken branch mispredicted at rate %v after warmup", rate)
+	}
+}
+
+func TestAlwaysNotTakenLearned(t *testing.T) {
+	p := New(DefaultConfig())
+	outcomes := make([]bool, 200)
+	if rate := run(p, 0x10000, outcomes); rate != 0 {
+		t.Errorf("never-taken branch mispredicted at rate %v after warmup", rate)
+	}
+}
+
+func TestLoopPatternLearnedByTAGE(t *testing.T) {
+	// T T T N repeating: a bimodal predictor alone mispredicts the exit
+	// every iteration (25%); TAGE history tables should learn it.
+	p := New(DefaultConfig())
+	outcomes := make([]bool, 2000)
+	for i := range outcomes {
+		outcomes[i] = i%4 != 3
+	}
+	if rate := run(p, 0x10000, outcomes); rate > 0.05 {
+		t.Errorf("periodic pattern mispredict rate = %v, want <= 0.05", rate)
+	}
+}
+
+func TestAlternatingPatternLearned(t *testing.T) {
+	p := New(DefaultConfig())
+	outcomes := make([]bool, 1000)
+	for i := range outcomes {
+		outcomes[i] = i%2 == 0
+	}
+	if rate := run(p, 0x20000, outcomes); rate > 0.05 {
+		t.Errorf("alternating pattern mispredict rate = %v, want <= 0.05", rate)
+	}
+}
+
+func TestRandomBranchesMispredictOften(t *testing.T) {
+	p := New(DefaultConfig())
+	rng := rand.New(rand.NewPCG(42, 1))
+	outcomes := make([]bool, 4000)
+	for i := range outcomes {
+		outcomes[i] = rng.IntN(2) == 0
+	}
+	rate := run(p, 0x30000, outcomes)
+	if rate < 0.25 {
+		t.Errorf("random branch mispredict rate = %v, unrealistically low", rate)
+	}
+}
+
+func TestIndependentBranchesDoNotDestroyEachOther(t *testing.T) {
+	p := New(DefaultConfig())
+	// Two biased branches at different PCs, interleaved.
+	wrongA, wrongB, n := 0, 0, 3000
+	for i := 0; i < n; i++ {
+		predA, provA := p.Predict(0x40000)
+		p.Update(0x40000, provA, predA, true)
+		if i > n/2 && !predA {
+			wrongA++
+		}
+		predB, provB := p.Predict(0x45678)
+		p.Update(0x45678, provB, predB, false)
+		if i > n/2 && predB {
+			wrongB++
+		}
+	}
+	if wrongA > n/100 || wrongB > n/100 {
+		t.Errorf("interleaved biased branches mispredicted: A=%d B=%d", wrongA, wrongB)
+	}
+}
+
+func TestMispredictRateAccounting(t *testing.T) {
+	p := New(DefaultConfig())
+	pred, prov := p.Predict(0x50000)
+	p.Update(0x50000, prov, pred, !pred) // force one mispredict
+	if p.Lookups != 1 || p.Mispredicts != 1 {
+		t.Errorf("lookups=%d mispredicts=%d, want 1/1", p.Lookups, p.Mispredicts)
+	}
+	if p.MispredictRate() != 1 {
+		t.Errorf("rate = %v, want 1", p.MispredictRate())
+	}
+	empty := New(DefaultConfig())
+	if empty.MispredictRate() != 0 {
+		t.Errorf("empty predictor rate should be 0")
+	}
+}

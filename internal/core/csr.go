@@ -1,0 +1,136 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/events"
+)
+
+// CSRImage is the 88-byte sample a TEA-enabled core exposes through its
+// Control and Status Registers (Section 3): the interrupt handler reads
+// eleven 64-bit CSRs and appends them to a memory buffer. TEA inherits
+// TIP's layout — a timestamp, four instruction-address registers, and a
+// metadata register whose 46 used bits hold TIP's 10 metadata bits
+// (commit state + validity) plus four 9-bit PSVs.
+type CSRImage [11]uint64
+
+// Metadata register bit layout (bits counted from 0):
+//
+//	[1:0]   commit state
+//	[5:2]   address-valid bits (up to commit width = 4)
+//	[9:6]   reserved TIP metadata
+//	[18:10] PSV 0
+//	[27:19] PSV 1
+//	[36:28] PSV 2
+//	[45:37] PSV 3
+const (
+	metaStateShift = 0
+	metaValidShift = 2
+	metaPSVShift   = 10
+	psvFieldBits   = events.NumEvents
+)
+
+// csrTimestamp, csrMeta, and csrAddr0 name the CSR slots.
+const (
+	csrTimestamp = 0
+	csrMeta      = 1
+	csrAddr0     = 2
+	// Slots 6..10 carry process/thread identifiers and padding in the
+	// Linux-perf-style record; the simulator stores the core ID in 6.
+	csrCoreID = 6
+)
+
+// maxSampleInsts is the number of instruction slots in a sample (the
+// commit width of the Table 2 core).
+const maxSampleInsts = 4
+
+// PackSample encodes a sample into the CSR image. Samples with more
+// than four instructions cannot occur on a 4-wide core; PackSample
+// returns an error rather than truncating silently.
+func PackSample(s Sample, coreID uint64) (CSRImage, error) {
+	var img CSRImage
+	if len(s.Insts) > maxSampleInsts {
+		return img, fmt.Errorf("core: sample with %d instructions exceeds the %d-slot CSR image",
+			len(s.Insts), maxSampleInsts)
+	}
+	img[csrTimestamp] = s.Cycle
+	meta := uint64(s.State) << metaStateShift
+	for i, si := range s.Insts {
+		meta |= 1 << (metaValidShift + i)
+		meta |= uint64(si.PSV) << (metaPSVShift + i*psvFieldBits)
+		img[csrAddr0+i] = si.PC
+	}
+	img[csrMeta] = meta
+	img[csrCoreID] = coreID
+	return img, nil
+}
+
+// UnpackSample decodes a CSR image back into a sample. Weight is not
+// part of the hardware image (software knows the sampling period), so
+// the caller supplies it.
+func UnpackSample(img CSRImage, weight float64) (Sample, uint64) {
+	s := Sample{
+		Cycle:  img[csrTimestamp],
+		State:  events.CommitState(img[csrMeta] >> metaStateShift & 0x3),
+		Weight: weight,
+	}
+	meta := img[csrMeta]
+	for i := 0; i < maxSampleInsts; i++ {
+		if meta&(1<<(metaValidShift+i)) == 0 {
+			continue
+		}
+		psv := events.PSV(meta >> (metaPSVShift + i*psvFieldBits) & ((1 << psvFieldBits) - 1))
+		s.Insts = append(s.Insts, SampledInst{PC: img[csrAddr0+i], PSV: psv})
+	}
+	return s, img[csrCoreID]
+}
+
+// MetaBitsUsed reports how many metadata-CSR bits the layout occupies;
+// Section 3 packs TEA into 46 of the 64 available bits.
+func MetaBitsUsed() int { return metaPSVShift + maxSampleInsts*psvFieldBits }
+
+// WriteSamples serializes samples as consecutive CSR images — the
+// memory-buffer/file format the sampling software produces.
+func WriteSamples(w io.Writer, samples []Sample, coreID uint64) error {
+	var buf [8 * len(CSRImage{})]byte
+	for _, s := range samples {
+		img, err := PackSample(s, coreID)
+		if err != nil {
+			return err
+		}
+		for i, word := range img {
+			binary.LittleEndian.PutUint64(buf[i*8:], word)
+		}
+		if _, err := w.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadSamples parses a sample file written by WriteSamples. weight is
+// the sampling period the samples were taken at.
+func ReadSamples(r io.Reader, weight float64) (samples []Sample, coreID uint64, err error) {
+	var buf [8 * len(CSRImage{})]byte
+	for {
+		_, err := io.ReadFull(r, buf[:])
+		if err == io.EOF {
+			return samples, coreID, nil
+		}
+		if err == io.ErrUnexpectedEOF {
+			return samples, coreID, fmt.Errorf("core: truncated sample file")
+		}
+		if err != nil {
+			return samples, coreID, err
+		}
+		var img CSRImage
+		for i := range img {
+			img[i] = binary.LittleEndian.Uint64(buf[i*8:])
+		}
+		s, cid := UnpackSample(img, weight)
+		samples = append(samples, s)
+		coreID = cid
+	}
+}

@@ -1,0 +1,46 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/pics"
+	"repro/internal/program"
+)
+
+// ExampleTEA is the minimal end-to-end flow: build a program, attach a
+// TEA unit and the golden reference to one core, run, and compare.
+func ExampleTEA() {
+	b := program.NewBuilder("demo")
+	buf := b.Alloc(8<<20, 4096)
+	b.Func("main")
+	b.MoviU(isa.X(1), buf)
+	b.Movi(isa.X(2), 0)
+	b.Movi(isa.X(3), 5000)
+	b.Label("loop")
+	b.Load(isa.X(4), isa.X(1), 0) // misses deep into the hierarchy
+	b.Addi(isa.X(1), isa.X(1), 4096)
+	b.Addi(isa.X(2), isa.X(2), 1)
+	b.Blt(isa.X(2), isa.X(3), "loop")
+	b.Halt()
+
+	c := cpu.New(cpu.DefaultConfig(), b.MustBuild())
+	cfg := core.DefaultConfig()
+	cfg.IntervalCycles = 256
+	cfg.JitterCycles = 16
+	tea := core.NewTEA(c, cfg)
+	golden := core.NewGolden(c)
+	c.Attach(tea)
+	c.Attach(golden)
+	c.Run()
+
+	err := pics.Error(tea.Profile(), golden.Profile())
+	top := tea.Profile().TopInstructions(1)[0]
+	fmt.Printf("top instruction is the load: %v\n", top == isa.PCOf(3))
+	fmt.Printf("TEA error under 5%%: %v\n", err < 0.05)
+	// Output:
+	// top instruction is the load: true
+	// TEA error under 5%: true
+}

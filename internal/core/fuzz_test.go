@@ -1,0 +1,19 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadSamples feeds arbitrary bytes to the sample-file reader: no
+// input may panic it.
+func FuzzReadSamples(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteSamples(&buf, []Sample{sampleFixture()}, 1)
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 88))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, _ = ReadSamples(bytes.NewReader(data), 1)
+	})
+}

@@ -1,0 +1,78 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// btbThrash builds a loop jumping through more distinct taken branches
+// than the BTB holds.
+func btbThrash(branches, iters int) *program.Program {
+	b := program.NewBuilder("btb")
+	b.Func("main")
+	b.Movi(isa.X(1), 0)
+	b.Movi(isa.X(2), int64(iters))
+	b.Label("top")
+	// A chain of unconditional jumps, each a distinct static branch;
+	// spacing them in the address space avoids aliasing artifacts.
+	for i := 0; i < branches; i++ {
+		b.Jmp(jl(i))
+		b.Label(jl(i))
+		b.Nop()
+		b.Nop()
+	}
+	b.Addi(isa.X(1), isa.X(1), 1)
+	b.Blt(isa.X(1), isa.X(2), "top")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func jl(i int) string {
+	return "j" + string(rune('A'+i/26)) + string(rune('a'+i%26))
+}
+
+func TestBTBMissesOnLargeBranchFootprint(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BTBEntries = 64
+	stats := New(cfg, btbThrash(64, 60)).Run()
+	// 64 jumps indexed into a 64-entry direct-mapped BTB at 12-byte
+	// spacing: systematic conflicts force recurring resteers.
+	if stats.BTBMisses < 100 {
+		t.Errorf("only %d BTB misses with a thrashing branch footprint", stats.BTBMisses)
+	}
+}
+
+func TestBTBHitsOnSmallLoop(t *testing.T) {
+	stats := New(DefaultConfig(), btbThrash(4, 200)).Run()
+	// 5 distinct taken branches in a 512-entry BTB: only cold misses.
+	if stats.BTBMisses > 10 {
+		t.Errorf("%d BTB misses for a tiny resident loop", stats.BTBMisses)
+	}
+}
+
+func TestBTBResteerCostsCycles(t *testing.T) {
+	small := DefaultConfig()
+	small.BTBEntries = 32
+	large := DefaultConfig()
+	large.BTBEntries = 1 << 14
+	p := func() *program.Program { return btbThrash(48, 150) }
+	slow := New(small, p()).Run()
+	fast := New(large, p()).Run()
+	if slow.BTBMisses <= fast.BTBMisses {
+		t.Fatalf("BTB sizing had no effect: %d vs %d misses", slow.BTBMisses, fast.BTBMisses)
+	}
+	if slow.Cycles <= fast.Cycles {
+		t.Errorf("BTB misses cost nothing: %d vs %d cycles", slow.Cycles, fast.Cycles)
+	}
+}
+
+func TestBTBDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BTBEntries = 0
+	stats := New(cfg, btbThrash(16, 50)).Run()
+	if stats.BTBMisses != 0 {
+		t.Errorf("disabled BTB recorded %d misses", stats.BTBMisses)
+	}
+}

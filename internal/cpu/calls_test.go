@@ -1,0 +1,152 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/events"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// callProgram builds a loop that calls a leaf function each iteration.
+func callProgram(iters int64) *program.Program {
+	b := program.NewBuilder("calls")
+	b.Func("main")
+	b.Movi(isa.X(1), 0)
+	b.Movi(isa.X(2), iters)
+	b.Movi(isa.X(10), 0)
+	b.Label("loop")
+	b.Call("leaf")
+	b.Addi(isa.X(1), isa.X(1), 1)
+	b.Blt(isa.X(1), isa.X(2), "loop")
+	b.Halt()
+	b.Func("leaf")
+	b.Label("leaf")
+	b.Addi(isa.X(10), isa.X(10), 7)
+	b.Ret()
+	return b.MustBuild()
+}
+
+func TestCallReturnSemantics(t *testing.T) {
+	p := callProgram(25)
+	s := emu.NewStream(p)
+	n := uint64(0)
+	for {
+		d := s.Next()
+		if d == nil {
+			break
+		}
+		n++
+		s.Release(d.Seq + 1)
+	}
+	if got := s.Reg(isa.X(10)); got != 25*7 {
+		t.Errorf("leaf accumulated %d, want %d", got, 25*7)
+	}
+	// 3 setup + 25*(call, add, ret, addi, blt) + halt
+	if want := uint64(3 + 25*5 + 1); n != want {
+		t.Errorf("dynamic count %d, want %d", n, want)
+	}
+}
+
+func TestRASPredictsBalancedCalls(t *testing.T) {
+	p := callProgram(500)
+	stats := New(DefaultConfig(), p).Run()
+	// The loop branch may mispredict at the end; returns must not.
+	if stats.Mispredicts > 5 {
+		t.Errorf("%d mispredicts for perfectly balanced call/ret, want ~0", stats.Mispredicts)
+	}
+	if stats.Committed == 0 {
+		t.Fatalf("nothing committed")
+	}
+}
+
+// deepRecursion builds a call chain deeper than the 16-entry RAS.
+func deepRecursion(depth int) *program.Program {
+	b := program.NewBuilder("deep")
+	b.Func("main")
+	b.Movi(isa.X(9), 0)
+	b.Movi(isa.X(11), 0)
+	b.Movi(isa.X(12), 40) // outer iterations
+	b.Label("outer")
+	b.Call(fnName(0))
+	b.Addi(isa.X(11), isa.X(11), 1)
+	b.Blt(isa.X(11), isa.X(12), "outer")
+	b.Halt()
+	// f0 calls f1 calls f2 ... using a software stack for link values.
+	stack := b.Alloc(8*uint64(depth)+64, 64)
+	for i := 0; i < depth; i++ {
+		name := fnName(i)
+		b.Func(name)
+		b.Label(name)
+		// Push the link register to the software stack slot for level i.
+		b.MoviU(isa.X(20), stack+uint64(i)*8)
+		b.Store(isa.X(20), isa.X(31), 0)
+		if i+1 < depth {
+			b.Call(fnName(i + 1))
+		} else {
+			b.Addi(isa.X(9), isa.X(9), 1)
+		}
+		// Pop the link register and return.
+		b.MoviU(isa.X(20), stack+uint64(i)*8)
+		b.Load(isa.X(31), isa.X(20), 0)
+		b.Ret()
+	}
+	return b.MustBuild()
+}
+
+func fnName(i int) string {
+	return "f" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+func TestDeepRecursionOverflowsRAS(t *testing.T) {
+	shallowStats := New(DefaultConfig(), deepRecursion(8)).Run()
+	deepStats := New(DefaultConfig(), deepRecursion(24)).Run()
+	// 24 levels exceed the 16-entry RAS: the outer returns mispredict
+	// every outer iteration. 8 levels fit: few mispredicts.
+	if shallowStats.Mispredicts > 10 {
+		t.Errorf("shallow recursion mispredicted %d times", shallowStats.Mispredicts)
+	}
+	if deepStats.Mispredicts < 100 {
+		t.Errorf("deep recursion mispredicted only %d times; RAS overflow not modeled",
+			deepStats.Mispredicts)
+	}
+	// Correctness is unaffected.
+	if want := emu.Run(deepRecursion(24)); deepStats.Committed != want {
+		t.Errorf("deep recursion committed %d, want %d", deepStats.Committed, want)
+	}
+}
+
+func TestReturnMispredictsCarryFLMB(t *testing.T) {
+	p := deepRecursion(24)
+	cpu := New(DefaultConfig(), p)
+	col := newCollector()
+	cpu.Attach(col)
+	cpu.Run()
+	flmbRets := 0
+	for _, u := range col.committed {
+		if u.Op() == isa.OpRet && u.PSV.Has(events.FLMB) {
+			flmbRets++
+		}
+	}
+	if flmbRets == 0 {
+		t.Errorf("no FL-MB on mispredicted returns")
+	}
+}
+
+func TestFunctionGranularityWithRealCalls(t *testing.T) {
+	p := callProgram(400)
+	if fn := p.FuncOf(0); fn != "main" {
+		t.Errorf("index 0 in %q", fn)
+	}
+	// leaf is a separate function in the symbol table.
+	found := false
+	for _, f := range p.Funcs {
+		if f.Name == "leaf" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("leaf function missing from symbol table")
+	}
+}

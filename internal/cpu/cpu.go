@@ -1,0 +1,596 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/branch"
+	"repro/internal/emu"
+	"repro/internal/events"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/program"
+)
+
+const invalidLine = ^uint64(0)
+
+// rasEntries is the return-address-stack depth.
+const rasEntries = 16
+
+// Stats aggregates core-level statistics for one run.
+type Stats struct {
+	Cycles      uint64
+	Committed   uint64
+	StateCycles [events.NumCommitStates]uint64
+	Mispredicts uint64
+	BTBMisses   uint64
+	Violations  uint64
+	Squashed    uint64
+	Flushes     uint64
+}
+
+// IPC returns committed instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// CPU is the cycle-level out-of-order core.
+type CPU struct {
+	cfg    Config
+	prog   *program.Program
+	stream *emu.Stream
+	hier   *mem.Hierarchy
+	bp     *branch.Predictor
+	probes []Probe
+
+	cycle      uint64
+	rob        *rob
+	lastWriter [isa.NumRegs]*UOp
+
+	iqInt, iqMem, iqFP []*UOp
+	lq, sq             []*UOp
+	drainQ             []*UOp
+	pendingLoads       []*UOp
+
+	fetchBuf    []*UOp
+	fetchNext   *emu.Inst
+	fetchResume uint64
+	awaitBranch *UOp
+	pendDRL1    bool
+	pendDRTLB   bool
+	lastLine    uint64
+	streamDry   bool
+
+	lastCommitted *UOp
+	flushActive   bool
+	blockDispatch *UOp
+
+	// ras is the return-address stack: call sites push their return
+	// index at fetch, returns pop their prediction. Squashes can leave
+	// it stale (as in real front-ends), causing return mispredicts.
+	ras []int
+	// btb is a direct-mapped branch target buffer (tag per entry);
+	// taken branches whose tag mismatches pay a resteer bubble.
+	btb []uint64
+
+	divBusyUntil  uint64
+	fdivBusyUntil uint64
+
+	info  CycleInfo
+	Stats Stats
+
+	// MaxCycles aborts runaway simulations.
+	MaxCycles uint64
+	// SampleOverheadCycles, when nonzero, stalls the whole pipeline for
+	// that many cycles each time a probe requests an interrupt — the
+	// mechanism behind the sampling performance-overhead measurement.
+	SampleOverheadCycles uint64
+	pendingOverhead      uint64
+}
+
+// New builds a core for the given program with a private memory system.
+func New(cfg Config, p *program.Program) *CPU {
+	return NewWithHierarchy(cfg, p, mem.NewHierarchy(cfg.Mem))
+}
+
+// NewWithHierarchy builds a core over an existing memory system —
+// multi-core systems pass per-core hierarchies that share an LLC and
+// DRAM (mem.NewHierarchyShared).
+func NewWithHierarchy(cfg Config, p *program.Program, h *mem.Hierarchy) *CPU {
+	return &CPU{
+		cfg:       cfg,
+		prog:      p,
+		stream:    emu.NewStream(p),
+		hier:      h,
+		bp:        branch.New(cfg.BP),
+		rob:       newROB(cfg.ROBEntries),
+		lastLine:  invalidLine,
+		MaxCycles: 2_000_000_000,
+	}
+}
+
+// Attach registers a probe. All probes observe the same execution.
+func (c *CPU) Attach(p Probe) { c.probes = append(c.probes, p) }
+
+// Hierarchy exposes the memory system (for statistics).
+func (c *CPU) Hierarchy() *mem.Hierarchy { return c.hier }
+
+// Predictor exposes the branch predictor (for statistics).
+func (c *CPU) Predictor() *branch.Predictor { return c.bp }
+
+// Config returns the core configuration.
+func (c *CPU) Config() Config { return c.cfg }
+
+// Program returns the program under execution.
+func (c *CPU) Program() *program.Program { return c.prog }
+
+// Cycle returns the current cycle number.
+func (c *CPU) Cycle() uint64 { return c.cycle }
+
+// RequestSampleOverhead charges the configured per-sample interrupt
+// cost to the pipeline; sampling probes call it when they deliver a
+// sample to software.
+func (c *CPU) RequestSampleOverhead() {
+	c.pendingOverhead += c.SampleOverheadCycles
+}
+
+// Step advances the core by one cycle and reports whether it is still
+// running. Multi-core systems interleave Step calls across cores that
+// share a memory system; single-core callers use Run.
+func (c *CPU) Step() bool {
+	if c.done() {
+		return false
+	}
+	c.cycle++
+	if c.cycle > c.MaxCycles {
+		panic(fmt.Sprintf("cpu: program %q exceeded %d cycles", c.prog.Name, c.MaxCycles))
+	}
+	if c.pendingOverhead > 0 {
+		// The sampling interrupt handler occupies the core; the
+		// pipeline makes no progress but the clock advances.
+		c.pendingOverhead--
+		c.Stats.Cycles++
+		return true
+	}
+	c.commitStage()
+	c.executeStage()
+	c.issueStage()
+	c.dispatchStage()
+	c.fetchStage()
+	c.Stats.Cycles++
+	return true
+}
+
+// Finish fires the probes' completion hooks; call it exactly once after
+// the last Step. Run does this automatically.
+func (c *CPU) Finish() {
+	for _, p := range c.probes {
+		p.OnDone(c.Stats.Cycles)
+	}
+}
+
+// Run simulates the program to completion and returns the statistics.
+func (c *CPU) Run() *Stats {
+	for c.Step() {
+	}
+	c.Finish()
+	return &c.Stats
+}
+
+func (c *CPU) done() bool {
+	return c.streamDry && c.fetchNext == nil && len(c.fetchBuf) == 0 && c.rob.empty()
+}
+
+// ---------------------------------------------------------------------------
+// Commit stage
+
+func (c *CPU) commitStage() {
+	ci := &c.info
+	ci.Cycle = c.cycle
+	ci.Committed = ci.Committed[:0]
+	ci.Head = nil
+	ci.LastCommitted = nil
+
+	switch {
+	case c.rob.empty():
+		if c.flushActive && c.lastCommitted != nil {
+			ci.State = events.Flushed
+			ci.LastCommitted = c.lastCommitted
+		} else {
+			ci.State = events.Drained
+		}
+	default:
+		head := c.rob.headUOp()
+		if !head.doneAt(c.cycle) {
+			ci.State = events.Stalled
+			ci.Head = head
+		} else {
+			ci.State = events.Compute
+			for len(ci.Committed) < c.cfg.CommitWidth && !c.rob.empty() {
+				u := c.rob.headUOp()
+				if !u.doneAt(c.cycle) {
+					break
+				}
+				c.rob.pop()
+				c.commitUOp(u)
+				ci.Committed = append(ci.Committed, u)
+				if u.PSV.Has(events.FLMB) || u.PSV.Has(events.FLEX) || u.PSV.Has(events.FLMO) {
+					c.flushActive = true
+					c.Stats.Flushes++
+				}
+				if isa.IsSerializing(u.Op()) {
+					c.serializingFlush(u)
+					break
+				}
+			}
+		}
+	}
+
+	c.Stats.StateCycles[ci.State]++
+	for _, p := range c.probes {
+		p.OnCycle(ci)
+	}
+}
+
+func (c *CPU) commitUOp(u *UOp) {
+	u.committed = true
+	u.CommitCycle = c.cycle
+	c.lastCommitted = u
+	c.Stats.Committed++
+	if isa.IsStore(u.Op()) {
+		c.drainQ = append(c.drainQ, u)
+	} else if isa.IsLoad(u.Op()) || u.Op() == isa.OpPrefetch {
+		c.lq = removeUOp(c.lq, u)
+	}
+	if c.blockDispatch == u {
+		c.blockDispatch = nil
+	}
+	c.stream.Release(u.Seq() + 1)
+	for _, p := range c.probes {
+		p.OnCommit(u, c.cycle)
+	}
+}
+
+// serializingFlush implements the pipeline flush a serializing CSR
+// instruction performs at commit (the nab case study's fsflags/frflags
+// behavior): everything fetched behind it is thrown away and the
+// front-end refetches after the redirect penalty.
+func (c *CPU) serializingFlush(u *UOp) {
+	for _, f := range c.fetchBuf {
+		f.squashed = true
+		c.Stats.Squashed++
+		for _, p := range c.probes {
+			p.OnSquash(f, c.cycle)
+		}
+	}
+	c.fetchBuf = c.fetchBuf[:0]
+	c.fetchNext = nil
+	c.stream.Rewind(u.Seq() + 1)
+	c.streamDry = false
+	c.awaitBranch = nil
+	c.pendDRL1, c.pendDRTLB = false, false
+	c.lastLine = invalidLine
+	c.fetchResume = c.cycle + c.cfg.RedirectPenalty
+}
+
+// ---------------------------------------------------------------------------
+// Execute stage: the load/store unit state machines live in lsu.go.
+
+func (c *CPU) executeStage() {
+	c.executeStores()
+	c.executeLoads()
+	c.drainStores()
+}
+
+// ---------------------------------------------------------------------------
+// Issue stage
+
+func (c *CPU) issueStage() {
+	c.iqInt = c.issueFrom(c.iqInt, c.cfg.IntIssueWidth)
+	c.iqMem = c.issueFrom(c.iqMem, c.cfg.MemIssueWidth)
+	c.iqFP = c.issueFrom(c.iqFP, c.cfg.FPIssueWidth)
+}
+
+func (c *CPU) issueFrom(iq []*UOp, width int) []*UOp {
+	issued := 0
+	out := iq[:0]
+	for _, u := range iq {
+		if issued >= width || !u.ready(c.cycle) || !c.unitFree(u) {
+			out = append(out, u)
+			continue
+		}
+		c.issueUOp(u)
+		issued++
+	}
+	return out
+}
+
+func (c *CPU) unitFree(u *UOp) bool {
+	switch u.Op() {
+	case isa.OpDiv, isa.OpRem:
+		return c.divBusyUntil <= c.cycle
+	case isa.OpFDiv, isa.OpFSqrt:
+		return c.fdivBusyUntil <= c.cycle
+	}
+	return true
+}
+
+func (c *CPU) issueUOp(u *UOp) {
+	u.issued = true
+	u.IssueCycle = c.cycle
+	op := u.Op()
+	switch isa.ClassOf(op) {
+	case isa.ClassLoad, isa.ClassStore:
+		u.aguDone = c.cycle + 1
+		if isa.ClassOf(op) == isa.ClassLoad {
+			c.pendingLoads = append(c.pendingLoads, u)
+		}
+	default:
+		lat := c.cfg.Latency(op)
+		u.completed = true
+		u.CompleteCycle = c.cycle + lat
+		switch op {
+		case isa.OpDiv, isa.OpRem:
+			c.divBusyUntil = c.cycle + lat
+		case isa.OpFDiv, isa.OpFSqrt:
+			c.fdivBusyUntil = c.cycle + lat
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch stage
+
+func (c *CPU) dispatchStage() {
+	if c.blockDispatch != nil {
+		return
+	}
+	for n := 0; n < c.cfg.DecodeWidth; n++ {
+		if len(c.fetchBuf) == 0 || c.rob.full() {
+			return
+		}
+		u := c.fetchBuf[0]
+		if c.cycle < u.FetchCycle+c.cfg.FrontEndDepth {
+			return
+		}
+		op := u.Op()
+
+		if isa.IsSerializing(op) {
+			// Serializing µops dispatch alone: wait for the ROB to
+			// drain, then block dispatch until they commit.
+			if !c.rob.empty() {
+				return
+			}
+			u.PSV = u.PSV.Set(events.FLEX)
+			u.completed = true
+			u.CompleteCycle = c.cycle + 1
+			c.enterROB(u)
+			c.blockDispatch = u
+			return
+		}
+
+		switch isa.ClassOf(op) {
+		case isa.ClassSystem: // nop-like (halt)
+			u.completed = true
+			u.CompleteCycle = c.cycle + 1
+		case isa.ClassALU, isa.ClassMulDiv, isa.ClassBranch:
+			if op == isa.OpNop {
+				u.completed = true
+				u.CompleteCycle = c.cycle + 1
+				break
+			}
+			if len(c.iqInt) >= c.cfg.IntIQEntries {
+				return
+			}
+		case isa.ClassFP, isa.ClassFPDiv:
+			if len(c.iqFP) >= c.cfg.FPIQEntries {
+				return
+			}
+		case isa.ClassLoad:
+			if len(c.iqMem) >= c.cfg.MemIQEntries || c.lqOccupancy() >= c.cfg.LQEntries {
+				return
+			}
+		case isa.ClassStore:
+			if len(c.iqMem) >= c.cfg.MemIQEntries {
+				return
+			}
+			if c.sqOccupancy() >= c.cfg.SQEntries {
+				// The Drained commit state this causes is explained by
+				// the DR-SQ event on the blocked store (Table 1).
+				u.PSV = u.PSV.Set(events.DRSQ)
+				return
+			}
+		}
+
+		c.wireSources(u)
+		c.enterROB(u)
+		switch isa.ClassOf(op) {
+		case isa.ClassALU, isa.ClassMulDiv, isa.ClassBranch:
+			if op != isa.OpNop {
+				c.iqInt = append(c.iqInt, u)
+			}
+		case isa.ClassFP, isa.ClassFPDiv:
+			c.iqFP = append(c.iqFP, u)
+		case isa.ClassLoad:
+			c.iqMem = append(c.iqMem, u)
+			c.lq = append(c.lq, u)
+		case isa.ClassStore:
+			c.iqMem = append(c.iqMem, u)
+			c.sq = append(c.sq, u)
+		}
+	}
+}
+
+func (c *CPU) wireSources(u *UOp) {
+	s1, s2 := u.Dyn.Static.Sources()
+	if s1 != isa.NoReg && s1 != isa.RegZero {
+		u.src1 = c.lastWriter[s1]
+	}
+	if s2 != isa.NoReg && s2 != isa.RegZero {
+		u.src2 = c.lastWriter[s2]
+	}
+}
+
+func (c *CPU) enterROB(u *UOp) {
+	u.dispatched = true
+	u.DispatchCycle = c.cycle
+	c.rob.push(u)
+	c.fetchBuf = c.fetchBuf[1:]
+	if d := u.Dyn.Static.Dests(); d != isa.NoReg && d != isa.RegZero {
+		c.lastWriter[d] = u
+	}
+	c.flushActive = false
+	for _, p := range c.probes {
+		p.OnDispatch(u, c.cycle)
+	}
+}
+
+// lqOccupancy counts live load-queue entries.
+func (c *CPU) lqOccupancy() int { return len(c.lq) }
+
+// sqOccupancy counts store-queue entries, lazily freeing stores whose
+// post-commit cache write has finished (retired stores).
+func (c *CPU) sqOccupancy() int {
+	out := c.sq[:0]
+	for _, st := range c.sq {
+		if st.committed && st.drainStarted && st.drainDone <= c.cycle {
+			continue
+		}
+		out = append(out, st)
+	}
+	c.sq = out
+	return len(c.sq)
+}
+
+// ---------------------------------------------------------------------------
+// Fetch stage
+
+func (c *CPU) fetchStage() {
+	if c.awaitBranch != nil {
+		br := c.awaitBranch
+		if !br.doneAt(c.cycle) {
+			return
+		}
+		c.fetchResume = br.CompleteCycle + c.cfg.RedirectPenalty
+		c.awaitBranch = nil
+		c.lastLine = invalidLine
+	}
+	if c.cycle < c.fetchResume {
+		return
+	}
+	hitLat := c.cfg.Mem.L1I.HitLatency
+	lineShift := uint(6)
+	for lb := c.cfg.Mem.L1I.LineBytes; lb > 64; lb >>= 1 {
+		lineShift++
+	}
+	budget := c.cfg.FetchWidth
+	for budget > 0 && len(c.fetchBuf) < c.cfg.FetchBufEntries {
+		if c.fetchNext == nil {
+			c.fetchNext = c.stream.Next()
+			if c.fetchNext == nil {
+				c.streamDry = true
+				return
+			}
+		}
+		d := c.fetchNext
+		line := d.PC >> lineShift
+		if line != c.lastLine {
+			res := c.hier.Fetch(d.PC, c.cycle)
+			c.lastLine = line
+			if res.L1Miss {
+				c.pendDRL1 = true
+			}
+			if res.TLBMiss {
+				c.pendDRTLB = true
+			}
+			if res.Done > c.cycle+hitLat {
+				// Front-end stall: the instruction is fetched when the
+				// line (and translation) arrive.
+				c.fetchResume = res.Done
+				return
+			}
+		}
+
+		u := &UOp{Dyn: d, FetchCycle: c.cycle, valueFromSeq: -1}
+		if c.pendDRL1 {
+			u.PSV = u.PSV.Set(events.DRL1)
+			c.pendDRL1 = false
+		}
+		if c.pendDRTLB {
+			u.PSV = u.PSV.Set(events.DRTLB)
+			c.pendDRTLB = false
+		}
+		switch {
+		case isa.IsCondBranch(u.Op()):
+			pred, prov := c.bp.Predict(d.PC)
+			c.bp.Update(d.PC, prov, pred, d.Taken)
+			if pred != d.Taken {
+				u.Mispredicted = true
+				u.PSV = u.PSV.Set(events.FLMB)
+				c.Stats.Mispredicts++
+			}
+		case u.Op() == isa.OpCall:
+			// Push the return index; a bounded stack drops the oldest
+			// entry on overflow (deep recursion then mispredicts).
+			if len(c.ras) >= rasEntries {
+				copy(c.ras, c.ras[1:])
+				c.ras = c.ras[:rasEntries-1]
+			}
+			c.ras = append(c.ras, d.Index+1)
+		case u.Op() == isa.OpRet:
+			predicted := -1
+			if n := len(c.ras); n > 0 {
+				predicted = c.ras[n-1]
+				c.ras = c.ras[:n-1]
+			}
+			if predicted != d.NextIndex {
+				u.Mispredicted = true
+				u.PSV = u.PSV.Set(events.FLMB)
+				c.Stats.Mispredicts++
+			}
+		}
+		c.fetchNext = nil
+		c.fetchBuf = append(c.fetchBuf, u)
+		budget--
+		for _, p := range c.probes {
+			p.OnFetch(u, c.cycle)
+		}
+		if u.Mispredicted {
+			// Wrong path: fetch stalls until the branch resolves and
+			// the front-end redirects.
+			c.awaitBranch = u
+			return
+		}
+		if u.Dyn.IsBranch() && u.Dyn.Taken {
+			// Taken branches end the fetch packet. A correctly
+			// predicted taken branch still needs its target from the
+			// BTB; a tag miss costs a short resteer bubble while the
+			// decoder computes the target (returns come from the RAS).
+			c.lastLine = invalidLine
+			if u.Op() != isa.OpRet && c.cfg.BTBEntries > 0 {
+				if c.btb == nil {
+					c.btb = make([]uint64, c.cfg.BTBEntries)
+				}
+				idx := (d.PC >> 2) % uint64(len(c.btb))
+				if c.btb[idx] != d.PC {
+					c.btb[idx] = d.PC
+					c.fetchResume = c.cycle + c.cfg.BTBMissPenalty
+					c.Stats.BTBMisses++
+				}
+			}
+			return
+		}
+	}
+}
+
+func removeUOp(list []*UOp, u *UOp) []*UOp {
+	out := list[:0]
+	for _, x := range list {
+		if x != u {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,527 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/events"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// collector records every probe callback for inspection.
+type collector struct {
+	BaseProbe
+	fetched    []*UOp
+	dispatched []*UOp
+	committed  []*UOp
+	squashed   []*UOp
+	fetchAt    map[*UOp]uint64
+	dispatchAt map[*UOp]uint64
+	commitAt   map[*UOp]uint64
+	states     map[events.CommitState]uint64
+	done       uint64
+}
+
+func newCollector() *collector {
+	return &collector{
+		fetchAt:    map[*UOp]uint64{},
+		dispatchAt: map[*UOp]uint64{},
+		commitAt:   map[*UOp]uint64{},
+		states:     map[events.CommitState]uint64{},
+	}
+}
+
+func (c *collector) OnCycle(ci *CycleInfo)     { c.states[ci.State]++ }
+func (c *collector) OnFetch(u *UOp, cy uint64) { c.fetched = append(c.fetched, u); c.fetchAt[u] = cy }
+func (c *collector) OnDispatch(u *UOp, cy uint64) {
+	c.dispatched = append(c.dispatched, u)
+	c.dispatchAt[u] = cy
+}
+func (c *collector) OnCommit(u *UOp, cy uint64) {
+	c.committed = append(c.committed, u)
+	c.commitAt[u] = cy
+}
+func (c *collector) OnSquash(u *UOp, cy uint64) { c.squashed = append(c.squashed, u) }
+func (c *collector) OnDone(total uint64)        { c.done = total }
+
+func run(t *testing.T, p *program.Program) (*Stats, *collector) {
+	t.Helper()
+	cpu := New(DefaultConfig(), p)
+	col := newCollector()
+	cpu.Attach(col)
+	stats := cpu.Run()
+	return stats, col
+}
+
+func straightALU(n int) *program.Program {
+	b := program.NewBuilder("alu")
+	b.Func("main")
+	for i := 0; i < n; i++ {
+		b.Addi(isa.X(1+i%8), isa.X(0), int64(i))
+	}
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestHotLoopALUIPC(t *testing.T) {
+	// A resident loop of independent ALU ops: after the cold first
+	// iteration the core must sustain an IPC near the 4-wide commit.
+	b := program.NewBuilder("hotloop")
+	b.Func("main")
+	b.Movi(isa.X(9), 0)
+	b.Movi(isa.X(10), 100)
+	b.Label("top")
+	for i := 0; i < 400; i++ {
+		b.Addi(isa.X(1+i%8), isa.X(0), int64(i))
+	}
+	b.Addi(isa.X(9), isa.X(9), 1)
+	b.Blt(isa.X(9), isa.X(10), "top")
+	b.Halt()
+	p := b.MustBuild()
+	stats, col := run(t, p)
+	if ipc := stats.IPC(); ipc < 3.0 {
+		t.Errorf("hot ALU loop IPC = %v, want near commit width 4", ipc)
+	}
+	if col.done != stats.Cycles {
+		t.Errorf("OnDone cycles %d != stats %d", col.done, stats.Cycles)
+	}
+}
+
+func TestCommitCountMatchesFunctionalRun(t *testing.T) {
+	b := program.NewBuilder("loop")
+	b.Func("main")
+	b.Movi(isa.X(1), 0)
+	b.Movi(isa.X(2), 500)
+	b.Label("top")
+	b.Addi(isa.X(3), isa.X(1), 7)
+	b.Mul(isa.X(4), isa.X(3), isa.X(3))
+	b.Addi(isa.X(1), isa.X(1), 1)
+	b.Blt(isa.X(1), isa.X(2), "top")
+	b.Halt()
+	p := b.MustBuild()
+	want := emu.Run(p)
+	stats, col := run(t, p)
+	if stats.Committed != want {
+		t.Fatalf("committed %d, functional count %d", stats.Committed, want)
+	}
+	if uint64(len(col.committed)) != want {
+		t.Errorf("OnCommit fired %d times, want %d", len(col.committed), want)
+	}
+}
+
+func TestDependentChainStalls(t *testing.T) {
+	// A chain of dependent integer divides: the core must spend most
+	// cycles in the Stalled state waiting for the head.
+	b := program.NewBuilder("chain")
+	b.Func("main")
+	b.Movi(isa.X(1), 1000)
+	b.Movi(isa.X(2), 3)
+	for i := 0; i < 50; i++ {
+		b.Div(isa.X(1), isa.X(1), isa.X(2))
+		b.Addi(isa.X(1), isa.X(1), 1000)
+	}
+	b.Halt()
+	stats, col := run(t, b.MustBuild())
+	if col.states[events.Stalled] < stats.Cycles/3 {
+		t.Errorf("dependent divide chain spent %d/%d cycles stalled, want a large fraction",
+			col.states[events.Stalled], stats.Cycles)
+	}
+}
+
+func TestColdLoadSetsStallEvents(t *testing.T) {
+	b := program.NewBuilder("coldload")
+	base := b.Alloc(1<<12, 64)
+	b.Func("main")
+	b.MoviU(isa.X(1), base)
+	b.Load(isa.X(2), isa.X(1), 0)
+	b.Add(isa.X(3), isa.X(2), isa.X(2))
+	b.Halt()
+	_, col := run(t, b.MustBuild())
+	var ld *UOp
+	for _, u := range col.committed {
+		if isa.IsLoad(u.Op()) {
+			ld = u
+		}
+	}
+	if ld == nil {
+		t.Fatalf("load never committed")
+	}
+	if !ld.PSV.Has(events.STL1) || !ld.PSV.Has(events.STLLC) {
+		t.Errorf("cold load PSV = %v, want ST-L1 and ST-LLC set", ld.PSV)
+	}
+	if !ld.PSV.Has(events.STTLB) {
+		t.Errorf("cold load PSV = %v, want ST-TLB set (cold D-TLB)", ld.PSV)
+	}
+}
+
+func TestWarmLoadHasNoEvents(t *testing.T) {
+	b := program.NewBuilder("warmload")
+	base := b.Alloc(64, 64)
+	b.Func("main")
+	b.MoviU(isa.X(1), base)
+	b.Load(isa.X(2), isa.X(1), 0) // cold (loads 0)
+	// Warm loads depend on the cold load's value, so they issue only
+	// after the fill completed and genuinely hit in the L1.
+	b.Add(isa.X(5), isa.X(1), isa.X(2))
+	for i := 0; i < 20; i++ {
+		b.Load(isa.X(3), isa.X(5), 0) // warm
+		b.Add(isa.X(5), isa.X(1), isa.X(3))
+	}
+	b.Halt()
+	_, col := run(t, b.MustBuild())
+	warm := 0
+	for _, u := range col.committed {
+		if isa.IsLoad(u.Op()) && u.PSV == 0 {
+			warm++
+		}
+	}
+	if warm < 20 {
+		t.Errorf("only %d warm loads with empty PSV, want 20", warm)
+	}
+}
+
+func TestMispredictedBranchesFlush(t *testing.T) {
+	// A data-dependent unpredictable branch: the direction comes from an
+	// xorshift64 generator, which TAGE cannot learn.
+	b := program.NewBuilder("branchy")
+	b.Func("main")
+	b.Movi(isa.X(1), 0)     // i
+	b.Movi(isa.X(2), 2000)  // n
+	b.Movi(isa.X(4), 88172) // xorshift state
+	b.Movi(isa.X(7), 0)     // acc
+	b.Label("top")
+	b.Shli(isa.X(5), isa.X(4), 13)
+	b.Xor(isa.X(4), isa.X(4), isa.X(5))
+	b.Shri(isa.X(5), isa.X(4), 7)
+	b.Xor(isa.X(4), isa.X(4), isa.X(5))
+	b.Shli(isa.X(5), isa.X(4), 17)
+	b.Xor(isa.X(4), isa.X(4), isa.X(5))
+	b.Andi(isa.X(5), isa.X(4), 1)
+	b.Beq(isa.X(5), isa.X(0), "skip")
+	b.Addi(isa.X(7), isa.X(7), 1)
+	b.Label("skip")
+	b.Addi(isa.X(1), isa.X(1), 1)
+	b.Blt(isa.X(1), isa.X(2), "top")
+	b.Halt()
+	stats, col := run(t, b.MustBuild())
+	if stats.Mispredicts < 200 {
+		t.Fatalf("only %d mispredicts on hash-random branches, want many", stats.Mispredicts)
+	}
+	if col.states[events.Flushed] == 0 {
+		t.Errorf("no Flushed cycles despite %d mispredicts", stats.Mispredicts)
+	}
+	flmb := 0
+	for _, u := range col.committed {
+		if u.PSV.Has(events.FLMB) {
+			flmb++
+		}
+	}
+	if uint64(flmb) != stats.Mispredicts {
+		t.Errorf("FL-MB on %d committed µops, stats say %d mispredicts", flmb, stats.Mispredicts)
+	}
+}
+
+func TestSerializingCsrFlush(t *testing.T) {
+	b := program.NewBuilder("csr")
+	b.Func("main")
+	b.Movi(isa.X(1), 5)
+	b.FMovI(isa.F(1), isa.X(1))
+	for i := 0; i < 30; i++ {
+		b.CsrFlush()
+		b.FSqrt(isa.F(2), isa.F(1))
+	}
+	b.Halt()
+	stats, col := run(t, b.MustBuild())
+	flex := 0
+	for _, u := range col.committed {
+		if u.Op() == isa.OpCsrFlush {
+			if !u.PSV.Has(events.FLEX) {
+				t.Errorf("csrflush committed without FL-EX")
+			}
+			flex++
+		}
+	}
+	if flex != 30 {
+		t.Fatalf("%d csrflush µops committed, want 30", flex)
+	}
+	if col.states[events.Flushed] == 0 {
+		t.Errorf("no Flushed cycles despite serializing flushes")
+	}
+	if stats.Flushes < 30 {
+		t.Errorf("flush count = %d, want >= 30", stats.Flushes)
+	}
+}
+
+func TestMemoryOrderingViolation(t *testing.T) {
+	// The store's address depends on a slow divide chain while the
+	// younger load's address is immediately ready: the load issues
+	// first, reads stale data, and the store's address generation must
+	// detect the violation.
+	b := program.NewBuilder("violate")
+	base := b.Alloc(4096, 64)
+	b.SetWord(base, 1)
+	b.Func("main")
+	b.MoviU(isa.X(1), base)
+	b.Movi(isa.X(2), 17)
+	b.Movi(isa.X(9), 0)
+	b.Movi(isa.X(10), 40)
+	b.Label("top")
+	// Slow address computation: x3 = base after a divide chain.
+	b.Movi(isa.X(4), 1600)
+	b.Movi(isa.X(5), 2)
+	b.Div(isa.X(4), isa.X(4), isa.X(5))
+	b.Div(isa.X(4), isa.X(4), isa.X(5))
+	b.Div(isa.X(4), isa.X(4), isa.X(5)) // 200
+	b.Sub(isa.X(3), isa.X(1), isa.X(0))
+	b.Add(isa.X(3), isa.X(3), isa.X(4))
+	b.Addi(isa.X(3), isa.X(3), -200) // x3 = base, very late
+	b.Store(isa.X(3), isa.X(2), 0)   // store base <- 17, address late
+	b.Load(isa.X(6), isa.X(1), 0)    // younger load of base: speculates
+	b.Add(isa.X(7), isa.X(6), isa.X(6))
+	b.Addi(isa.X(9), isa.X(9), 1)
+	b.Blt(isa.X(9), isa.X(10), "top")
+	b.Halt()
+	stats, col := run(t, b.MustBuild())
+	if stats.Violations == 0 {
+		t.Fatalf("no memory ordering violations detected")
+	}
+	flmo := 0
+	for _, u := range col.committed {
+		if u.PSV.Has(events.FLMO) {
+			flmo++
+		}
+	}
+	if flmo == 0 {
+		t.Errorf("no committed µop carries FL-MO")
+	}
+	if stats.Squashed == 0 {
+		t.Errorf("violations should squash younger µops")
+	}
+	// Every µop must still commit exactly once.
+	want := emu.Run(b.MustBuild())
+	if stats.Committed != want {
+		t.Errorf("committed %d, functional count %d", stats.Committed, want)
+	}
+}
+
+func TestStoreBandwidthCausesDRSQ(t *testing.T) {
+	// Stream stores to distinct lines: the drain rate is DRAM-bound, so
+	// the store queue fills with completed-but-not-retired stores and
+	// dispatch stalls with DR-SQ.
+	b := program.NewBuilder("stores")
+	base := b.Alloc(1<<21, 64)
+	b.Func("main")
+	b.MoviU(isa.X(1), base)
+	b.Movi(isa.X(2), 0)
+	b.Movi(isa.X(3), 1500)
+	b.Label("top")
+	for i := int64(0); i < 4; i++ {
+		b.Store(isa.X(1), isa.X(2), i*64)
+	}
+	b.Addi(isa.X(1), isa.X(1), 256)
+	b.Addi(isa.X(2), isa.X(2), 1)
+	b.Blt(isa.X(2), isa.X(3), "top")
+	b.Halt()
+	_, col := run(t, b.MustBuild())
+	drsq := 0
+	for _, u := range col.committed {
+		if u.PSV.Has(events.DRSQ) {
+			drsq++
+		}
+	}
+	if drsq == 0 {
+		t.Errorf("no DR-SQ events in a store-bandwidth-bound stream")
+	}
+	if col.states[events.Drained] == 0 {
+		t.Errorf("no Drained cycles despite store-queue backpressure")
+	}
+}
+
+func TestLargeCodeFootprintCausesDRL1(t *testing.T) {
+	// 40k instructions of straight-line code = 160 KB, five times the
+	// 32 KB L1I: instruction fetch must miss.
+	b := program.NewBuilder("bigcode")
+	b.Func("main")
+	b.Movi(isa.X(9), 0)
+	b.Movi(isa.X(10), 3)
+	b.Label("top")
+	for i := 0; i < 40000; i++ {
+		b.Addi(isa.X(1+i%4), isa.X(0), int64(i&0xFF))
+	}
+	b.Addi(isa.X(9), isa.X(9), 1)
+	b.Blt(isa.X(9), isa.X(10), "top")
+	b.Halt()
+	_, col := run(t, b.MustBuild())
+	drl1 := 0
+	for _, u := range col.committed {
+		if u.PSV.Has(events.DRL1) {
+			drl1++
+		}
+	}
+	if drl1 < 100 {
+		t.Errorf("only %d DR-L1 events for a 160KB code loop", drl1)
+	}
+}
+
+func TestStoreToLoadForwarding(t *testing.T) {
+	// A store immediately followed by a load of the same word: the load
+	// must forward and not access the cache (no ST-L1 despite the line
+	// being cold in L1 for the load's access path).
+	b := program.NewBuilder("fwd")
+	base := b.Alloc(4096, 64)
+	b.Func("main")
+	b.MoviU(isa.X(1), base)
+	b.Movi(isa.X(2), 99)
+	for i := 0; i < 10; i++ {
+		b.Store(isa.X(1), isa.X(2), 512)
+		b.Load(isa.X(3), isa.X(1), 512)
+		b.Add(isa.X(4), isa.X(3), isa.X(3))
+	}
+	b.Halt()
+	stats, col := run(t, b.MustBuild())
+	if stats.Violations != 0 {
+		t.Errorf("forwarding pattern caused %d violations", stats.Violations)
+	}
+	// Later loads should forward: quick completion, no cache events.
+	fwdLoads := 0
+	for _, u := range col.committed {
+		if isa.IsLoad(u.Op()) && !u.PSV.Has(events.STL1) {
+			fwdLoads++
+		}
+	}
+	if fwdLoads < 8 {
+		t.Errorf("only %d loads avoided cache events; forwarding broken?", fwdLoads)
+	}
+}
+
+func TestProbeEventOrdering(t *testing.T) {
+	p := straightALU(200)
+	_, col := run(t, p)
+	for _, u := range col.committed {
+		f, okF := col.fetchAt[u]
+		d, okD := col.dispatchAt[u]
+		cm, okC := col.commitAt[u]
+		if !okF || !okD || !okC {
+			t.Fatalf("committed µop missing fetch/dispatch/commit callbacks")
+		}
+		if f > d || d > cm {
+			t.Errorf("µop seq %d: fetch %d, dispatch %d, commit %d out of order", u.Seq(), f, d, cm)
+		}
+	}
+}
+
+func TestSquashedUOpsNeverCommit(t *testing.T) {
+	// Reuse the violation program: squashed µops must not appear in the
+	// commit stream (fresh µops for re-fetched instructions do).
+	b := program.NewBuilder("v2")
+	base := b.Alloc(4096, 64)
+	b.Func("main")
+	b.MoviU(isa.X(1), base)
+	b.Movi(isa.X(2), 3)
+	b.Movi(isa.X(4), 800)
+	b.Movi(isa.X(5), 2)
+	b.Div(isa.X(4), isa.X(4), isa.X(5))
+	b.Add(isa.X(3), isa.X(1), isa.X(4))
+	b.Addi(isa.X(3), isa.X(3), -400)
+	b.Store(isa.X(3), isa.X(2), 0)
+	b.Load(isa.X(6), isa.X(1), 0)
+	b.Add(isa.X(7), isa.X(6), isa.X(6))
+	b.Add(isa.X(8), isa.X(7), isa.X(7))
+	b.Halt()
+	_, col := run(t, b.MustBuild())
+	for _, u := range col.squashed {
+		if u.Committed() {
+			t.Errorf("squashed µop seq %d committed", u.Seq())
+		}
+		for _, cu := range col.committed {
+			if cu == u {
+				t.Errorf("squashed µop object found in commit stream")
+			}
+		}
+	}
+}
+
+func TestSampleOverheadAddsCycles(t *testing.T) {
+	p := straightALU(2000)
+	base := New(DefaultConfig(), p)
+	baseStats := base.Run()
+
+	withOvh := New(DefaultConfig(), p)
+	withOvh.SampleOverheadCycles = 50
+	fire := &overheadProbe{cpu: withOvh, every: 100}
+	withOvh.Attach(fire)
+	ovhStats := withOvh.Run()
+	if ovhStats.Cycles <= baseStats.Cycles {
+		t.Errorf("overhead run took %d cycles, baseline %d", ovhStats.Cycles, baseStats.Cycles)
+	}
+}
+
+type overheadProbe struct {
+	BaseProbe
+	cpu   *CPU
+	every uint64
+}
+
+func (o *overheadProbe) OnCycle(ci *CycleInfo) {
+	if ci.Cycle%o.every == 0 {
+		o.cpu.RequestSampleOverhead()
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() *Stats {
+		b := program.NewBuilder("det")
+		base := b.Alloc(1<<16, 64)
+		b.Func("main")
+		b.MoviU(isa.X(1), base)
+		b.Movi(isa.X(2), 0)
+		b.Movi(isa.X(3), 300)
+		b.Label("top")
+		b.Load(isa.X(4), isa.X(1), 0)
+		b.Store(isa.X(1), isa.X(4), 8)
+		b.Addi(isa.X(1), isa.X(1), 128)
+		b.Addi(isa.X(2), isa.X(2), 1)
+		b.Blt(isa.X(2), isa.X(3), "top")
+		b.Halt()
+		cpu := New(DefaultConfig(), b.MustBuild())
+		return cpu.Run()
+	}
+	a, b := mk(), mk()
+	if a.Cycles != b.Cycles || a.Committed != b.Committed {
+		t.Errorf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestCommitStatesPartitionCycles(t *testing.T) {
+	p := straightALU(1000)
+	stats, col := run(t, p)
+	var sum uint64
+	for _, v := range col.states {
+		sum += v
+	}
+	if sum != stats.Cycles {
+		t.Errorf("state cycles sum to %d, total %d", sum, stats.Cycles)
+	}
+}
+
+func TestDescribeMentionsTable2Values(t *testing.T) {
+	cfg := DefaultConfig()
+	text := cfg.Describe()
+	for _, want := range []string{"192-entry ROB", "8-wide fetch", "48-entry fetch buffer", "32 KB"} {
+		if !contains(text, want) {
+			t.Errorf("Describe missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}

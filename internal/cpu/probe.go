@@ -1,0 +1,62 @@
+package cpu
+
+import "repro/internal/events"
+
+// CycleInfo describes the commit-stage state of one cycle, following
+// the four-state classification of Section 2 of the paper. The struct
+// is reused across cycles; probes must not retain it (retaining the
+// µop pointers it references is fine).
+type CycleInfo struct {
+	// Cycle is the cycle number (starting at 1).
+	Cycle uint64
+	// State is the commit-state classification.
+	State events.CommitState
+	// Committed lists the µops that committed this cycle (Compute).
+	Committed []*UOp
+	// Head is the stalled ROB-head µop (Stalled).
+	Head *UOp
+	// LastCommitted is the flush-causing, already-committed µop
+	// (Flushed).
+	LastCommitted *UOp
+}
+
+// Probe observes the core cycle by cycle. All attached profiling
+// techniques implement Probe, so they sample the exact same execution —
+// the evaluation methodology of Section 4 (multiple configurations
+// processed out-of-band from one trace).
+type Probe interface {
+	// OnCycle fires once per cycle after the commit stage.
+	OnCycle(ci *CycleInfo)
+	// OnFetch fires when a µop is fetched (RIS tags here).
+	OnFetch(u *UOp, cycle uint64)
+	// OnDispatch fires when a µop is dispatched (IBS/SPE tag here).
+	OnDispatch(u *UOp, cycle uint64)
+	// OnCommit fires when a µop commits; its PSV is final.
+	OnCommit(u *UOp, cycle uint64)
+	// OnSquash fires when an in-flight µop is squashed.
+	OnSquash(u *UOp, cycle uint64)
+	// OnDone fires when the program finishes.
+	OnDone(totalCycles uint64)
+}
+
+// BaseProbe is a no-op Probe for embedding; probes override only the
+// hooks they need.
+type BaseProbe struct{}
+
+// OnCycle implements Probe.
+func (BaseProbe) OnCycle(*CycleInfo) {}
+
+// OnFetch implements Probe.
+func (BaseProbe) OnFetch(*UOp, uint64) {}
+
+// OnDispatch implements Probe.
+func (BaseProbe) OnDispatch(*UOp, uint64) {}
+
+// OnCommit implements Probe.
+func (BaseProbe) OnCommit(*UOp, uint64) {}
+
+// OnSquash implements Probe.
+func (BaseProbe) OnSquash(*UOp, uint64) {}
+
+// OnDone implements Probe.
+func (BaseProbe) OnDone(uint64) {}

@@ -1,0 +1,94 @@
+package cpu
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validate checks the configuration for values the pipeline model
+// cannot operate with; New panics later on some of these, so production
+// callers validate first.
+func (c *Config) Validate() error {
+	var errs []error
+	pos := func(name string, v int) {
+		if v <= 0 {
+			errs = append(errs, fmt.Errorf("cpu: %s must be positive, got %d", name, v))
+		}
+	}
+	pos("FetchWidth", c.FetchWidth)
+	pos("FetchBufEntries", c.FetchBufEntries)
+	pos("DecodeWidth", c.DecodeWidth)
+	pos("ROBEntries", c.ROBEntries)
+	pos("CommitWidth", c.CommitWidth)
+	pos("IntIQEntries", c.IntIQEntries)
+	pos("IntIssueWidth", c.IntIssueWidth)
+	pos("MemIQEntries", c.MemIQEntries)
+	pos("MemIssueWidth", c.MemIssueWidth)
+	pos("FPIQEntries", c.FPIQEntries)
+	pos("FPIssueWidth", c.FPIssueWidth)
+	pos("LQEntries", c.LQEntries)
+	pos("SQEntries", c.SQEntries)
+	if c.CommitWidth > c.ROBEntries {
+		errs = append(errs, fmt.Errorf("cpu: CommitWidth %d exceeds ROBEntries %d", c.CommitWidth, c.ROBEntries))
+	}
+	if c.ALULatency == 0 || c.BranchLatency == 0 {
+		errs = append(errs, errors.New("cpu: ALU and branch latencies must be at least one cycle"))
+	}
+	if err := validateMem(c); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+func validateMem(c *Config) error {
+	var errs []error
+	for _, cc := range []struct {
+		name      string
+		size      int
+		ways      int
+		lineBytes int
+		mshrs     int
+	}{
+		{"L1I", c.Mem.L1I.SizeBytes, c.Mem.L1I.Ways, c.Mem.L1I.LineBytes, c.Mem.L1I.MSHRs},
+		{"L1D", c.Mem.L1D.SizeBytes, c.Mem.L1D.Ways, c.Mem.L1D.LineBytes, c.Mem.L1D.MSHRs},
+		{"LLC", c.Mem.LLC.SizeBytes, c.Mem.LLC.Ways, c.Mem.LLC.LineBytes, c.Mem.LLC.MSHRs},
+	} {
+		if cc.ways <= 0 || cc.lineBytes <= 0 || cc.size <= 0 || cc.mshrs <= 0 {
+			errs = append(errs, fmt.Errorf("cpu: %s geometry fields must be positive", cc.name))
+			continue
+		}
+		sets := cc.size / (cc.ways * cc.lineBytes)
+		if sets <= 0 || sets&(sets-1) != 0 {
+			errs = append(errs, fmt.Errorf("cpu: %s set count %d is not a positive power of two", cc.name, sets))
+		}
+		if cc.lineBytes&(cc.lineBytes-1) != 0 {
+			errs = append(errs, fmt.Errorf("cpu: %s line size %d is not a power of two", cc.name, cc.lineBytes))
+		}
+	}
+	if c.Mem.DRAM.CyclesPerLine == 0 {
+		errs = append(errs, errors.New("cpu: DRAM CyclesPerLine must be positive"))
+	}
+	for _, tc := range []struct {
+		name    string
+		entries int
+		ways    int
+	}{
+		{"ITLB", c.Mem.ITLB.Entries, c.Mem.ITLB.Ways},
+		{"DTLB", c.Mem.DTLB.Entries, c.Mem.DTLB.Ways},
+		{"L2TLB", c.Mem.Walker.L2.Entries, c.Mem.Walker.L2.Ways},
+	} {
+		ways := tc.ways
+		if ways == 0 {
+			ways = tc.entries
+		}
+		if tc.entries <= 0 || ways <= 0 || tc.entries%ways != 0 {
+			errs = append(errs, fmt.Errorf("cpu: %s geometry invalid (%d entries, %d ways)", tc.name, tc.entries, tc.ways))
+			continue
+		}
+		sets := tc.entries / ways
+		if sets&(sets-1) != 0 {
+			errs = append(errs, fmt.Errorf("cpu: %s set count %d is not a power of two", tc.name, sets))
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,59 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultConfigValidates(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default configuration invalid: %v", err)
+	}
+}
+
+func TestValidateCatchesBadFields(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		want   string
+	}{
+		{"zero fetch width", func(c *Config) { c.FetchWidth = 0 }, "FetchWidth"},
+		{"zero rob", func(c *Config) { c.ROBEntries = 0 }, "ROBEntries"},
+		{"commit wider than rob", func(c *Config) { c.ROBEntries = 2; c.CommitWidth = 4 }, "CommitWidth"},
+		{"zero alu latency", func(c *Config) { c.ALULatency = 0 }, "latencies"},
+		{"bad cache sets", func(c *Config) { c.Mem.L1D.SizeBytes = 3000 }, "L1D"},
+		{"bad line size", func(c *Config) { c.Mem.LLC.LineBytes = 48 }, "LLC"},
+		{"zero mshrs", func(c *Config) { c.Mem.L1I.MSHRs = 0 }, "L1I"},
+		{"zero dram rate", func(c *Config) { c.Mem.DRAM.CyclesPerLine = 0 }, "DRAM"},
+		{"bad tlb", func(c *Config) { c.Mem.DTLB.Entries = 0 }, "DTLB"},
+		{"bad l2 tlb sets", func(c *Config) { c.Mem.Walker.L2.Entries = 1000; c.Mem.Walker.L2.Ways = 1 }, "L2TLB"},
+		{"zero sq", func(c *Config) { c.SQEntries = 0 }, "SQEntries"},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig()
+		tc.mutate(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: invalid config accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestValidateReportsAllProblems(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FetchWidth = 0
+	cfg.SQEntries = 0
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "FetchWidth") || !strings.Contains(msg, "SQEntries") {
+		t.Errorf("joined error missing a problem: %q", msg)
+	}
+}

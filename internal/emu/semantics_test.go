@@ -1,0 +1,150 @@
+package emu
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// TestALUSemanticsAgainstGo cross-checks every integer ALU opcode
+// against Go's own semantics over random operands.
+func TestALUSemanticsAgainstGo(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 55))
+	type binCase struct {
+		op   isa.Op
+		eval func(a, b uint64) uint64
+	}
+	cases := []binCase{
+		{isa.OpAdd, func(a, b uint64) uint64 { return a + b }},
+		{isa.OpSub, func(a, b uint64) uint64 { return a - b }},
+		{isa.OpMul, func(a, b uint64) uint64 { return a * b }},
+		{isa.OpAnd, func(a, b uint64) uint64 { return a & b }},
+		{isa.OpOr, func(a, b uint64) uint64 { return a | b }},
+		{isa.OpXor, func(a, b uint64) uint64 { return a ^ b }},
+		{isa.OpShl, func(a, b uint64) uint64 { return a << (b & 63) }},
+		{isa.OpShr, func(a, b uint64) uint64 { return a >> (b & 63) }},
+		{isa.OpDiv, func(a, b uint64) uint64 {
+			if b == 0 {
+				return 0
+			}
+			return uint64(int64(a) / int64(b))
+		}},
+		{isa.OpRem, func(a, b uint64) uint64 {
+			if b == 0 {
+				return 0
+			}
+			return uint64(int64(a) % int64(b))
+		}},
+		{isa.OpSlt, func(a, b uint64) uint64 {
+			if int64(a) < int64(b) {
+				return 1
+			}
+			return 0
+		}},
+	}
+	for _, c := range cases {
+		for trial := 0; trial < 50; trial++ {
+			a, bv := rng.Uint64(), rng.Uint64()
+			if trial%7 == 0 {
+				bv = 0 // exercise divide-by-zero
+			}
+			b := program.NewBuilder("sem")
+			b.Func("main")
+			b.MoviU(isa.X(1), a)
+			b.MoviU(isa.X(2), bv)
+			b.Op3(c.op, isa.X(3), isa.X(1), isa.X(2))
+			b.Halt()
+			s := NewStream(b.MustBuild())
+			for s.Next() != nil {
+			}
+			if got, want := s.Reg(isa.X(3)), c.eval(a, bv); got != want {
+				t.Fatalf("%v(%#x, %#x) = %#x, want %#x", c.op, a, bv, got, want)
+			}
+		}
+	}
+}
+
+// TestFPSemanticsAgainstGo cross-checks FP opcodes against math ops.
+func TestFPSemanticsAgainstGo(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 66))
+	type fpCase struct {
+		op   isa.Op
+		eval func(a, b float64) float64
+	}
+	cases := []fpCase{
+		{isa.OpFAdd, func(a, b float64) float64 { return a + b }},
+		{isa.OpFSub, func(a, b float64) float64 { return a - b }},
+		{isa.OpFMul, func(a, b float64) float64 { return a * b }},
+		{isa.OpFDiv, func(a, b float64) float64 { return a / b }},
+		{isa.OpFMin, math.Min},
+		{isa.OpFMax, math.Max},
+	}
+	for _, c := range cases {
+		for trial := 0; trial < 40; trial++ {
+			av := int64(rng.IntN(2000) - 1000)
+			bv := int64(rng.IntN(2000) - 999)
+			b := program.NewBuilder("fpsem")
+			b.Func("main")
+			b.Movi(isa.X(1), av)
+			b.Movi(isa.X(2), bv)
+			b.FMovI(isa.F(1), isa.X(1))
+			b.FMovI(isa.F(2), isa.X(2))
+			b.Op3(c.op, isa.F(3), isa.F(1), isa.F(2))
+			b.Halt()
+			s := NewStream(b.MustBuild())
+			for s.Next() != nil {
+			}
+			got := math.Float64frombits(s.Reg(isa.F(3)))
+			want := c.eval(float64(av), float64(bv))
+			if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+				t.Fatalf("%v(%d, %d) = %v, want %v", c.op, av, bv, got, want)
+			}
+		}
+	}
+}
+
+// TestFSqrtAgainstGo checks square-root semantics including negatives.
+func TestFSqrtAgainstGo(t *testing.T) {
+	for _, v := range []int64{0, 1, 4, 81, 1000000, -4} {
+		b := program.NewBuilder("sqrt")
+		b.Func("main")
+		b.Movi(isa.X(1), v)
+		b.FMovI(isa.F(1), isa.X(1))
+		b.FSqrt(isa.F(2), isa.F(1))
+		b.Halt()
+		s := NewStream(b.MustBuild())
+		for s.Next() != nil {
+		}
+		got := math.Float64frombits(s.Reg(isa.F(2)))
+		want := math.Sqrt(float64(v))
+		if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Fatalf("fsqrt(%d) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+// TestMemoryWordSemantics checks aligned-word load/store round trips
+// through the sparse memory.
+func TestMemoryWordSemantics(t *testing.T) {
+	m := NewMemory(nil)
+	rng := rand.New(rand.NewPCG(7, 77))
+	ref := map[uint64]uint64{}
+	for i := 0; i < 2000; i++ {
+		addr := uint64(rng.IntN(1<<16)) &^ 7
+		if rng.IntN(2) == 0 {
+			v := rng.Uint64()
+			m.Store(addr, v)
+			ref[addr] = v
+		} else if got, want := m.Load(addr), ref[addr]; got != want {
+			t.Fatalf("mem[%#x] = %#x, want %#x", addr, got, want)
+		}
+	}
+	// Sub-word addresses alias their containing word.
+	m.Store(0x100, 42)
+	if m.Load(0x103) != 42 || m.Load(0x107) != 42 {
+		t.Errorf("sub-word load does not alias the containing word")
+	}
+}

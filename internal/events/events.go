@@ -1,0 +1,194 @@
+// Package events defines the microarchitectural performance events that
+// TEA tracks, the Performance Signature Vector (PSV) attached to every
+// in-flight instruction, the event sets supported by the evaluated
+// performance-analysis techniques (Table 1 of the paper), and the event
+// hierarchy used to reason about event selection (Figure 3).
+package events
+
+import "strings"
+
+// Event identifies one of the nine performance events TEA captures.
+// Events are named X-Y where X is the commit state the event explains
+// (DR = Drained, ST = Stalled, FL = Flushed) and Y is the event itself.
+type Event uint8
+
+const (
+	// DRL1 is an L1 instruction cache miss (explains Drained).
+	DRL1 Event = iota
+	// DRTLB is an L1 instruction TLB miss (explains Drained).
+	DRTLB
+	// DRSQ is a store stalled at dispatch because the store queue is
+	// full of completed but not yet retired stores (explains Drained).
+	DRSQ
+	// FLMB is a mispredicted branch (explains Flushed).
+	FLMB
+	// FLEX is an instruction that caused an exception or serializing
+	// pipeline flush (explains Flushed).
+	FLEX
+	// FLMO is a memory ordering violation: a load executed before an
+	// older store to the same address (explains Flushed).
+	FLMO
+	// STL1 is an L1 data cache miss (explains Stalled).
+	STL1
+	// STTLB is an L1 data TLB miss (explains Stalled).
+	STTLB
+	// STLLC is a last-level cache miss caused by a load (explains Stalled).
+	STLLC
+
+	// NumEvents is the number of performance events TEA tracks.
+	NumEvents = 9
+)
+
+var eventNames = [NumEvents]string{
+	"DR-L1", "DR-TLB", "DR-SQ", "FL-MB", "FL-EX", "FL-MO",
+	"ST-L1", "ST-TLB", "ST-LLC",
+}
+
+// String returns the paper's name for the event (e.g. "ST-L1").
+func (e Event) String() string {
+	if int(e) < len(eventNames) {
+		return eventNames[e]
+	}
+	return "EV-?"
+}
+
+// Description returns the Table 1 description of the event.
+func (e Event) Description() string {
+	switch e {
+	case DRL1:
+		return "L1 instruction cache miss"
+	case DRTLB:
+		return "L1 instruction TLB miss"
+	case DRSQ:
+		return "Store instruction stalled at dispatch"
+	case FLMB:
+		return "Mispredicted branch"
+	case FLEX:
+		return "Instruction caused exception"
+	case FLMO:
+		return "Memory ordering violation"
+	case STL1:
+		return "L1 data cache miss"
+	case STTLB:
+		return "L1 data TLB miss"
+	case STLLC:
+		return "LLC miss caused by a load instruction"
+	}
+	return "unknown event"
+}
+
+// AllEvents lists every event in canonical (Table 1) order.
+func AllEvents() []Event {
+	evs := make([]Event, NumEvents)
+	for i := range evs {
+		evs[i] = Event(i)
+	}
+	return evs
+}
+
+// PSV is a Performance Signature Vector: one bit per supported
+// performance event, recording the events a dynamic instruction was
+// subjected to during its execution. The zero PSV means the instruction
+// encountered no events; the paper calls this signature "Base".
+type PSV uint16
+
+// Set returns the PSV with the bit for event e set.
+func (p PSV) Set(e Event) PSV { return p | 1<<e }
+
+// Clear returns the PSV with the bit for event e cleared.
+func (p PSV) Clear(e Event) PSV { return p &^ (1 << e) }
+
+// Has reports whether the bit for event e is set.
+func (p PSV) Has(e Event) bool { return p&(1<<e) != 0 }
+
+// Or returns the union of two signature vectors.
+func (p PSV) Or(q PSV) PSV { return p | q }
+
+// Mask restricts the PSV to the events contained in set, modeling a
+// technique that tracks only a subset of the events.
+func (p PSV) Mask(set Set) PSV { return p & PSV(set) }
+
+// Count returns the number of events set in the PSV. A count of two or
+// more is a combined event in the paper's terminology.
+func (p PSV) Count() int {
+	n := 0
+	for v := p; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// IsCombined reports whether the PSV records a combined event, i.e. the
+// instruction was subjected to two or more events.
+func (p PSV) IsCombined() bool { return p.Count() >= 2 }
+
+// Events returns the events set in the PSV in canonical order.
+func (p PSV) Events() []Event {
+	var evs []Event
+	for i := 0; i < NumEvents; i++ {
+		if p.Has(Event(i)) {
+			evs = append(evs, Event(i))
+		}
+	}
+	return evs
+}
+
+// String renders the signature the way the paper labels cycle-stack
+// components: "Base" for the empty signature, the event name for a
+// solitary event, and a parenthesized list for combined events.
+func (p PSV) String() string {
+	evs := p.Events()
+	switch len(evs) {
+	case 0:
+		return "Base"
+	case 1:
+		return evs[0].String()
+	}
+	names := make([]string, len(evs))
+	for i, e := range evs {
+		names[i] = e.String()
+	}
+	return "(" + strings.Join(names, ",") + ")"
+}
+
+// Set is a set of events tracked by a performance-analysis technique,
+// represented as a bit mask in PSV bit order.
+type Set uint16
+
+// NewSet builds an event set from a list of events.
+func NewSet(evs ...Event) Set {
+	var s Set
+	for _, e := range evs {
+		s |= 1 << e
+	}
+	return s
+}
+
+// Has reports whether the set contains event e.
+func (s Set) Has(e Event) bool { return s&(1<<e) != 0 }
+
+// Events returns the members of the set in canonical order.
+func (s Set) Events() []Event { return PSV(s).Events() }
+
+// Size returns the number of events in the set.
+func (s Set) Size() int { return PSV(s).Count() }
+
+// Bits returns the number of PSV bits a technique tracking this set
+// must allocate per instruction.
+func (s Set) Bits() int { return s.Size() }
+
+// Event sets per technique, following Table 1 of the paper. TEA tracks
+// all nine events. IBS and SPE do not capture the DR-SQ dispatch-stall
+// event nor the memory-ordering-violation flush; RIS captures DR-SQ but
+// reports neither memory ordering violations nor LLC misses; SPE lacks
+// the exception flush.
+var (
+	// TEASet is the full nine-event set tracked by TEA.
+	TEASet = NewSet(DRL1, DRTLB, DRSQ, FLMB, FLEX, FLMO, STL1, STTLB, STLLC)
+	// IBSSet approximates the events AMD IBS reports (6 bits).
+	IBSSet = NewSet(DRL1, DRTLB, FLMB, FLEX, STL1, STTLB)
+	// SPESet approximates the events Arm SPE reports (5 bits).
+	SPESet = NewSet(DRL1, DRTLB, FLMB, STL1, STTLB)
+	// RISSet approximates the events IBM RIS reports (7 bits).
+	RISSet = NewSet(DRL1, DRTLB, DRSQ, FLMB, FLEX, STL1, STTLB)
+)

@@ -1,0 +1,284 @@
+package events
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventNames(t *testing.T) {
+	want := map[Event]string{
+		DRL1: "DR-L1", DRTLB: "DR-TLB", DRSQ: "DR-SQ",
+		FLMB: "FL-MB", FLEX: "FL-EX", FLMO: "FL-MO",
+		STL1: "ST-L1", STTLB: "ST-TLB", STLLC: "ST-LLC",
+	}
+	for e, name := range want {
+		if e.String() != name {
+			t.Errorf("event %d: got %q, want %q", e, e.String(), name)
+		}
+	}
+	if Event(200).String() != "EV-?" {
+		t.Errorf("out-of-range event name = %q", Event(200).String())
+	}
+}
+
+func TestEventDescriptionsNonEmpty(t *testing.T) {
+	for _, e := range AllEvents() {
+		if e.Description() == "" || e.Description() == "unknown event" {
+			t.Errorf("event %s has no description", e)
+		}
+	}
+	if Event(99).Description() != "unknown event" {
+		t.Errorf("unexpected description for invalid event")
+	}
+}
+
+func TestAllEventsCountAndOrder(t *testing.T) {
+	evs := AllEvents()
+	if len(evs) != NumEvents {
+		t.Fatalf("AllEvents returned %d events, want %d", len(evs), NumEvents)
+	}
+	for i, e := range evs {
+		if int(e) != i {
+			t.Errorf("AllEvents[%d] = %v, want event %d", i, e, i)
+		}
+	}
+}
+
+func TestPSVSetHasClear(t *testing.T) {
+	var p PSV
+	p = p.Set(STL1).Set(STTLB)
+	if !p.Has(STL1) || !p.Has(STTLB) {
+		t.Fatalf("expected ST-L1 and ST-TLB set in %v", p)
+	}
+	if p.Has(FLMB) {
+		t.Fatalf("FL-MB unexpectedly set")
+	}
+	p = p.Clear(STL1)
+	if p.Has(STL1) {
+		t.Fatalf("ST-L1 still set after Clear")
+	}
+	if !p.Has(STTLB) {
+		t.Fatalf("Clear removed unrelated bit")
+	}
+}
+
+func TestPSVCountAndCombined(t *testing.T) {
+	var p PSV
+	if p.Count() != 0 || p.IsCombined() {
+		t.Fatalf("zero PSV should have count 0 and not be combined")
+	}
+	p = p.Set(STL1)
+	if p.Count() != 1 || p.IsCombined() {
+		t.Fatalf("single-event PSV misclassified: count=%d", p.Count())
+	}
+	p = p.Set(STLLC).Set(STTLB)
+	if p.Count() != 3 || !p.IsCombined() {
+		t.Fatalf("triple-event PSV misclassified: count=%d", p.Count())
+	}
+}
+
+func TestPSVString(t *testing.T) {
+	if s := PSV(0).String(); s != "Base" {
+		t.Errorf("empty PSV String = %q, want Base", s)
+	}
+	if s := PSV(0).Set(FLMB).String(); s != "FL-MB" {
+		t.Errorf("solitary PSV String = %q, want FL-MB", s)
+	}
+	combined := PSV(0).Set(STL1).Set(STTLB)
+	if s := combined.String(); s != "(ST-L1,ST-TLB)" {
+		t.Errorf("combined PSV String = %q, want (ST-L1,ST-TLB)", s)
+	}
+}
+
+func TestPSVMask(t *testing.T) {
+	full := PSV(0).Set(DRSQ).Set(FLMO).Set(STL1)
+	masked := full.Mask(IBSSet)
+	if masked.Has(DRSQ) || masked.Has(FLMO) {
+		t.Errorf("IBS mask retained events IBS does not support: %v", masked)
+	}
+	if !masked.Has(STL1) {
+		t.Errorf("IBS mask dropped supported event ST-L1")
+	}
+}
+
+func TestPSVEventsRoundTrip(t *testing.T) {
+	f := func(raw uint16) bool {
+		p := PSV(raw) & PSV(TEASet) // restrict to valid bits
+		var rebuilt PSV
+		for _, e := range p.Events() {
+			rebuilt = rebuilt.Set(e)
+		}
+		return rebuilt == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPSVOrIsUnion(t *testing.T) {
+	f := func(a, b uint16) bool {
+		pa, pb := PSV(a)&PSV(TEASet), PSV(b)&PSV(TEASet)
+		u := pa.Or(pb)
+		for _, e := range AllEvents() {
+			if u.Has(e) != (pa.Has(e) || pb.Has(e)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPSVCountMatchesEventsLen(t *testing.T) {
+	f := func(raw uint16) bool {
+		p := PSV(raw) & PSV(TEASet)
+		return p.Count() == len(p.Events())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTable1EventSets(t *testing.T) {
+	if TEASet.Size() != 9 {
+		t.Errorf("TEA tracks %d events, want 9", TEASet.Size())
+	}
+	if IBSSet.Size() != 6 {
+		t.Errorf("IBS tracks %d events, want 6", IBSSet.Size())
+	}
+	if SPESet.Size() != 5 {
+		t.Errorf("SPE tracks %d events, want 5", SPESet.Size())
+	}
+	if RISSet.Size() != 7 {
+		t.Errorf("RIS tracks %d events, want 7", RISSet.Size())
+	}
+	// Per Section 3, the front-end tagging techniques need about one
+	// byte of PSV storage (6, 5, and 7 bits).
+	if IBSSet.Bits() != 6 || SPESet.Bits() != 5 || RISSet.Bits() != 7 {
+		t.Errorf("PSV bit widths: IBS=%d SPE=%d RIS=%d, want 6/5/7",
+			IBSSet.Bits(), SPESet.Bits(), RISSet.Bits())
+	}
+	// Every technique's event set is a subset of TEA's.
+	for _, set := range []Set{IBSSet, SPESet, RISSet} {
+		for _, e := range set.Events() {
+			if !TEASet.Has(e) {
+				t.Errorf("event %s not in TEA's set", e)
+			}
+		}
+	}
+}
+
+func TestSetHasMatchesEvents(t *testing.T) {
+	for _, set := range []Set{TEASet, IBSSet, SPESet, RISSet} {
+		seen := map[Event]bool{}
+		for _, e := range set.Events() {
+			seen[e] = true
+		}
+		for _, e := range AllEvents() {
+			if set.Has(e) != seen[e] {
+				t.Errorf("set %v: Has(%s)=%v but membership=%v", set, e, set.Has(e), seen[e])
+			}
+		}
+	}
+}
+
+func TestStateOf(t *testing.T) {
+	want := map[Event]CommitState{
+		DRL1: Drained, DRTLB: Drained, DRSQ: Drained,
+		STL1: Stalled, STTLB: Stalled, STLLC: Stalled,
+		FLMB: Flushed, FLEX: Flushed, FLMO: Flushed,
+	}
+	for e, s := range want {
+		if StateOf(e) != s {
+			t.Errorf("StateOf(%s) = %v, want %v", e, StateOf(e), s)
+		}
+	}
+}
+
+func TestEventsForPartitionsEvents(t *testing.T) {
+	total := 0
+	for _, s := range []CommitState{Stalled, Drained, Flushed} {
+		evs := EventsFor(s)
+		total += len(evs)
+		for _, e := range evs {
+			if StateOf(e) != s {
+				t.Errorf("EventsFor(%v) contains %s which maps to %v", s, e, StateOf(e))
+			}
+		}
+	}
+	if total != NumEvents {
+		t.Errorf("commit states partition %d events, want %d", total, NumEvents)
+	}
+	if len(EventsFor(Compute)) != 0 {
+		t.Errorf("Compute state should have no explaining events")
+	}
+}
+
+func TestCommitStateString(t *testing.T) {
+	names := map[CommitState]string{
+		Compute: "Compute", Stalled: "Stalled", Drained: "Drained", Flushed: "Flushed",
+	}
+	for s, n := range names {
+		if s.String() != n {
+			t.Errorf("state %d String = %q, want %q", s, s.String(), n)
+		}
+	}
+	if CommitState(99).String() != "State?" {
+		t.Errorf("invalid state String = %q", CommitState(99).String())
+	}
+}
+
+func TestHierarchyStalled(t *testing.T) {
+	h := Hierarchy(Stalled)
+	if !h.IsRoot || h.Root != Stalled {
+		t.Fatalf("hierarchy root malformed: %+v", h)
+	}
+	// Level 2: ST-L1 and ST-TLB independent; ST-LLC depends on ST-L1.
+	var l1 *HierarchyNode
+	for _, c := range h.Children {
+		if c.Event == STL1 {
+			l1 = c
+		}
+	}
+	if l1 == nil {
+		t.Fatalf("ST-L1 missing from Stalled hierarchy level 2")
+	}
+	if len(l1.Children) != 1 || l1.Children[0].Event != STLLC {
+		t.Fatalf("ST-LLC should be the dependent child of ST-L1")
+	}
+}
+
+func TestHierarchyCoversAllEvents(t *testing.T) {
+	seen := map[Event]bool{}
+	for _, s := range []CommitState{Stalled, Drained, Flushed} {
+		Hierarchy(s).Walk(func(n *HierarchyNode) {
+			if !n.IsRoot {
+				seen[n.Event] = true
+			}
+		})
+	}
+	for _, e := range AllEvents() {
+		if !seen[e] {
+			t.Errorf("event %s missing from hierarchies", e)
+		}
+	}
+}
+
+func TestDependsOnAndRootOf(t *testing.T) {
+	if !DependsOn(STLLC, STL1) {
+		t.Errorf("ST-LLC should depend on ST-L1")
+	}
+	if DependsOn(STL1, STLLC) || DependsOn(STTLB, STL1) {
+		t.Errorf("unexpected dependency reported")
+	}
+	if RootOf(STLLC) != STL1 {
+		t.Errorf("RootOf(ST-LLC) = %v, want ST-L1", RootOf(STLLC))
+	}
+	for _, e := range []Event{DRL1, DRTLB, DRSQ, FLMB, FLEX, FLMO, STL1, STTLB} {
+		if RootOf(e) != e {
+			t.Errorf("RootOf(%s) = %v, want itself", e, RootOf(e))
+		}
+	}
+}

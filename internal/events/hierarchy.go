@@ -1,0 +1,122 @@
+package events
+
+// CommitState classifies the commit stage of the core in a given cycle.
+// The three non-compute states are the ones PICS must explain by
+// mapping them back to performance events (Section 2 of the paper).
+type CommitState uint8
+
+const (
+	// Compute: the core is committing one or more instructions.
+	Compute CommitState = iota
+	// Stalled: the ROB-head instruction has not finished executing.
+	Stalled
+	// Drained: the ROB is empty because of a front-end stall.
+	Drained
+	// Flushed: the ROB is empty because an instruction flushed the
+	// pipeline (mispredicted branch, exception, ordering violation).
+	Flushed
+
+	// NumCommitStates is the number of commit states.
+	NumCommitStates = 4
+)
+
+var stateNames = [NumCommitStates]string{"Compute", "Stalled", "Drained", "Flushed"}
+
+// String returns the paper's name for the commit state.
+func (s CommitState) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return "State?"
+}
+
+// StateOf returns the commit state an event explains, following the
+// DR-/ST-/FL- naming convention of Table 1.
+func StateOf(e Event) CommitState {
+	switch e {
+	case DRL1, DRTLB, DRSQ:
+		return Drained
+	case STL1, STTLB, STLLC:
+		return Stalled
+	case FLMB, FLEX, FLMO:
+		return Flushed
+	}
+	return Compute
+}
+
+// EventsFor returns the events that explain a given non-compute commit
+// state, in canonical order.
+func EventsFor(s CommitState) []Event {
+	var evs []Event
+	for _, e := range AllEvents() {
+		if StateOf(e) == s {
+			evs = append(evs, e)
+		}
+	}
+	return evs
+}
+
+// HierarchyNode is one node of a performance-event hierarchy (Figure 3).
+// Dependent events can only occur if their parent event occurred (a
+// load can only miss in the LLC if it already missed in L1); independent
+// events are siblings under the same commit state.
+type HierarchyNode struct {
+	// Event is the event at this node. The root node of a commit-state
+	// hierarchy has no event and Root set instead.
+	Event Event
+	// Root names the commit state for the hierarchy root.
+	Root CommitState
+	// IsRoot reports whether this node is the commit-state root.
+	IsRoot bool
+	// Children are the dependent events of this node.
+	Children []*HierarchyNode
+}
+
+// Hierarchy returns the event hierarchy for a commit state. For the
+// Stalled state this is the Figure 3 hierarchy: the L1 data cache miss
+// and L1 data TLB miss are independent Level-2 events, and the LLC miss
+// depends on the L1 miss.
+func Hierarchy(s CommitState) *HierarchyNode {
+	root := &HierarchyNode{Root: s, IsRoot: true}
+	switch s {
+	case Stalled:
+		l1 := &HierarchyNode{Event: STL1}
+		l1.Children = []*HierarchyNode{{Event: STLLC}}
+		tlb := &HierarchyNode{Event: STTLB}
+		root.Children = []*HierarchyNode{l1, tlb}
+	case Drained:
+		root.Children = []*HierarchyNode{
+			{Event: DRL1}, {Event: DRTLB}, {Event: DRSQ},
+		}
+	case Flushed:
+		root.Children = []*HierarchyNode{
+			{Event: FLMB}, {Event: FLEX}, {Event: FLMO},
+		}
+	}
+	return root
+}
+
+// DependsOn reports whether event e can only occur after event parent
+// occurred for the same instruction (a dependent event in the paper's
+// terminology). Only ST-LLC depends on ST-L1 in TEA's event set.
+func DependsOn(e, parent Event) bool {
+	return e == STLLC && parent == STL1
+}
+
+// RootOf returns the root event of e's dependency chain. Capturing a
+// dependent event without its root loses interpretability (Section 3):
+// if only LLC misses were captured, LLC hits could not be identified.
+func RootOf(e Event) Event {
+	if e == STLLC {
+		return STL1
+	}
+	return e
+}
+
+// Walk visits every node of the hierarchy in depth-first order.
+func (n *HierarchyNode) Walk(visit func(*HierarchyNode)) {
+	visit(n)
+	for _, c := range n.Children {
+		c.Walk(visit)
+	}
+}

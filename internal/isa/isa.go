@@ -1,0 +1,304 @@
+// Package isa defines the instruction set executed by the simulated
+// out-of-order core: a small RISC-style 64-bit ISA with integer and
+// floating-point arithmetic, loads, stores, branches, a software
+// prefetch instruction, and a serializing CSR-flush instruction that
+// models RISC-V fsflags/frflags (which always flush the pipeline on the
+// BOOM core, Section 6 of the paper).
+package isa
+
+import "fmt"
+
+// Reg identifies an architectural register. Registers 0..31 are the
+// integer registers X0..X31 (X0 is hardwired to zero); registers 32..63
+// are the floating-point registers F0..F31.
+type Reg uint8
+
+const (
+	// NumIntRegs is the number of integer registers.
+	NumIntRegs = 32
+	// NumFPRegs is the number of floating-point registers.
+	NumFPRegs = 32
+	// NumRegs is the total architectural register count.
+	NumRegs = NumIntRegs + NumFPRegs
+	// RegZero is the hardwired-zero integer register X0.
+	RegZero Reg = 0
+	// NoReg marks an absent register operand.
+	NoReg Reg = 255
+)
+
+// X returns the n'th integer register.
+func X(n int) Reg {
+	if n < 0 || n >= NumIntRegs {
+		panic(fmt.Sprintf("isa: integer register X%d out of range", n))
+	}
+	return Reg(n)
+}
+
+// F returns the n'th floating-point register.
+func F(n int) Reg {
+	if n < 0 || n >= NumFPRegs {
+		panic(fmt.Sprintf("isa: fp register F%d out of range", n))
+	}
+	return Reg(NumIntRegs + n)
+}
+
+// IsFP reports whether r is a floating-point register.
+func (r Reg) IsFP() bool { return r != NoReg && r >= NumIntRegs }
+
+// String returns the assembly name of the register.
+func (r Reg) String() string {
+	switch {
+	case r == NoReg:
+		return "-"
+	case r.IsFP():
+		return fmt.Sprintf("f%d", r-NumIntRegs)
+	default:
+		return fmt.Sprintf("x%d", r)
+	}
+}
+
+// Op is an instruction opcode.
+type Op uint8
+
+const (
+	// OpNop does nothing.
+	OpNop Op = iota
+
+	// Integer ALU operations: rd = rs1 OP rs2 (or imm).
+	OpAdd  // rd = rs1 + rs2
+	OpSub  // rd = rs1 - rs2
+	OpMul  // rd = rs1 * rs2
+	OpDiv  // rd = rs1 / rs2 (0 if rs2 == 0)
+	OpRem  // rd = rs1 % rs2 (0 if rs2 == 0)
+	OpAnd  // rd = rs1 & rs2
+	OpOr   // rd = rs1 | rs2
+	OpXor  // rd = rs1 ^ rs2
+	OpShl  // rd = rs1 << (rs2 & 63)
+	OpShr  // rd = rs1 >> (rs2 & 63) (logical)
+	OpAddi // rd = rs1 + imm
+	OpAndi // rd = rs1 & imm
+	OpShli // rd = rs1 << (imm & 63)
+	OpShri // rd = rs1 >> (imm & 63)
+	OpMovi // rd = imm
+	OpSlt  // rd = 1 if rs1 < rs2 else 0 (signed)
+
+	// Floating-point operations on F registers.
+	OpFAdd   // fd = fs1 + fs2
+	OpFSub   // fd = fs1 - fs2
+	OpFMul   // fd = fs1 * fs2
+	OpFDiv   // fd = fs1 / fs2
+	OpFSqrt  // fd = sqrt(fs1)
+	OpFNeg   // fd = -fs1
+	OpFMin   // fd = min(fs1, fs2)
+	OpFMax   // fd = max(fs1, fs2)
+	OpFCmpLT // rd(int) = 1 if fs1 < fs2 else 0 (models flt.d)
+	OpFMovI  // fd = float64(rs1): int-to-fp move/convert
+	OpIMovF  // rd = int64(fs1): fp-to-int move/convert
+
+	// Memory operations. Effective address = rs1 + imm.
+	OpLoad     // rd(int) = mem[rs1+imm]
+	OpLoadF    // fd = mem[rs1+imm] interpreted as float64
+	OpStore    // mem[rs1+imm] = rs2(int)
+	OpStoreF   // mem[rs1+imm] = fs2
+	OpPrefetch // prefetch mem[rs1+imm] into the data caches (no rd)
+
+	// Control flow. Branch targets are static-instruction indices
+	// resolved by the program builder.
+	OpBeq  // branch if rs1 == rs2
+	OpBne  // branch if rs1 != rs2
+	OpBlt  // branch if rs1 < rs2 (signed)
+	OpBge  // branch if rs1 >= rs2 (signed)
+	OpJmp  // unconditional jump
+	OpCall // call: rd = return address, jump to Target
+	OpRet  // return: indirect jump to rs1
+
+	// OpCsrFlush is a serializing CSR access that always flushes the
+	// pipeline when it commits, modeling the RISC-V fsflags/frflags
+	// instructions the compiler inserts for IEEE 754 compliance (the
+	// nab case study, Section 6).
+	OpCsrFlush
+
+	// OpHalt ends the program.
+	OpHalt
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	OpNop: "nop",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpRem: "rem",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl", OpShr: "shr",
+	OpAddi: "addi", OpAndi: "andi", OpShli: "shli", OpShri: "shri",
+	OpMovi: "movi", OpSlt: "slt",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFDiv: "fdiv",
+	OpFSqrt: "fsqrt", OpFNeg: "fneg", OpFMin: "fmin", OpFMax: "fmax",
+	OpFCmpLT: "flt", OpFMovI: "fmvi", OpIMovF: "imvf",
+	OpLoad: "ld", OpLoadF: "fld", OpStore: "sd", OpStoreF: "fsd",
+	OpPrefetch: "prefetch",
+	OpBeq:      "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge", OpJmp: "jmp",
+	OpCall: "call", OpRet: "ret",
+	OpCsrFlush: "csrflush",
+	OpHalt:     "halt",
+}
+
+// String returns the mnemonic of the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op%d", o)
+}
+
+// Class groups opcodes by the functional unit that executes them.
+type Class uint8
+
+const (
+	// ClassALU is simple integer arithmetic and logic.
+	ClassALU Class = iota
+	// ClassMulDiv is integer multiply/divide.
+	ClassMulDiv
+	// ClassFP is pipelined floating-point arithmetic.
+	ClassFP
+	// ClassFPDiv is unpipelined FP divide/sqrt.
+	ClassFPDiv
+	// ClassLoad is loads and software prefetches.
+	ClassLoad
+	// ClassStore is stores.
+	ClassStore
+	// ClassBranch is branches and jumps.
+	ClassBranch
+	// ClassSystem is serializing system instructions and halt.
+	ClassSystem
+)
+
+// ClassOf returns the functional-unit class of an opcode.
+func ClassOf(o Op) Class {
+	switch o {
+	case OpMul, OpDiv, OpRem:
+		return ClassMulDiv
+	case OpFAdd, OpFSub, OpFMul, OpFNeg, OpFMin, OpFMax, OpFCmpLT, OpFMovI, OpIMovF:
+		return ClassFP
+	case OpFDiv, OpFSqrt:
+		return ClassFPDiv
+	case OpLoad, OpLoadF, OpPrefetch:
+		return ClassLoad
+	case OpStore, OpStoreF:
+		return ClassStore
+	case OpBeq, OpBne, OpBlt, OpBge, OpJmp, OpCall, OpRet:
+		return ClassBranch
+	case OpCsrFlush, OpHalt:
+		return ClassSystem
+	}
+	return ClassALU
+}
+
+// IsBranch reports whether the opcode is a control-flow instruction.
+func IsBranch(o Op) bool { return ClassOf(o) == ClassBranch }
+
+// IsCondBranch reports whether the opcode is a conditional branch.
+func IsCondBranch(o Op) bool {
+	switch o {
+	case OpBeq, OpBne, OpBlt, OpBge:
+		return true
+	}
+	return false
+}
+
+// IsLoad reports whether the opcode reads data memory into a register.
+func IsLoad(o Op) bool { return o == OpLoad || o == OpLoadF }
+
+// IsStore reports whether the opcode writes data memory.
+func IsStore(o Op) bool { return o == OpStore || o == OpStoreF }
+
+// IsMem reports whether the opcode accesses data memory (including
+// software prefetches, which occupy load/store resources).
+func IsMem(o Op) bool { return IsLoad(o) || IsStore(o) || o == OpPrefetch }
+
+// IsSerializing reports whether the opcode must execute alone in the
+// pipeline and flushes it at commit.
+func IsSerializing(o Op) bool { return o == OpCsrFlush }
+
+// Inst is one static instruction. Instructions are 4 bytes; the PC of
+// static instruction i in a program is CodeBase + 4*i.
+type Inst struct {
+	Op  Op
+	Rd  Reg   // destination (NoReg if none)
+	Rs1 Reg   // first source (NoReg if none)
+	Rs2 Reg   // second source / store data (NoReg if none)
+	Imm int64 // immediate / address offset
+	// Target is the static-instruction index a branch or jump targets.
+	Target int
+	// Label optionally names the instruction (branch-target labels and
+	// function entry points preserved for symbolization).
+	Label string
+}
+
+// InstBytes is the size of one encoded instruction in bytes.
+const InstBytes = 4
+
+// CodeBase is the virtual address of static instruction 0.
+const CodeBase uint64 = 0x0001_0000
+
+// PCOf returns the virtual address of static instruction index.
+func PCOf(index int) uint64 { return CodeBase + uint64(index)*InstBytes }
+
+// IndexOf returns the static-instruction index of a code address.
+func IndexOf(pc uint64) int { return int((pc - CodeBase) / InstBytes) }
+
+// Dests returns the destination register of the instruction, or NoReg.
+func (in *Inst) Dests() Reg {
+	if in.Op == OpCall {
+		return in.Rd // the link register
+	}
+	if in.Op == OpStore || in.Op == OpStoreF || in.Op == OpPrefetch ||
+		IsBranch(in.Op) || in.Op == OpNop || in.Op == OpHalt || in.Op == OpCsrFlush {
+		return NoReg
+	}
+	return in.Rd
+}
+
+// Sources returns the source registers the instruction reads (NoReg
+// entries mean "fewer than two sources").
+func (in *Inst) Sources() (Reg, Reg) {
+	switch in.Op {
+	case OpNop, OpHalt, OpCsrFlush, OpMovi, OpJmp, OpCall:
+		return NoReg, NoReg
+	case OpAddi, OpAndi, OpShli, OpShri, OpLoad, OpLoadF, OpPrefetch,
+		OpFSqrt, OpFNeg, OpFMovI, OpIMovF, OpRet:
+		return in.Rs1, NoReg
+	default:
+		return in.Rs1, in.Rs2
+	}
+}
+
+// String disassembles the instruction.
+func (in *Inst) String() string {
+	switch in.Op {
+	case OpNop, OpHalt, OpCsrFlush:
+		return in.Op.String()
+	case OpMovi:
+		return fmt.Sprintf("%s %s, %d", in.Op, in.Rd, in.Imm)
+	case OpAddi, OpAndi, OpShli, OpShri:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	case OpLoad, OpLoadF:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rd, in.Imm, in.Rs1)
+	case OpStore, OpStoreF:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rs2, in.Imm, in.Rs1)
+	case OpPrefetch:
+		return fmt.Sprintf("%s %d(%s)", in.Op, in.Imm, in.Rs1)
+	case OpBeq, OpBne, OpBlt, OpBge:
+		return fmt.Sprintf("%s %s, %s, @%d", in.Op, in.Rs1, in.Rs2, in.Target)
+	case OpJmp:
+		return fmt.Sprintf("%s @%d", in.Op, in.Target)
+	case OpCall:
+		return fmt.Sprintf("%s %s, @%d", in.Op, in.Rd, in.Target)
+	case OpRet:
+		return fmt.Sprintf("%s %s", in.Op, in.Rs1)
+	case OpFSqrt, OpFNeg:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Rd, in.Rs1)
+	case OpFMovI, OpIMovF:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Rd, in.Rs1)
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Rs1, in.Rs2)
+	}
+}

@@ -1,0 +1,171 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegisterConstructors(t *testing.T) {
+	if X(0) != RegZero {
+		t.Errorf("X(0) != RegZero")
+	}
+	if X(5).IsFP() {
+		t.Errorf("X(5) classified as FP")
+	}
+	if !F(0).IsFP() {
+		t.Errorf("F(0) not classified as FP")
+	}
+	if F(31) != Reg(63) {
+		t.Errorf("F(31) = %d, want 63", F(31))
+	}
+	if X(7).String() != "x7" || F(3).String() != "f3" || NoReg.String() != "-" {
+		t.Errorf("register names wrong: %s %s %s", X(7), F(3), NoReg)
+	}
+}
+
+func TestRegisterConstructorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { X(-1) }, func() { X(32) }, func() { F(-1) }, func() { F(32) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for out-of-range register")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestOpStringsUnique(t *testing.T) {
+	seen := map[string]Op{}
+	for o := Op(0); o < numOps; o++ {
+		name := o.String()
+		if name == "" || strings.HasPrefix(name, "op") {
+			t.Errorf("op %d has no mnemonic", o)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("ops %d and %d share mnemonic %q", prev, o, name)
+		}
+		seen[name] = o
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	want := map[Op]Class{
+		OpAdd: ClassALU, OpAddi: ClassALU, OpMovi: ClassALU, OpSlt: ClassALU,
+		OpMul: ClassMulDiv, OpDiv: ClassMulDiv, OpRem: ClassMulDiv,
+		OpFAdd: ClassFP, OpFCmpLT: ClassFP, OpFMovI: ClassFP,
+		OpFDiv: ClassFPDiv, OpFSqrt: ClassFPDiv,
+		OpLoad: ClassLoad, OpLoadF: ClassLoad, OpPrefetch: ClassLoad,
+		OpStore: ClassStore, OpStoreF: ClassStore,
+		OpBeq: ClassBranch, OpJmp: ClassBranch,
+		OpCsrFlush: ClassSystem, OpHalt: ClassSystem,
+	}
+	for o, c := range want {
+		if ClassOf(o) != c {
+			t.Errorf("ClassOf(%s) = %v, want %v", o, ClassOf(o), c)
+		}
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !IsBranch(OpJmp) || !IsBranch(OpBeq) || IsBranch(OpAdd) {
+		t.Errorf("IsBranch misclassifies")
+	}
+	if !IsCondBranch(OpBlt) || IsCondBranch(OpJmp) {
+		t.Errorf("IsCondBranch misclassifies")
+	}
+	if !IsLoad(OpLoad) || !IsLoad(OpLoadF) || IsLoad(OpPrefetch) || IsLoad(OpStore) {
+		t.Errorf("IsLoad misclassifies")
+	}
+	if !IsStore(OpStore) || !IsStore(OpStoreF) || IsStore(OpLoad) {
+		t.Errorf("IsStore misclassifies")
+	}
+	if !IsMem(OpPrefetch) || !IsMem(OpLoad) || !IsMem(OpStoreF) || IsMem(OpAdd) {
+		t.Errorf("IsMem misclassifies")
+	}
+	if !IsSerializing(OpCsrFlush) || IsSerializing(OpHalt) {
+		t.Errorf("IsSerializing misclassifies")
+	}
+}
+
+func TestPCIndexRoundTrip(t *testing.T) {
+	for _, idx := range []int{0, 1, 17, 100000} {
+		if got := IndexOf(PCOf(idx)); got != idx {
+			t.Errorf("IndexOf(PCOf(%d)) = %d", idx, got)
+		}
+	}
+	if PCOf(1)-PCOf(0) != InstBytes {
+		t.Errorf("instructions are not %d bytes apart", InstBytes)
+	}
+}
+
+func TestDests(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want Reg
+	}{
+		{Inst{Op: OpAdd, Rd: X(3), Rs1: X(1), Rs2: X(2)}, X(3)},
+		{Inst{Op: OpLoad, Rd: X(4), Rs1: X(1)}, X(4)},
+		{Inst{Op: OpStore, Rs1: X(1), Rs2: X(2)}, NoReg},
+		{Inst{Op: OpPrefetch, Rs1: X(1)}, NoReg},
+		{Inst{Op: OpBeq, Rs1: X(1), Rs2: X(2)}, NoReg},
+		{Inst{Op: OpCsrFlush}, NoReg},
+		{Inst{Op: OpHalt}, NoReg},
+		{Inst{Op: OpFSqrt, Rd: F(1), Rs1: F(2)}, F(1)},
+	}
+	for _, c := range cases {
+		if got := c.in.Dests(); got != c.want {
+			t.Errorf("%s: Dests = %v, want %v", c.in.String(), got, c.want)
+		}
+	}
+}
+
+func TestSources(t *testing.T) {
+	add := Inst{Op: OpAdd, Rd: X(3), Rs1: X(1), Rs2: X(2)}
+	if s1, s2 := add.Sources(); s1 != X(1) || s2 != X(2) {
+		t.Errorf("add sources = %v,%v", s1, s2)
+	}
+	movi := Inst{Op: OpMovi, Rd: X(3), Imm: 7}
+	if s1, s2 := movi.Sources(); s1 != NoReg || s2 != NoReg {
+		t.Errorf("movi sources = %v,%v", s1, s2)
+	}
+	ld := Inst{Op: OpLoad, Rd: X(3), Rs1: X(1)}
+	if s1, s2 := ld.Sources(); s1 != X(1) || s2 != NoReg {
+		t.Errorf("load sources = %v,%v", s1, s2)
+	}
+	st := Inst{Op: OpStore, Rs1: X(1), Rs2: X(2)}
+	if s1, s2 := st.Sources(); s1 != X(1) || s2 != X(2) {
+		t.Errorf("store sources = %v,%v", s1, s2)
+	}
+	sqrt := Inst{Op: OpFSqrt, Rd: F(0), Rs1: F(1)}
+	if s1, s2 := sqrt.Sources(); s1 != F(1) || s2 != NoReg {
+		t.Errorf("fsqrt sources = %v,%v", s1, s2)
+	}
+}
+
+func TestDisassembly(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpAdd, Rd: X(3), Rs1: X(1), Rs2: X(2)}, "add x3, x1, x2"},
+		{Inst{Op: OpMovi, Rd: X(3), Imm: -4}, "movi x3, -4"},
+		{Inst{Op: OpAddi, Rd: X(3), Rs1: X(1), Imm: 8}, "addi x3, x1, 8"},
+		{Inst{Op: OpLoad, Rd: X(4), Rs1: X(5), Imm: 16}, "ld x4, 16(x5)"},
+		{Inst{Op: OpStore, Rs1: X(5), Rs2: X(6), Imm: 24}, "sd x6, 24(x5)"},
+		{Inst{Op: OpPrefetch, Rs1: X(5), Imm: 64}, "prefetch 64(x5)"},
+		{Inst{Op: OpBne, Rs1: X(1), Rs2: X(2), Target: 7}, "bne x1, x2, @7"},
+		{Inst{Op: OpJmp, Target: 3}, "jmp @3"},
+		{Inst{Op: OpFSqrt, Rd: F(1), Rs1: F(2)}, "fsqrt f1, f2"},
+		{Inst{Op: OpCsrFlush}, "csrflush"},
+		{Inst{Op: OpHalt}, "halt"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("disasm = %q, want %q", got, c.want)
+		}
+	}
+}

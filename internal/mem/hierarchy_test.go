@@ -1,0 +1,198 @@
+package mem
+
+import "testing"
+
+func TestDRAMBandwidthSpacing(t *testing.T) {
+	d := NewDRAM(DRAMConfig{Latency: 90, CyclesPerLine: 13})
+	r1 := d.Read(100)
+	r2 := d.Read(100)
+	r3 := d.Read(100)
+	if r1 != 190 {
+		t.Errorf("first read done = %d, want 190", r1)
+	}
+	if r2 != 190+13 || r3 != 190+26 {
+		t.Errorf("back-to-back reads not spaced by bandwidth: %d %d", r2, r3)
+	}
+	// A late request sees no queueing.
+	if r := d.Read(10_000); r != 10_090 {
+		t.Errorf("idle read done = %d, want 10090", r)
+	}
+}
+
+func TestDRAMWritesConsumeBandwidth(t *testing.T) {
+	d := NewDRAM(DRAMConfig{Latency: 90, CyclesPerLine: 13})
+	d.Write(100)
+	if got := d.Read(100); got != 113+90 {
+		t.Errorf("read after write done = %d, want 203", got)
+	}
+	if d.Writes != 1 || d.Reads != 1 {
+		t.Errorf("counters: writes=%d reads=%d", d.Writes, d.Reads)
+	}
+}
+
+func TestDRAMQueueDelay(t *testing.T) {
+	d := NewDRAM(DRAMConfig{Latency: 90, CyclesPerLine: 13})
+	if d.QueueDelay(50) != 0 {
+		t.Errorf("idle DRAM should have zero queue delay")
+	}
+	d.Read(100)
+	if got := d.QueueDelay(100); got != 13 {
+		t.Errorf("queue delay = %d, want 13", got)
+	}
+}
+
+func TestHierarchyDataLatencyChain(t *testing.T) {
+	cfg := DefaultConfig()
+	h := NewHierarchy(cfg)
+	addr := uint64(0x100000)
+
+	// Cold access: L1 miss + LLC miss -> DRAM.
+	miss, tdone := h.TranslateData(addr, 0)
+	if !miss {
+		t.Fatalf("cold D-TLB lookup should miss")
+	}
+	r := h.Data(addr, tdone, false)
+	if !r.L1Miss || !r.LLCMiss {
+		t.Fatalf("cold data access should miss L1 and LLC: %+v", r)
+	}
+	wantMin := tdone + cfg.L1D.HitLatency + cfg.LLC.HitLatency + cfg.DRAM.Latency
+	if r.Done < wantMin {
+		t.Errorf("cold access Done = %d, want >= %d", r.Done, wantMin)
+	}
+
+	// Warm access: L1 hit.
+	miss, tdone = h.TranslateData(addr, 10_000)
+	if miss {
+		t.Fatalf("warm D-TLB lookup should hit")
+	}
+	r = h.Data(addr, tdone, false)
+	if r.L1Miss || r.LLCMiss {
+		t.Fatalf("warm access should hit L1: %+v", r)
+	}
+	if r.Done != tdone+cfg.L1D.HitLatency {
+		t.Errorf("L1 hit Done = %d, want %d", r.Done, tdone+cfg.L1D.HitLatency)
+	}
+}
+
+func TestHierarchyLLCHitAfterL1Evict(t *testing.T) {
+	cfg := DefaultConfig()
+	h := NewHierarchy(cfg)
+	addr := uint64(0x200000)
+	h.TranslateData(addr, 0)
+	h.Data(addr, 0, false)
+
+	// Evict addr from L1 by filling its set (8 ways + the line itself:
+	// touch 8 conflicting lines), but keep it in the 16-way LLC.
+	l1sets := uint64(cfg.L1D.Sets())
+	for i := uint64(1); i <= 8; i++ {
+		conflict := addr + i*l1sets*uint64(cfg.L1D.LineBytes)
+		h.TranslateData(conflict, 100_000+i*1000)
+		h.Data(conflict, 100_000+i*1000, false)
+	}
+	if h.Contains(addr) {
+		t.Fatalf("line still in L1 after conflict sweep")
+	}
+	r := h.Data(addr, 500_000, false)
+	if !r.L1Miss {
+		t.Fatalf("expected L1 miss after eviction")
+	}
+	if r.LLCMiss {
+		t.Fatalf("expected LLC hit for recently used line")
+	}
+	want := uint64(500_000) + cfg.L1D.HitLatency + cfg.LLC.HitLatency
+	if r.Done != want {
+		t.Errorf("LLC hit Done = %d, want %d", r.Done, want)
+	}
+}
+
+func TestHierarchyFetchMissSetsFlags(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	r := h.Fetch(0x10000, 0)
+	if !r.L1Miss || !r.LLCMiss || !r.TLBMiss {
+		t.Fatalf("cold fetch should miss everywhere: %+v", r)
+	}
+	r = h.Fetch(0x10000, 100_000)
+	if r.L1Miss || r.TLBMiss {
+		t.Fatalf("warm fetch should hit: %+v", r)
+	}
+}
+
+func TestHierarchyNextLinePrefetch(t *testing.T) {
+	cfg := DefaultConfig()
+	h := NewHierarchy(cfg)
+	h.Fetch(0x10000, 0)
+	// The next line should have been prefetched into the L1I.
+	if !h.L1I().Lookup(0x10040) {
+		t.Errorf("next line not prefetched")
+	}
+	// With the prefetcher disabled it should not be.
+	cfg.NextLinePrefetch = false
+	h2 := NewHierarchy(cfg)
+	h2.Fetch(0x10000, 0)
+	if h2.L1I().Lookup(0x10040) {
+		t.Errorf("prefetch happened with prefetcher disabled")
+	}
+}
+
+func TestHierarchyRejectedOnMSHRPressure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.L1D.MSHRs = 2
+	h := NewHierarchy(cfg)
+	got := 0
+	for i := 0; i < 4; i++ {
+		addr := uint64(0x400000) + uint64(i)*0x10000
+		h.TranslateData(addr, 5)
+		r := h.Data(addr, 5, false)
+		if r.Rejected {
+			got++
+		}
+	}
+	if got != 2 {
+		t.Errorf("rejected %d of 4 concurrent misses with 2 MSHRs, want 2", got)
+	}
+}
+
+func TestHierarchyStreamingIsBandwidthBound(t *testing.T) {
+	cfg := DefaultConfig()
+	h := NewHierarchy(cfg)
+	// Stream 256 distinct lines, retrying MSHR rejections like a real
+	// load/store unit; completion must be dominated by DRAM bandwidth
+	// (CyclesPerLine apart), not a single access latency.
+	var last, cycle uint64
+	for i := 0; i < 256; i++ {
+		addr := 0x1000000 + uint64(i)*64
+		_, tdone := h.TranslateData(addr, cycle)
+		r := h.Data(addr, tdone, false)
+		for r.Rejected {
+			tdone += cfg.DRAM.CyclesPerLine
+			r = h.Data(addr, tdone, false)
+		}
+		if r.Done > last {
+			last = r.Done
+		}
+		cycle++ // issue one access per cycle
+	}
+	minSpan := uint64(250) * cfg.DRAM.CyclesPerLine
+	if last < minSpan {
+		t.Errorf("stream finished at %d, want >= %d (bandwidth limit)", last, minSpan)
+	}
+}
+
+func TestDefaultConfigMatchesTable2(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.L1I.SizeBytes != 32<<10 || cfg.L1I.Ways != 8 {
+		t.Errorf("L1I config deviates from Table 2")
+	}
+	if cfg.L1D.SizeBytes != 32<<10 || cfg.L1D.Ways != 8 || cfg.L1D.MSHRs != 16 {
+		t.Errorf("L1D config deviates from Table 2")
+	}
+	if cfg.LLC.SizeBytes != 2<<20 || cfg.LLC.Ways != 16 || cfg.LLC.MSHRs != 12 {
+		t.Errorf("LLC config deviates from Table 2")
+	}
+	if cfg.ITLB.Entries != 32 || cfg.DTLB.Entries != 32 || cfg.Walker.L2.Entries != 1024 {
+		t.Errorf("TLB config deviates from Table 2")
+	}
+	if !cfg.NextLinePrefetch {
+		t.Errorf("Table 2 lists a next-line prefetcher")
+	}
+}

@@ -1,0 +1,92 @@
+package mem
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// refCache is an oracle: a straightforward fully-explicit model of a
+// set-associative LRU cache with no timing, used to cross-check the
+// production Cache's hit/miss decisions under random access streams.
+type refCache struct {
+	sets      int
+	ways      int
+	lineBytes uint64
+	lines     [][]uint64 // per set, tags in LRU order (front = MRU)
+}
+
+func newRefCache(cfg CacheConfig) *refCache {
+	return &refCache{
+		sets:      cfg.Sets(),
+		ways:      cfg.Ways,
+		lineBytes: uint64(cfg.LineBytes),
+		lines:     make([][]uint64, cfg.Sets()),
+	}
+}
+
+func (r *refCache) access(addr uint64) bool {
+	block := addr / r.lineBytes
+	set := int(block % uint64(r.sets))
+	tag := block / uint64(r.sets)
+	ln := r.lines[set]
+	for i, t := range ln {
+		if t == tag {
+			// Move to front (MRU).
+			copy(ln[1:i+1], ln[:i])
+			ln[0] = tag
+			return true
+		}
+	}
+	// Miss: insert at front, evict LRU if full.
+	if len(ln) == r.ways {
+		ln = ln[:r.ways-1]
+	}
+	r.lines[set] = append([]uint64{tag}, ln...)
+	return false
+}
+
+// TestCacheMatchesLRUOracle drives the production cache and the oracle
+// with identical random streams; the hit/miss decision must agree on
+// every access (timing-independent accesses: each access at a cycle
+// far after the previous, so in-flight-fill effects don't apply).
+func TestCacheMatchesLRUOracle(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		cfg := CacheConfig{
+			Name: "O", SizeBytes: 4096, Ways: 1 << (trial % 3), LineBytes: 64,
+			MSHRs: 64, HitLatency: 1,
+		}
+		c := NewCache(cfg)
+		ref := newRefCache(cfg)
+		rng := rand.New(rand.NewPCG(uint64(trial), 101))
+		cycle := uint64(0)
+		for i := 0; i < 3000; i++ {
+			addr := uint64(rng.IntN(256)) * 32 // 128 lines: 2x capacity
+			cycle += 1000                      // far apart: fills always complete
+			res, ok := c.Access(addr, cycle, false, func(_, cy uint64) uint64 { return cy + 10 })
+			if !ok {
+				t.Fatalf("trial %d: unexpected MSHR rejection", trial)
+			}
+			wantHit := ref.access(addr)
+			if res.Miss == wantHit {
+				t.Fatalf("trial %d access %d (addr %#x): cache miss=%v, oracle hit=%v",
+					trial, i, addr, res.Miss, wantHit)
+			}
+		}
+	}
+}
+
+// TestTLBMatchesLRUOracle does the same for the fully-associative TLB.
+func TestTLBMatchesLRUOracle(t *testing.T) {
+	cfg := TLBConfig{Name: "O", Entries: 8, Ways: 0}
+	tlb := NewTLB(cfg)
+	ref := newRefCache(CacheConfig{SizeBytes: 8 << PageBits, Ways: 8, LineBytes: 1 << PageBits})
+	rng := rand.New(rand.NewPCG(9, 9))
+	for i := 0; i < 5000; i++ {
+		addr := uint64(rng.IntN(24)) << PageBits
+		got := tlb.Lookup(addr)
+		want := ref.access(addr)
+		if got != want {
+			t.Fatalf("access %d (page %d): TLB hit=%v, oracle hit=%v", i, addr>>PageBits, got, want)
+		}
+	}
+}

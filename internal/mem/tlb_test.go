@@ -1,0 +1,125 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTLBMissThenHit(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Name: "T", Entries: 4, Ways: 0})
+	if tlb.Lookup(0x1000) {
+		t.Fatalf("cold lookup should miss")
+	}
+	if !tlb.Lookup(0x1FFF) {
+		t.Fatalf("same-page lookup should hit")
+	}
+	if tlb.Lookup(0x2000) {
+		t.Fatalf("next page should miss")
+	}
+	if tlb.Accesses != 3 || tlb.Misses != 2 {
+		t.Errorf("accesses/misses = %d/%d, want 3/2", tlb.Accesses, tlb.Misses)
+	}
+}
+
+func TestTLBFullyAssociativeLRU(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Name: "T", Entries: 2, Ways: 0})
+	tlb.Lookup(0 << PageBits)
+	tlb.Lookup(1 << PageBits)
+	tlb.Lookup(0 << PageBits) // page 0 most recent
+	tlb.Lookup(2 << PageBits) // evicts page 1
+	if !tlb.Contains(0 << PageBits) {
+		t.Errorf("page 0 evicted despite recent use")
+	}
+	if tlb.Contains(1 << PageBits) {
+		t.Errorf("LRU page 1 survived")
+	}
+	if !tlb.Contains(2 << PageBits) {
+		t.Errorf("page 2 missing")
+	}
+}
+
+func TestTLBDirectMapped(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Name: "T", Entries: 4, Ways: 1})
+	// Pages 0 and 4 conflict in a 4-set direct-mapped TLB.
+	tlb.Lookup(0 << PageBits)
+	tlb.Lookup(4 << PageBits)
+	if tlb.Contains(0 << PageBits) {
+		t.Errorf("conflicting page survived in direct-mapped TLB")
+	}
+	// Page 1 does not conflict.
+	tlb.Lookup(1 << PageBits)
+	if !tlb.Contains(4<<PageBits) || !tlb.Contains(1<<PageBits) {
+		t.Errorf("non-conflicting pages evicted")
+	}
+}
+
+func TestTLBContainsDoesNotDisturb(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Name: "T", Entries: 2, Ways: 0})
+	tlb.Lookup(0 << PageBits)
+	accesses := tlb.Accesses
+	tlb.Contains(0 << PageBits)
+	tlb.Contains(9 << PageBits)
+	if tlb.Accesses != accesses {
+		t.Errorf("Contains changed statistics")
+	}
+}
+
+func TestTLBReach(t *testing.T) {
+	f := func(raw uint16) bool {
+		tlb := NewTLB(TLBConfig{Name: "T", Entries: 8, Ways: 0})
+		// Touch 8 pages; all must be resident afterwards.
+		base := uint64(raw) << PageBits
+		for i := uint64(0); i < 8; i++ {
+			tlb.Lookup(base + i<<PageBits)
+		}
+		for i := uint64(0); i < 8; i++ {
+			if !tlb.Contains(base + i<<PageBits) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWalkerLatencies(t *testing.T) {
+	w := NewWalker(WalkerConfig{
+		L2:          TLBConfig{Name: "L2", Entries: 4, Ways: 1, HitLatency: 8},
+		WalkLatency: 60,
+	})
+	// First resolve: L2 miss -> full walk.
+	if got := w.Resolve(0x5000); got != 68 {
+		t.Errorf("first resolve latency = %d, want 68", got)
+	}
+	if w.Walks != 1 {
+		t.Errorf("walks = %d, want 1", w.Walks)
+	}
+	// Second resolve of the same page: L2 hit.
+	if got := w.Resolve(0x5000); got != 8 {
+		t.Errorf("second resolve latency = %d, want 8", got)
+	}
+	if w.Walks != 1 {
+		t.Errorf("walks = %d after L2 hit, want 1", w.Walks)
+	}
+}
+
+func TestPageOf(t *testing.T) {
+	if PageOf(0) != 0 || PageOf(4095) != 0 || PageOf(4096) != 1 || PageOf(8192) != 2 {
+		t.Errorf("PageOf wrong")
+	}
+}
+
+func TestTLBMissRate(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Name: "T", Entries: 64, Ways: 0})
+	for pass := 0; pass < 4; pass++ {
+		for p := uint64(0); p < 16; p++ {
+			tlb.Lookup(p << PageBits)
+		}
+	}
+	// 16 pages fit in 64 entries: only the first pass misses.
+	if got := tlb.MissRate(); got != 0.25 {
+		t.Errorf("miss rate = %v, want 0.25", got)
+	}
+}

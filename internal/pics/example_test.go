@@ -1,0 +1,56 @@
+package pics_test
+
+import (
+	"fmt"
+
+	"repro/internal/events"
+	"repro/internal/pics"
+)
+
+// ExampleProfile shows how PICS are built and read: cycles attributed
+// to (instruction, signature) pairs, with the stack height measuring an
+// instruction's share of execution time.
+func ExampleProfile() {
+	p := pics.NewProfile("TEA", events.TEASet)
+	llcMiss := events.PSV(0).Set(events.STL1).Set(events.STLLC)
+	p.Add(0x10028, llcMiss, 700) // the performance-critical load
+	p.Add(0x10028, 0, 50)
+	p.Add(0x1002c, 0, 250) // dependent compute: Base only
+
+	top := p.TopInstructions(1)[0]
+	st := p.Insts[top]
+	fmt.Printf("top instruction %#x: %.0f of %.0f cycles\n", top, st.Total(), p.Total())
+	fmt.Printf("LLC-miss component: %.0f cycles (%s)\n", st[llcMiss], llcMiss)
+	// Output:
+	// top instruction 0x10028: 750 of 1000 cycles
+	// LLC-miss component: 700 cycles ((ST-L1,ST-LLC))
+}
+
+// ExampleError demonstrates the Section 4 error metric: a profile that
+// puts the right cycles on the wrong component is penalized.
+func ExampleError() {
+	golden := pics.NewProfile("golden", events.TEASet)
+	golden.Add(1, events.PSV(0).Set(events.STL1), 50)
+	golden.Add(1, events.PSV(0).Set(events.STTLB), 50)
+
+	wrongMix := pics.NewProfile("test", events.TEASet)
+	wrongMix.Add(1, events.PSV(0).Set(events.STL1), 100)
+
+	fmt.Printf("error: %.0f%%\n", 100*pics.Error(wrongMix, golden))
+	// Output:
+	// error: 50%
+}
+
+// ExampleDiffProfiles shows the optimization workflow: compare PICS
+// before and after a change to see where the cycles went.
+func ExampleDiffProfiles() {
+	before := pics.NewProfile("before", events.TEASet)
+	before.Add(0x100, events.PSV(0).Set(events.STLLC), 900)
+	after := pics.NewProfile("after", events.TEASet)
+	after.Add(0x100, events.PSV(0).Set(events.STL1), 100)
+
+	d := pics.DiffProfiles(before, after)[0]
+	fmt.Printf("pc %#x: %.0f -> %.0f (%+.0f cycles)\n", d.PC, d.Before, d.After, d.Delta)
+	// Output:
+	// pc 0x100: 900 -> 100 (-800 cycles)
+}

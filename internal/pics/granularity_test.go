@@ -1,0 +1,129 @@
+package pics
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/events"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+func loopProgram() *program.Program {
+	b := program.NewBuilder("loop")
+	b.Func("main")
+	b.Movi(isa.X(1), 0)
+	b.Movi(isa.X(2), 10)
+	b.Label("top")
+	b.Addi(isa.X(1), isa.X(1), 1)
+	b.Addi(isa.X(3), isa.X(1), 2)
+	b.Blt(isa.X(1), isa.X(2), "top")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestByBlockAggregation(t *testing.T) {
+	prog := loopProgram()
+	p := NewProfile("x", events.TEASet)
+	// Indices 2,3,4 form the loop block; put cycles on 2 and 4.
+	p.Add(isa.PCOf(2), 0, 30)
+	p.Add(isa.PCOf(4), sig(events.FLMB), 20)
+	p.Add(isa.PCOf(0), 0, 5)
+	blocks := p.ByBlock(prog)
+	var loopStack Stack
+	for name, st := range blocks {
+		if strings.Contains(name, "bb") && st.Total() == 50 {
+			loopStack = st
+		}
+	}
+	if loopStack == nil {
+		t.Fatalf("loop block aggregation missing: %v", blocks)
+	}
+	if !almost(loopStack[sig(events.FLMB)], 20) {
+		t.Errorf("block stack lost signature structure")
+	}
+}
+
+func TestErrorByBlockForgivesIntraBlockMisattribution(t *testing.T) {
+	prog := loopProgram()
+	a := NewProfile("a", events.TEASet)
+	g := NewProfile("g", events.TEASet)
+	// Same block (loop body indices 2..4), different instruction.
+	a.Add(isa.PCOf(2), 0, 100)
+	g.Add(isa.PCOf(3), 0, 100)
+	if e := Error(a, g); !almost(e, 1) {
+		t.Errorf("instruction error = %v, want 1", e)
+	}
+	if e := ErrorByBlock(a, g, prog); !almost(e, 0) {
+		t.Errorf("block error = %v, want 0 for intra-block misattribution", e)
+	}
+	// Across blocks the error survives.
+	a2 := NewProfile("a2", events.TEASet)
+	a2.Add(isa.PCOf(0), 0, 100) // preamble block
+	if e := ErrorByBlock(a2, g, prog); !almost(e, 1) {
+		t.Errorf("cross-block error = %v, want 1", e)
+	}
+}
+
+func TestGranularityOrdering(t *testing.T) {
+	// Block error <= instruction error; function error <= block error
+	// (each aggregation merges units).
+	prog := loopProgram()
+	a := NewProfile("a", events.TEASet)
+	g := NewProfile("g", events.TEASet)
+	a.Add(isa.PCOf(2), 0, 60)
+	a.Add(isa.PCOf(0), 0, 40)
+	g.Add(isa.PCOf(3), 0, 50)
+	g.Add(isa.PCOf(1), 0, 50)
+	instErr := Error(a, g)
+	blockErr := ErrorByBlock(a, g, prog)
+	fnErr := ErrorByFunction(a, g, prog)
+	if blockErr > instErr+1e-9 {
+		t.Errorf("block error %v exceeds instruction error %v", blockErr, instErr)
+	}
+	if fnErr > blockErr+1e-9 {
+		t.Errorf("function error %v exceeds block error %v", fnErr, blockErr)
+	}
+}
+
+func TestRenderBars(t *testing.T) {
+	st := make(Stack)
+	st.Add(sig(events.STL1), 50)
+	st.Add(0, 25)
+	out := st.RenderBars(100, 40)
+	if !strings.Contains(out, "ST-L1") || !strings.Contains(out, "Base") {
+		t.Errorf("bars missing components:\n%s", out)
+	}
+	// The ST-L1 bar (50%) must be about twice the Base bar (25%).
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d bar lines", len(lines))
+	}
+	c1 := strings.Count(lines[0], "#")
+	c2 := strings.Count(lines[1], "#")
+	if c1 != 20 || c2 != 10 {
+		t.Errorf("bar widths %d/%d, want 20/10", c1, c2)
+	}
+	// Largest component renders first.
+	if !strings.Contains(lines[0], "ST-L1") {
+		t.Errorf("components not sorted by size")
+	}
+}
+
+func TestRenderBarsTinyComponentVisible(t *testing.T) {
+	st := make(Stack)
+	st.Add(0, 0.1)
+	out := st.RenderBars(1000, 50)
+	if strings.Count(out, "#") != 1 {
+		t.Errorf("tiny nonzero component should render one mark:\n%s", out)
+	}
+}
+
+func TestRenderBarsDefaultWidth(t *testing.T) {
+	st := make(Stack)
+	st.Add(0, 100)
+	out := st.RenderBars(100, 0)
+	if strings.Count(out, "#") != 60 {
+		t.Errorf("default width should be 60, got %d", strings.Count(out, "#"))
+	}
+}

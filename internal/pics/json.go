@@ -1,0 +1,113 @@
+package pics
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"repro/internal/events"
+)
+
+// jsonProfile is the stable JSON shape of a profile.
+type jsonProfile struct {
+	Name   string     `json:"name"`
+	Events []string   `json:"events"`
+	Total  float64    `json:"total_cycles"`
+	Insts  []jsonInst `json:"instructions"`
+}
+
+type jsonInst struct {
+	PC         uint64          `json:"pc"`
+	Height     float64         `json:"height_cycles"`
+	Components []jsonComponent `json:"components"`
+}
+
+type jsonComponent struct {
+	Signature string   `json:"signature"`
+	Events    []string `json:"events,omitempty"`
+	Cycles    float64  `json:"cycles"`
+}
+
+// WriteJSON serializes the profile for external tooling: instructions
+// sorted by descending height, components by descending cycles —
+// deterministic output for diffing and dashboards.
+func (p *Profile) WriteJSON(w io.Writer) error {
+	jp := jsonProfile{Name: p.Name, Total: p.Total()}
+	for _, e := range p.Set.Events() {
+		jp.Events = append(jp.Events, e.String())
+	}
+	for _, pc := range p.TopInstructions(len(p.Insts)) {
+		st := p.Insts[pc]
+		ji := jsonInst{PC: pc, Height: st.Total()}
+		for _, sig := range sortedSigs(st) {
+			jc := jsonComponent{Signature: sig.String(), Cycles: st[sig]}
+			for _, e := range sig.Events() {
+				jc.Events = append(jc.Events, e.String())
+			}
+			ji.Components = append(ji.Components, jc)
+		}
+		jp.Insts = append(jp.Insts, ji)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jp)
+}
+
+// Diff compares two profiles of the same program (e.g. before and after
+// an optimization) and reports, per static instruction, the change in
+// attributed cycles — the lbm/nab case-study workflow: optimize, rerun,
+// see which instructions' stacks shrank or grew.
+type Diff struct {
+	PC     uint64
+	Before float64
+	After  float64
+	Delta  float64
+	// SignatureDeltas breaks the change down per component.
+	SignatureDeltas map[events.PSV]float64
+}
+
+// DiffProfiles returns per-instruction deltas sorted by |delta|
+// descending. Instructions present in only one profile appear with the
+// other side at zero.
+func DiffProfiles(before, after *Profile) []Diff {
+	pcs := map[uint64]bool{}
+	for pc := range before.Insts {
+		pcs[pc] = true
+	}
+	for pc := range after.Insts {
+		pcs[pc] = true
+	}
+	var out []Diff
+	for pc := range pcs {
+		d := Diff{PC: pc, SignatureDeltas: map[events.PSV]float64{}}
+		if st := before.Insts[pc]; st != nil {
+			d.Before = st.Total()
+			for sig, v := range st {
+				d.SignatureDeltas[sig] -= v
+			}
+		}
+		if st := after.Insts[pc]; st != nil {
+			d.After = st.Total()
+			for sig, v := range st {
+				d.SignatureDeltas[sig] += v
+			}
+		}
+		d.Delta = d.After - d.Before
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := abs(out[i].Delta), abs(out[j].Delta)
+		if ai != aj {
+			return ai > aj
+		}
+		return out[i].PC < out[j].PC
+	})
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

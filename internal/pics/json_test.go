@@ -1,0 +1,117 @@
+package pics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/events"
+)
+
+func TestWriteJSONShape(t *testing.T) {
+	p := NewProfile("TEA", events.TEASet)
+	p.Add(0x100, sig(events.STL1, events.STLLC), 70)
+	p.Add(0x104, 0, 30)
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Name   string   `json:"name"`
+		Events []string `json:"events"`
+		Total  float64  `json:"total_cycles"`
+		Insts  []struct {
+			PC         uint64  `json:"pc"`
+			Height     float64 `json:"height_cycles"`
+			Components []struct {
+				Signature string   `json:"signature"`
+				Events    []string `json:"events"`
+				Cycles    float64  `json:"cycles"`
+			} `json:"components"`
+		} `json:"instructions"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if decoded.Name != "TEA" || decoded.Total != 100 {
+		t.Errorf("header wrong: %+v", decoded)
+	}
+	if len(decoded.Events) != 9 {
+		t.Errorf("event list has %d entries", len(decoded.Events))
+	}
+	if len(decoded.Insts) != 2 || decoded.Insts[0].PC != 0x100 {
+		t.Errorf("instructions not sorted by height: %+v", decoded.Insts)
+	}
+	c0 := decoded.Insts[0].Components[0]
+	if c0.Signature != "(ST-L1,ST-LLC)" || c0.Cycles != 70 || len(c0.Events) != 2 {
+		t.Errorf("component wrong: %+v", c0)
+	}
+}
+
+func TestWriteJSONDeterministic(t *testing.T) {
+	p := NewProfile("x", events.TEASet)
+	for i := uint64(0); i < 20; i++ {
+		p.Add(i*4, events.PSV(i)&events.PSV(events.TEASet), float64(i+1))
+	}
+	var a, b bytes.Buffer
+	if err := p.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("JSON output is not deterministic")
+	}
+}
+
+func TestDiffProfiles(t *testing.T) {
+	before := NewProfile("before", events.TEASet)
+	before.Add(0x100, sig(events.STLLC), 100) // optimized away
+	before.Add(0x104, 0, 20)                  // unchanged
+	after := NewProfile("after", events.TEASet)
+	after.Add(0x100, sig(events.STL1), 10) // now an LLC hit
+	after.Add(0x104, 0, 20)
+	after.Add(0x108, sig(events.DRSQ), 40) // new bottleneck
+
+	diffs := DiffProfiles(before, after)
+	if len(diffs) != 3 {
+		t.Fatalf("got %d diffs", len(diffs))
+	}
+	// Sorted by |delta|: 0x100 (-90), 0x108 (+40), 0x104 (0).
+	if diffs[0].PC != 0x100 || diffs[0].Delta != -90 {
+		t.Errorf("top diff wrong: %+v", diffs[0])
+	}
+	if diffs[1].PC != 0x108 || diffs[1].Delta != 40 {
+		t.Errorf("second diff wrong: %+v", diffs[1])
+	}
+	if diffs[2].PC != 0x104 || diffs[2].Delta != 0 {
+		t.Errorf("unchanged diff wrong: %+v", diffs[2])
+	}
+	// Signature-level deltas on the optimized load.
+	sd := diffs[0].SignatureDeltas
+	if sd[sig(events.STLLC)] != -100 || sd[sig(events.STL1)] != 10 {
+		t.Errorf("signature deltas wrong: %v", sd)
+	}
+}
+
+func TestDiffEmptyProfiles(t *testing.T) {
+	a := NewProfile("a", events.TEASet)
+	b := NewProfile("b", events.TEASet)
+	if diffs := DiffProfiles(a, b); len(diffs) != 0 {
+		t.Errorf("empty diff should be empty, got %v", diffs)
+	}
+}
+
+func TestJSONContainsBaseLabel(t *testing.T) {
+	p := NewProfile("x", events.TEASet)
+	p.Add(0, 0, 5)
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"Base"`) {
+		t.Errorf("Base component missing from JSON:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,291 @@
+// Package pics implements Per-Instruction Cycle Stacks — the paper's
+// central data structure — and the error metric of Section 4. A PICS
+// breaks the execution time attributed to each static instruction down
+// across the (combinations of) performance events the instruction was
+// subjected to; the stack height is the instruction's contribution to
+// total execution time and each component's size is the impact of that
+// event combination.
+package pics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/events"
+	"repro/internal/program"
+)
+
+// Stack is one cycle stack: cycles per signature (events.PSV). The zero
+// signature is the paper's "Base" component (no events).
+type Stack map[events.PSV]float64
+
+// Total returns the stack height.
+func (s Stack) Total() float64 {
+	t := 0.0
+	for _, v := range s {
+		t += v
+	}
+	return t
+}
+
+// Add accumulates w cycles into the signature's component.
+func (s Stack) Add(sig events.PSV, w float64) { s[sig] += w }
+
+// Clone returns a deep copy.
+func (s Stack) Clone() Stack {
+	c := make(Stack, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// Scale multiplies every component by f.
+func (s Stack) Scale(f float64) {
+	for k := range s {
+		s[k] *= f
+	}
+}
+
+// Project folds the stack's signatures onto an event set: bits outside
+// the set are dropped and components with identical projected
+// signatures merge. The paper projects the golden reference onto each
+// technique's event set for fair comparison (Section 4).
+func (s Stack) Project(set events.Set) Stack {
+	out := make(Stack, len(s))
+	for sig, v := range s {
+		out[sig.Mask(set)] += v
+	}
+	return out
+}
+
+// Profile is a full PICS profile: one cycle stack per static
+// instruction, plus the technique's event set.
+type Profile struct {
+	// Name identifies the technique or configuration that produced the
+	// profile.
+	Name string
+	// Set is the event set signatures are drawn from.
+	Set events.Set
+	// Insts maps a static instruction's PC to its cycle stack.
+	Insts map[uint64]Stack
+}
+
+// NewProfile returns an empty profile.
+func NewProfile(name string, set events.Set) *Profile {
+	return &Profile{Name: name, Set: set, Insts: make(map[uint64]Stack)}
+}
+
+// Add attributes w cycles to (pc, signature); the signature is masked
+// to the profile's event set.
+func (p *Profile) Add(pc uint64, sig events.PSV, w float64) {
+	st := p.Insts[pc]
+	if st == nil {
+		st = make(Stack)
+		p.Insts[pc] = st
+	}
+	st.Add(sig.Mask(p.Set), w)
+}
+
+// Total returns the cycles attributed across all instructions.
+func (p *Profile) Total() float64 {
+	t := 0.0
+	for _, st := range p.Insts {
+		t += st.Total()
+	}
+	return t
+}
+
+// Normalize scales the profile so its total equals total. Sampled
+// profiles attribute (#samples × period) cycles; normalizing to the
+// golden total removes boundary effects before error comparison.
+func (p *Profile) Normalize(total float64) {
+	cur := p.Total()
+	if cur == 0 || total == 0 {
+		return
+	}
+	f := total / cur
+	for _, st := range p.Insts {
+		st.Scale(f)
+	}
+}
+
+// Project returns the profile folded onto a (smaller) event set.
+func (p *Profile) Project(set events.Set) *Profile {
+	out := NewProfile(p.Name, set)
+	for pc, st := range p.Insts {
+		out.Insts[pc] = st.Project(set)
+	}
+	return out
+}
+
+// ByFunction aggregates the profile at function granularity using the
+// program's symbol table.
+func (p *Profile) ByFunction(prog *program.Program) map[string]Stack {
+	out := make(map[string]Stack)
+	for pc, st := range p.Insts {
+		fn := prog.FuncOfPC(pc)
+		dst := out[fn]
+		if dst == nil {
+			dst = make(Stack)
+			out[fn] = dst
+		}
+		for sig, v := range st {
+			dst[sig] += v
+		}
+	}
+	return out
+}
+
+// Application aggregates the whole profile into a single stack.
+func (p *Profile) Application() Stack {
+	out := make(Stack)
+	for _, st := range p.Insts {
+		for sig, v := range st {
+			out[sig] += v
+		}
+	}
+	return out
+}
+
+// TopInstructions returns the n instructions with the tallest stacks,
+// most expensive first.
+func (p *Profile) TopInstructions(n int) []uint64 {
+	pcs := make([]uint64, 0, len(p.Insts))
+	for pc := range p.Insts {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool {
+		ti, tj := p.Insts[pcs[i]].Total(), p.Insts[pcs[j]].Total()
+		if ti != tj {
+			return ti > tj
+		}
+		return pcs[i] < pcs[j] // deterministic tie-break
+	})
+	if len(pcs) > n {
+		pcs = pcs[:n]
+	}
+	return pcs
+}
+
+// Error computes the paper's error metric between a technique's profile
+// and the golden reference at instruction granularity:
+//
+//	E = (C_total − Σ_u Σ_i min(c_i,u, ĉ_i,u)) / C_total
+//
+// where C_total is the golden total. The golden profile is projected
+// onto the technique's event set first, and the technique's profile is
+// normalized to the golden total.
+func Error(test, golden *Profile) float64 {
+	g := golden.Project(test.Set)
+	t := test.Project(test.Set) // cheap copy; keeps inputs untouched
+	total := g.Total()
+	if total == 0 {
+		return 0
+	}
+	t.Normalize(total)
+	return errorBetween(t.Insts, g.Insts, total)
+}
+
+// ErrorByFunction computes the same metric at function granularity.
+func ErrorByFunction(test, golden *Profile, prog *program.Program) float64 {
+	g := golden.Project(test.Set)
+	t := test.Project(test.Set)
+	total := g.Total()
+	if total == 0 {
+		return 0
+	}
+	t.Normalize(total)
+	return errorBetween(t.ByFunction(prog), g.ByFunction(prog), total)
+}
+
+// ErrorApplication computes the metric with the whole application as a
+// single unit (only component mix matters).
+func ErrorApplication(test, golden *Profile) float64 {
+	g := golden.Project(test.Set)
+	t := test.Project(test.Set)
+	total := g.Total()
+	if total == 0 {
+		return 0
+	}
+	t.Normalize(total)
+	return errorBetween(
+		map[string]Stack{"app": t.Application()},
+		map[string]Stack{"app": g.Application()},
+		total)
+}
+
+func errorBetween[K comparable](test, golden map[K]Stack, total float64) float64 {
+	correct := 0.0
+	for key, gst := range golden {
+		tst := test[key]
+		if tst == nil {
+			continue
+		}
+		for sig, gv := range gst {
+			tv := tst[sig]
+			if tv < gv {
+				correct += tv
+			} else {
+				correct += gv
+			}
+		}
+	}
+	e := (total - correct) / total
+	// Clamp floating-point residue: the metric is in [0, 1] by
+	// construction, but map-order-dependent summation can leave ~1e-16
+	// of noise on either side.
+	if e < 0 {
+		return 0
+	}
+	if e > 1 {
+		return 1
+	}
+	return e
+}
+
+// Render returns a human-readable listing of the stack's components,
+// largest first, as fractions of the reference total.
+func (s Stack) Render(total float64) string {
+	type comp struct {
+		sig events.PSV
+		v   float64
+	}
+	comps := make([]comp, 0, len(s))
+	for sig, v := range s {
+		comps = append(comps, comp{sig, v})
+	}
+	sort.Slice(comps, func(i, j int) bool {
+		if comps[i].v != comps[j].v {
+			return comps[i].v > comps[j].v
+		}
+		return comps[i].sig < comps[j].sig
+	})
+	var b strings.Builder
+	for _, c := range comps {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * c.v / total
+		}
+		fmt.Fprintf(&b, "    %-24s %12.0f cycles  %5.2f%%\n", c.sig.String(), c.v, pct)
+	}
+	return b.String()
+}
+
+// RenderInstruction formats one instruction's stack with its
+// disassembly and owning function.
+func (p *Profile) RenderInstruction(pc uint64, prog *program.Program, total float64) string {
+	st := p.Insts[pc]
+	if st == nil {
+		return fmt.Sprintf("  %#08x: no samples\n", pc)
+	}
+	in := prog.Inst(pc)
+	dis := "?"
+	if in != nil {
+		dis = in.String()
+	}
+	head := fmt.Sprintf("  %#08x  %-28s [%s]  height %.0f cycles (%.2f%% of total)\n",
+		pc, dis, prog.FuncOfPC(pc), st.Total(), 100*st.Total()/total)
+	return head + st.Render(total)
+}

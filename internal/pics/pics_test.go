@@ -1,0 +1,254 @@
+package pics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/events"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func sig(evs ...events.Event) events.PSV {
+	var p events.PSV
+	for _, e := range evs {
+		p = p.Set(e)
+	}
+	return p
+}
+
+func TestStackAddAndTotal(t *testing.T) {
+	s := make(Stack)
+	s.Add(0, 10)
+	s.Add(sig(events.STL1), 5)
+	s.Add(sig(events.STL1), 5)
+	if !almost(s.Total(), 20) {
+		t.Errorf("total = %v, want 20", s.Total())
+	}
+	if !almost(s[sig(events.STL1)], 10) {
+		t.Errorf("ST-L1 component = %v, want 10", s[sig(events.STL1)])
+	}
+}
+
+func TestStackProjectMergesComponents(t *testing.T) {
+	s := make(Stack)
+	s.Add(sig(events.STL1, events.STLLC), 7) // combined
+	s.Add(sig(events.STL1), 3)
+	s.Add(sig(events.FLMO), 2) // dropped by IBS set -> Base
+	p := s.Project(events.IBSSet)
+	// ST-LLC is not in IBS's set: both ST-L1 components merge.
+	if !almost(p[sig(events.STL1)], 10) {
+		t.Errorf("projected ST-L1 = %v, want 10", p[sig(events.STL1)])
+	}
+	if !almost(p[0], 2) {
+		t.Errorf("projected Base = %v, want 2 (FL-MO dropped)", p[0])
+	}
+	if !almost(p.Total(), s.Total()) {
+		t.Errorf("projection changed total: %v vs %v", p.Total(), s.Total())
+	}
+}
+
+func TestProfileAddMasksToSet(t *testing.T) {
+	p := NewProfile("x", events.SPESet)
+	p.Add(0x100, sig(events.FLEX, events.STL1), 4)
+	st := p.Insts[0x100]
+	// FL-EX is outside SPE's set: the component key keeps only ST-L1.
+	if !almost(st[sig(events.STL1)], 4) {
+		t.Errorf("masked add wrong: %v", st)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	p := NewProfile("x", events.TEASet)
+	p.Add(1, 0, 30)
+	p.Add(2, 0, 70)
+	p.Normalize(1000)
+	if !almost(p.Total(), 1000) {
+		t.Errorf("normalized total = %v", p.Total())
+	}
+	if !almost(p.Insts[1].Total(), 300) {
+		t.Errorf("component scaled wrong: %v", p.Insts[1].Total())
+	}
+}
+
+func TestErrorIdenticalProfilesIsZero(t *testing.T) {
+	p := NewProfile("a", events.TEASet)
+	p.Add(1, sig(events.STL1), 100)
+	p.Add(2, 0, 50)
+	if e := Error(p, p); !almost(e, 0) {
+		t.Errorf("self error = %v, want 0", e)
+	}
+}
+
+func TestErrorDisjointProfilesIsOne(t *testing.T) {
+	a := NewProfile("a", events.TEASet)
+	a.Add(1, 0, 100)
+	g := NewProfile("g", events.TEASet)
+	g.Add(2, 0, 100)
+	if e := Error(a, g); !almost(e, 1) {
+		t.Errorf("disjoint error = %v, want 1", e)
+	}
+}
+
+func TestErrorComponentMisattribution(t *testing.T) {
+	// Same instruction, same height, wrong signature: half the cycles
+	// are on the wrong component -> error counts them.
+	a := NewProfile("a", events.TEASet)
+	a.Add(1, sig(events.STL1), 100)
+	g := NewProfile("g", events.TEASet)
+	g.Add(1, sig(events.STL1), 50)
+	g.Add(1, sig(events.STTLB), 50)
+	if e := Error(a, g); !almost(e, 0.5) {
+		t.Errorf("misattribution error = %v, want 0.5", e)
+	}
+}
+
+func TestErrorProjectsGoldenOntoTechniqueSet(t *testing.T) {
+	// Golden distinguishes ST-L1 vs (ST-L1,ST-LLC); a technique without
+	// ST-LLC support cannot and must not be penalized for that.
+	tech := NewProfile("t", events.NewSet(events.STL1))
+	tech.Add(1, sig(events.STL1), 100)
+	g := NewProfile("g", events.TEASet)
+	g.Add(1, sig(events.STL1), 40)
+	g.Add(1, sig(events.STL1, events.STLLC), 60)
+	if e := Error(tech, g); !almost(e, 0) {
+		t.Errorf("error = %v, want 0 after projection", e)
+	}
+}
+
+func TestErrorNormalizesSampledTotals(t *testing.T) {
+	// A sampled profile with the right *shape* but half the raw total
+	// must be error-free after normalization.
+	a := NewProfile("a", events.TEASet)
+	a.Add(1, 0, 30)
+	a.Add(2, 0, 20)
+	g := NewProfile("g", events.TEASet)
+	g.Add(1, 0, 60)
+	g.Add(2, 0, 40)
+	if e := Error(a, g); !almost(e, 0) {
+		t.Errorf("scaled error = %v, want 0", e)
+	}
+}
+
+func TestErrorBounds(t *testing.T) {
+	f := func(seedA, seedB uint16) bool {
+		a := NewProfile("a", events.TEASet)
+		g := NewProfile("g", events.TEASet)
+		// Simple deterministic pseudo-profiles.
+		for i := 0; i < 8; i++ {
+			a.Add(uint64(i%5), events.PSV(seedA>>(i%4))&events.PSV(events.TEASet), float64(1+i*int(seedA%7)))
+			g.Add(uint64(i%5), events.PSV(seedB>>(i%4))&events.PSV(events.TEASet), float64(1+i*int(seedB%5)))
+		}
+		e := Error(a, g)
+		return e >= -1e-9 && e <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func buildTwoFuncProgram() *program.Program {
+	b := program.NewBuilder("two")
+	b.Func("f")
+	b.Nop()
+	b.Nop()
+	b.Func("g")
+	b.Nop()
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestByFunctionAggregation(t *testing.T) {
+	prog := buildTwoFuncProgram()
+	p := NewProfile("x", events.TEASet)
+	p.Add(isa.PCOf(0), 0, 10)
+	p.Add(isa.PCOf(1), sig(events.STL1), 5)
+	p.Add(isa.PCOf(2), 0, 7)
+	fn := p.ByFunction(prog)
+	if !almost(fn["f"].Total(), 15) || !almost(fn["g"].Total(), 7) {
+		t.Errorf("function aggregation wrong: f=%v g=%v", fn["f"].Total(), fn["g"].Total())
+	}
+	if !almost(fn["f"][sig(events.STL1)], 5) {
+		t.Errorf("function stack lost signature structure")
+	}
+}
+
+func TestErrorByFunctionForgivesIntraFunctionMisattribution(t *testing.T) {
+	prog := buildTwoFuncProgram()
+	// All cycles attributed to the wrong instruction *within* f.
+	a := NewProfile("a", events.TEASet)
+	a.Add(isa.PCOf(0), 0, 100)
+	g := NewProfile("g", events.TEASet)
+	g.Add(isa.PCOf(1), 0, 100)
+	if e := Error(a, g); !almost(e, 1) {
+		t.Errorf("instruction error = %v, want 1", e)
+	}
+	if e := ErrorByFunction(a, g, prog); !almost(e, 0) {
+		t.Errorf("function error = %v, want 0", e)
+	}
+}
+
+func TestErrorApplication(t *testing.T) {
+	a := NewProfile("a", events.TEASet)
+	a.Add(1, sig(events.STL1), 60)
+	a.Add(2, 0, 40)
+	g := NewProfile("g", events.TEASet)
+	g.Add(9, sig(events.STL1), 60) // different instruction, same mix
+	g.Add(8, 0, 40)
+	if e := ErrorApplication(a, g); !almost(e, 0) {
+		t.Errorf("application error = %v, want 0 for identical mixes", e)
+	}
+}
+
+func TestTopInstructions(t *testing.T) {
+	p := NewProfile("x", events.TEASet)
+	p.Add(10, 0, 5)
+	p.Add(20, 0, 50)
+	p.Add(30, 0, 25)
+	p.Add(40, 0, 1)
+	top := p.TopInstructions(2)
+	if len(top) != 2 || top[0] != 20 || top[1] != 30 {
+		t.Errorf("top instructions = %v, want [20 30]", top)
+	}
+	all := p.TopInstructions(100)
+	if len(all) != 4 {
+		t.Errorf("TopInstructions should cap at population size")
+	}
+}
+
+func TestApplicationStack(t *testing.T) {
+	p := NewProfile("x", events.TEASet)
+	p.Add(1, sig(events.FLMB), 10)
+	p.Add(2, sig(events.FLMB), 15)
+	app := p.Application()
+	if !almost(app[sig(events.FLMB)], 25) {
+		t.Errorf("application stack = %v", app)
+	}
+}
+
+func TestRenderContainsComponents(t *testing.T) {
+	prog := buildTwoFuncProgram()
+	p := NewProfile("x", events.TEASet)
+	p.Add(isa.PCOf(0), sig(events.STL1, events.STTLB), 42)
+	out := p.RenderInstruction(isa.PCOf(0), prog, 100)
+	for _, want := range []string{"(ST-L1,ST-TLB)", "42", "nop", "[f]"} {
+		if !containsStr(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if out := p.RenderInstruction(isa.PCOf(3), prog, 100); !containsStr(out, "no samples") {
+		t.Errorf("missing-instruction render wrong: %s", out)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,89 @@
+package program
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// BasicBlock is a maximal straight-line region of static instructions:
+// control enters only at Start and leaves only at End-1 (half-open
+// index range [Start, End)).
+type BasicBlock struct {
+	// Index is the block's position in program order.
+	Index int
+	Start int
+	End   int
+	// Func is the enclosing function.
+	Func string
+}
+
+// Name returns a stable human-readable block label.
+func (bb BasicBlock) Name() string {
+	return fmt.Sprintf("%s.bb%d", bb.Func, bb.Index)
+}
+
+// BasicBlocks computes the control-flow-graph basic blocks of the
+// program: leaders are the first instruction, every branch target, and
+// every instruction following a branch; function boundaries also split
+// blocks (the paper evaluates cycle-stack error at basic-block
+// granularity alongside instruction and function, Section 5.4).
+func (p *Program) BasicBlocks() []BasicBlock {
+	n := len(p.Insts)
+	if n == 0 {
+		return nil
+	}
+	leader := make([]bool, n+1)
+	leader[0] = true
+	leader[n] = true
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		if isa.IsBranch(in.Op) {
+			if in.Target >= 0 && in.Target < n {
+				leader[in.Target] = true
+			}
+			if i+1 <= n {
+				leader[i+1] = true
+			}
+		}
+		if in.Op == isa.OpHalt && i+1 <= n {
+			leader[i+1] = true
+		}
+	}
+	for _, f := range p.Funcs {
+		if f.Start < n {
+			leader[f.Start] = true
+		}
+		if f.End <= n {
+			leader[f.End] = true
+		}
+	}
+
+	var blocks []BasicBlock
+	start := 0
+	for i := 1; i <= n; i++ {
+		if !leader[i] {
+			continue
+		}
+		blocks = append(blocks, BasicBlock{
+			Index: len(blocks),
+			Start: start,
+			End:   i,
+			Func:  p.FuncOf(start),
+		})
+		start = i
+	}
+	return blocks
+}
+
+// BlockOf returns the basic block containing static instruction index,
+// given the blocks slice from BasicBlocks. It returns -1 if the index
+// is out of range.
+func BlockOf(blocks []BasicBlock, index int) int {
+	i := sort.Search(len(blocks), func(i int) bool { return blocks[i].End > index })
+	if i < len(blocks) && index >= blocks[i].Start {
+		return i
+	}
+	return -1
+}

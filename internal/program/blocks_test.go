@@ -1,0 +1,109 @@
+package program
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func blockProgram() *Program {
+	b := NewBuilder("blocks")
+	b.Func("main")
+	b.Movi(isa.X(1), 0)               // 0  bb0
+	b.Movi(isa.X(2), 10)              // 1  bb0
+	b.Label("loop")                   //
+	b.Addi(isa.X(1), isa.X(1), 1)     // 2  bb1 (branch target)
+	b.Blt(isa.X(1), isa.X(2), "loop") // 3 bb1 (ends block)
+	b.Nop()                           // 4  bb2 (after branch)
+	b.Func("tail")
+	b.Nop()  // 5  bb3 (function start)
+	b.Halt() // 6  bb3... halt splits after
+	return b.MustBuild()
+}
+
+func TestBasicBlocksBoundaries(t *testing.T) {
+	p := blockProgram()
+	blocks := p.BasicBlocks()
+	if len(blocks) < 4 {
+		t.Fatalf("got %d blocks, want >= 4: %+v", len(blocks), blocks)
+	}
+	// Blocks partition [0, len(insts)) contiguously.
+	if blocks[0].Start != 0 {
+		t.Errorf("first block starts at %d", blocks[0].Start)
+	}
+	for i := 1; i < len(blocks); i++ {
+		if blocks[i].Start != blocks[i-1].End {
+			t.Errorf("gap between block %d and %d", i-1, i)
+		}
+	}
+	if blocks[len(blocks)-1].End != p.NumInsts() {
+		t.Errorf("last block ends at %d, want %d", blocks[len(blocks)-1].End, p.NumInsts())
+	}
+	// The loop target (index 2) must start a block, and the instruction
+	// after the branch (index 4) must start a block.
+	starts := map[int]bool{}
+	for _, bb := range blocks {
+		starts[bb.Start] = true
+	}
+	if !starts[2] {
+		t.Errorf("branch target is not a leader")
+	}
+	if !starts[4] {
+		t.Errorf("post-branch instruction is not a leader")
+	}
+	if !starts[5] {
+		t.Errorf("function start is not a leader")
+	}
+}
+
+func TestBasicBlocksNoBranchInMiddle(t *testing.T) {
+	p := blockProgram()
+	for _, bb := range p.BasicBlocks() {
+		for i := bb.Start; i < bb.End-1; i++ {
+			if isa.IsBranch(p.Insts[i].Op) {
+				t.Errorf("branch at %d in the middle of block [%d,%d)", i, bb.Start, bb.End)
+			}
+		}
+	}
+}
+
+func TestBlockOf(t *testing.T) {
+	p := blockProgram()
+	blocks := p.BasicBlocks()
+	for _, bb := range blocks {
+		for i := bb.Start; i < bb.End; i++ {
+			if got := BlockOf(blocks, i); got != bb.Index {
+				t.Errorf("BlockOf(%d) = %d, want %d", i, got, bb.Index)
+			}
+		}
+	}
+	if BlockOf(blocks, -1) != -1 || BlockOf(blocks, p.NumInsts()+5) != -1 {
+		t.Errorf("out-of-range BlockOf should return -1")
+	}
+}
+
+func TestBlockNamesCarryFunction(t *testing.T) {
+	p := blockProgram()
+	sawMain, sawTail := false, false
+	for _, bb := range p.BasicBlocks() {
+		if bb.Func == "main" {
+			sawMain = true
+		}
+		if bb.Func == "tail" {
+			sawTail = true
+		}
+		if bb.Name() == "" {
+			t.Errorf("empty block name")
+		}
+	}
+	if !sawMain || !sawTail {
+		t.Errorf("block functions missing: main=%v tail=%v", sawMain, sawTail)
+	}
+}
+
+func TestBasicBlocksEmptyProgram(t *testing.T) {
+	p := &Program{}
+	if got := p.BasicBlocks(); got != nil {
+		t.Errorf("empty program should have no blocks, got %v", got)
+	}
+}

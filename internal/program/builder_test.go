@@ -1,0 +1,134 @@
+package program
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestBuilderEmitsEveryOpcode drives every builder helper and checks
+// the emitted opcode, operands, and immediates.
+func TestBuilderEmitsEveryOpcode(t *testing.T) {
+	b := NewBuilder("allops")
+	b.Func("main")
+	x1, x2, x3 := isa.X(1), isa.X(2), isa.X(3)
+	f1, f2, f3 := isa.F(1), isa.F(2), isa.F(3)
+
+	type want struct {
+		op  isa.Op
+		rd  isa.Reg
+		imm int64
+	}
+	var wants []want
+	emit := func(op isa.Op, rd isa.Reg, imm int64) { wants = append(wants, want{op, rd, imm}) }
+
+	b.Nop()
+	emit(isa.OpNop, isa.Reg(0), 0)
+	b.Add(x3, x1, x2)
+	emit(isa.OpAdd, x3, 0)
+	b.Sub(x3, x1, x2)
+	emit(isa.OpSub, x3, 0)
+	b.Mul(x3, x1, x2)
+	emit(isa.OpMul, x3, 0)
+	b.Div(x3, x1, x2)
+	emit(isa.OpDiv, x3, 0)
+	b.Rem(x3, x1, x2)
+	emit(isa.OpRem, x3, 0)
+	b.And(x3, x1, x2)
+	emit(isa.OpAnd, x3, 0)
+	b.Or(x3, x1, x2)
+	emit(isa.OpOr, x3, 0)
+	b.Xor(x3, x1, x2)
+	emit(isa.OpXor, x3, 0)
+	b.Shl(x3, x1, x2)
+	emit(isa.OpShl, x3, 0)
+	b.Slt(x3, x1, x2)
+	emit(isa.OpSlt, x3, 0)
+	b.Addi(x3, x1, 5)
+	emit(isa.OpAddi, x3, 5)
+	b.Andi(x3, x1, 6)
+	emit(isa.OpAndi, x3, 6)
+	b.Shli(x3, x1, 7)
+	emit(isa.OpShli, x3, 7)
+	b.Shri(x3, x1, 8)
+	emit(isa.OpShri, x3, 8)
+	b.Movi(x3, 9)
+	emit(isa.OpMovi, x3, 9)
+	b.MoviU(x3, 10)
+	emit(isa.OpMovi, x3, 10)
+	b.FAdd(f3, f1, f2)
+	emit(isa.OpFAdd, f3, 0)
+	b.FSub(f3, f1, f2)
+	emit(isa.OpFSub, f3, 0)
+	b.FMul(f3, f1, f2)
+	emit(isa.OpFMul, f3, 0)
+	b.FDiv(f3, f1, f2)
+	emit(isa.OpFDiv, f3, 0)
+	b.FMin(f3, f1, f2)
+	emit(isa.OpFMin, f3, 0)
+	b.FMax(f3, f1, f2)
+	emit(isa.OpFMax, f3, 0)
+	b.FSqrt(f3, f1)
+	emit(isa.OpFSqrt, f3, 0)
+	b.FCmpLT(x3, f1, f2)
+	emit(isa.OpFCmpLT, x3, 0)
+	b.FMovI(f3, x1)
+	emit(isa.OpFMovI, f3, 0)
+	b.Load(x3, x1, 16)
+	emit(isa.OpLoad, x3, 16)
+	b.LoadF(f3, x1, 24)
+	emit(isa.OpLoadF, f3, 24)
+	b.Store(x1, x2, 32)
+	emit(isa.OpStore, isa.Reg(0), 32)
+	b.StoreF(x1, f2, 40)
+	emit(isa.OpStoreF, isa.Reg(0), 40)
+	b.Prefetch(x1, 48)
+	emit(isa.OpPrefetch, isa.Reg(0), 48)
+	b.I(isa.Inst{Op: isa.OpIMovF, Rd: x3, Rs1: f1})
+	emit(isa.OpIMovF, x3, 0)
+	b.Label("end")
+	b.Beq(x1, x2, "end")
+	emit(isa.OpBeq, isa.Reg(0), 0)
+	b.Bne(x1, x2, "end")
+	emit(isa.OpBne, isa.Reg(0), 0)
+	b.Blt(x1, x2, "end")
+	emit(isa.OpBlt, isa.Reg(0), 0)
+	b.Bge(x1, x2, "end")
+	emit(isa.OpBge, isa.Reg(0), 0)
+	b.Jmp("end")
+	emit(isa.OpJmp, isa.Reg(0), 0)
+	b.CsrFlush()
+	emit(isa.OpCsrFlush, isa.Reg(0), 0)
+	b.Halt()
+	emit(isa.OpHalt, isa.Reg(0), 0)
+
+	p := b.MustBuild()
+	if p.NumInsts() != len(wants) {
+		t.Fatalf("emitted %d instructions, want %d", p.NumInsts(), len(wants))
+	}
+	for i, w := range wants {
+		in := p.Insts[i]
+		if in.Op != w.op {
+			t.Errorf("inst %d: op %v, want %v", i, in.Op, w.op)
+			continue
+		}
+		if d := in.Dests(); d != isa.NoReg && w.rd != isa.Reg(0) && d != w.rd {
+			t.Errorf("inst %d (%v): rd %v, want %v", i, in.Op, d, w.rd)
+		}
+		if w.imm != 0 && in.Imm != w.imm {
+			t.Errorf("inst %d (%v): imm %d, want %d", i, in.Op, in.Imm, w.imm)
+		}
+	}
+	// All branch targets resolved to the "end" label.
+	endIdx := 0
+	for i := range p.Insts {
+		if p.Insts[i].Label == "end" {
+			endIdx = i
+		}
+	}
+	for i := range p.Insts {
+		if isa.IsBranch(p.Insts[i].Op) && p.Insts[i].Target != endIdx {
+			t.Errorf("branch at %d targets %d, want %d", i, p.Insts[i].Target, endIdx)
+		}
+	}
+}

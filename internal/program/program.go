@@ -1,0 +1,382 @@
+// Package program provides a small assembler for building programs in
+// the simulator's ISA: forward label resolution, function boundaries
+// for function-granularity profiling, and data-section initialization.
+package program
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// DataBase is the lowest virtual address used for program data. Code
+// lives below it (see isa.CodeBase).
+const DataBase uint64 = 0x1000_0000
+
+// Function describes one function of the program: the half-open range
+// of static-instruction indices [Start, End).
+type Function struct {
+	Name  string
+	Start int
+	End   int
+}
+
+// Program is an assembled program: the static instruction sequence,
+// function table, and initial data memory contents.
+type Program struct {
+	Insts []isa.Inst
+	Funcs []Function
+	// Data holds the initial contents of data memory as 8-byte words
+	// keyed by virtual address (8-byte aligned).
+	Data map[uint64]uint64
+	// Name labels the program (used in reports).
+	Name string
+}
+
+// NumInsts returns the static instruction count.
+func (p *Program) NumInsts() int { return len(p.Insts) }
+
+// FuncOf returns the name of the function containing static instruction
+// index, or "<unknown>" if the index is outside every function.
+func (p *Program) FuncOf(index int) string {
+	i := sort.Search(len(p.Funcs), func(i int) bool { return p.Funcs[i].End > index })
+	if i < len(p.Funcs) && index >= p.Funcs[i].Start {
+		return p.Funcs[i].Name
+	}
+	return "<unknown>"
+}
+
+// FuncOfPC returns the function containing the given code address.
+func (p *Program) FuncOfPC(pc uint64) string { return p.FuncOf(isa.IndexOf(pc)) }
+
+// Inst returns the static instruction at a code address.
+func (p *Program) Inst(pc uint64) *isa.Inst {
+	idx := isa.IndexOf(pc)
+	if idx < 0 || idx >= len(p.Insts) {
+		return nil
+	}
+	return &p.Insts[idx]
+}
+
+// Disassemble returns a listing of the whole program.
+func (p *Program) Disassemble() string {
+	out := ""
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		if in.Label != "" {
+			out += in.Label + ":\n"
+		}
+		out += fmt.Sprintf("  %5d  %#08x  %s\n", i, isa.PCOf(i), in.String())
+	}
+	return out
+}
+
+// Builder assembles a Program instruction by instruction.
+type Builder struct {
+	name    string
+	insts   []isa.Inst
+	labels  map[string]int   // resolved label -> instruction index
+	fixups  map[string][]int // unresolved label -> branch sites
+	funcs   []Function
+	curFunc string
+	fnStart int
+	data    map[uint64]uint64
+	nextVar uint64
+	pending string // label awaiting the next emitted instruction
+	err     error
+}
+
+// NewBuilder returns an empty builder for a named program.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:    name,
+		labels:  make(map[string]int),
+		fixups:  make(map[string][]int),
+		data:    make(map[uint64]uint64),
+		nextVar: DataBase,
+	}
+}
+
+func (b *Builder) setErr(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("program %q: "+format, append([]any{b.name}, args...)...)
+	}
+}
+
+// Func starts a new function. All subsequently emitted instructions
+// belong to it until the next Func call or Build.
+func (b *Builder) Func(name string) *Builder {
+	b.closeFunc()
+	b.curFunc = name
+	b.fnStart = len(b.insts)
+	return b
+}
+
+func (b *Builder) closeFunc() {
+	if b.curFunc != "" && len(b.insts) > b.fnStart {
+		b.funcs = append(b.funcs, Function{Name: b.curFunc, Start: b.fnStart, End: len(b.insts)})
+	}
+	b.curFunc = ""
+}
+
+// Label defines a branch-target label at the next emitted instruction.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.setErr("duplicate label %q", name)
+		return b
+	}
+	b.labels[name] = len(b.insts)
+	b.pending = name
+	return b
+}
+
+func (b *Builder) emit(in isa.Inst) *Builder {
+	if b.pending != "" {
+		in.Label = b.pending
+		b.pending = ""
+	}
+	b.insts = append(b.insts, in)
+	return b
+}
+
+// I emits a raw instruction.
+func (b *Builder) I(in isa.Inst) *Builder { return b.emit(in) }
+
+// Nop emits a no-op.
+func (b *Builder) Nop() *Builder { return b.emit(isa.Inst{Op: isa.OpNop}) }
+
+// Op3 emits a three-register operation rd = rs1 op rs2.
+func (b *Builder) Op3(op isa.Op, rd, rs1, rs2 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Add emits rd = rs1 + rs2.
+func (b *Builder) Add(rd, rs1, rs2 isa.Reg) *Builder { return b.Op3(isa.OpAdd, rd, rs1, rs2) }
+
+// Sub emits rd = rs1 - rs2.
+func (b *Builder) Sub(rd, rs1, rs2 isa.Reg) *Builder { return b.Op3(isa.OpSub, rd, rs1, rs2) }
+
+// Mul emits rd = rs1 * rs2.
+func (b *Builder) Mul(rd, rs1, rs2 isa.Reg) *Builder { return b.Op3(isa.OpMul, rd, rs1, rs2) }
+
+// Div emits rd = rs1 / rs2.
+func (b *Builder) Div(rd, rs1, rs2 isa.Reg) *Builder { return b.Op3(isa.OpDiv, rd, rs1, rs2) }
+
+// Rem emits rd = rs1 % rs2.
+func (b *Builder) Rem(rd, rs1, rs2 isa.Reg) *Builder { return b.Op3(isa.OpRem, rd, rs1, rs2) }
+
+// And emits rd = rs1 & rs2.
+func (b *Builder) And(rd, rs1, rs2 isa.Reg) *Builder { return b.Op3(isa.OpAnd, rd, rs1, rs2) }
+
+// Or emits rd = rs1 | rs2.
+func (b *Builder) Or(rd, rs1, rs2 isa.Reg) *Builder { return b.Op3(isa.OpOr, rd, rs1, rs2) }
+
+// Xor emits rd = rs1 ^ rs2.
+func (b *Builder) Xor(rd, rs1, rs2 isa.Reg) *Builder { return b.Op3(isa.OpXor, rd, rs1, rs2) }
+
+// Shl emits rd = rs1 << rs2.
+func (b *Builder) Shl(rd, rs1, rs2 isa.Reg) *Builder { return b.Op3(isa.OpShl, rd, rs1, rs2) }
+
+// Slt emits rd = (rs1 < rs2) ? 1 : 0.
+func (b *Builder) Slt(rd, rs1, rs2 isa.Reg) *Builder { return b.Op3(isa.OpSlt, rd, rs1, rs2) }
+
+// Addi emits rd = rs1 + imm.
+func (b *Builder) Addi(rd, rs1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpAddi, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Andi emits rd = rs1 & imm.
+func (b *Builder) Andi(rd, rs1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpAndi, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Shli emits rd = rs1 << imm.
+func (b *Builder) Shli(rd, rs1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpShli, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Shri emits rd = rs1 >> imm.
+func (b *Builder) Shri(rd, rs1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpShri, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Movi emits rd = imm.
+func (b *Builder) Movi(rd isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpMovi, Rd: rd, Imm: imm})
+}
+
+// MoviU emits rd = imm for an unsigned (address) immediate.
+func (b *Builder) MoviU(rd isa.Reg, imm uint64) *Builder {
+	return b.Movi(rd, int64(imm))
+}
+
+// FAdd emits fd = fs1 + fs2.
+func (b *Builder) FAdd(fd, fs1, fs2 isa.Reg) *Builder { return b.Op3(isa.OpFAdd, fd, fs1, fs2) }
+
+// FSub emits fd = fs1 - fs2.
+func (b *Builder) FSub(fd, fs1, fs2 isa.Reg) *Builder { return b.Op3(isa.OpFSub, fd, fs1, fs2) }
+
+// FMul emits fd = fs1 * fs2.
+func (b *Builder) FMul(fd, fs1, fs2 isa.Reg) *Builder { return b.Op3(isa.OpFMul, fd, fs1, fs2) }
+
+// FDiv emits fd = fs1 / fs2.
+func (b *Builder) FDiv(fd, fs1, fs2 isa.Reg) *Builder { return b.Op3(isa.OpFDiv, fd, fs1, fs2) }
+
+// FMin emits fd = min(fs1, fs2).
+func (b *Builder) FMin(fd, fs1, fs2 isa.Reg) *Builder { return b.Op3(isa.OpFMin, fd, fs1, fs2) }
+
+// FMax emits fd = max(fs1, fs2).
+func (b *Builder) FMax(fd, fs1, fs2 isa.Reg) *Builder { return b.Op3(isa.OpFMax, fd, fs1, fs2) }
+
+// FSqrt emits fd = sqrt(fs1).
+func (b *Builder) FSqrt(fd, fs1 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpFSqrt, Rd: fd, Rs1: fs1})
+}
+
+// FCmpLT emits rd = (fs1 < fs2) ? 1 : 0, modeling flt.d.
+func (b *Builder) FCmpLT(rd, fs1, fs2 isa.Reg) *Builder {
+	return b.Op3(isa.OpFCmpLT, rd, fs1, fs2)
+}
+
+// FMovI emits fd = float64(rs1).
+func (b *Builder) FMovI(fd, rs1 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpFMovI, Rd: fd, Rs1: rs1})
+}
+
+// Load emits rd = mem[rs1+imm].
+func (b *Builder) Load(rd, rs1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpLoad, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// LoadF emits fd = mem[rs1+imm] as float64.
+func (b *Builder) LoadF(fd, rs1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpLoadF, Rd: fd, Rs1: rs1, Imm: imm})
+}
+
+// Store emits mem[rs1+imm] = rs2.
+func (b *Builder) Store(rs1, rs2 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpStore, Rs1: rs1, Rs2: rs2, Imm: imm})
+}
+
+// StoreF emits mem[rs1+imm] = fs2.
+func (b *Builder) StoreF(rs1, fs2 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpStoreF, Rs1: rs1, Rs2: fs2, Imm: imm})
+}
+
+// Prefetch emits a software prefetch of mem[rs1+imm].
+func (b *Builder) Prefetch(rs1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpPrefetch, Rs1: rs1, Imm: imm})
+}
+
+func (b *Builder) branch(op isa.Op, rs1, rs2 isa.Reg, label string) *Builder {
+	idx := len(b.insts)
+	if target, ok := b.labels[label]; ok {
+		return b.emit(isa.Inst{Op: op, Rs1: rs1, Rs2: rs2, Target: target})
+	}
+	b.fixups[label] = append(b.fixups[label], idx)
+	return b.emit(isa.Inst{Op: op, Rs1: rs1, Rs2: rs2, Target: -1})
+}
+
+// Beq emits a branch to label if rs1 == rs2.
+func (b *Builder) Beq(rs1, rs2 isa.Reg, label string) *Builder {
+	return b.branch(isa.OpBeq, rs1, rs2, label)
+}
+
+// Bne emits a branch to label if rs1 != rs2.
+func (b *Builder) Bne(rs1, rs2 isa.Reg, label string) *Builder {
+	return b.branch(isa.OpBne, rs1, rs2, label)
+}
+
+// Blt emits a branch to label if rs1 < rs2.
+func (b *Builder) Blt(rs1, rs2 isa.Reg, label string) *Builder {
+	return b.branch(isa.OpBlt, rs1, rs2, label)
+}
+
+// Bge emits a branch to label if rs1 >= rs2.
+func (b *Builder) Bge(rs1, rs2 isa.Reg, label string) *Builder {
+	return b.branch(isa.OpBge, rs1, rs2, label)
+}
+
+// Jmp emits an unconditional jump to label.
+func (b *Builder) Jmp(label string) *Builder {
+	return b.branch(isa.OpJmp, isa.NoReg, isa.NoReg, label)
+}
+
+// Call emits a function call to label: the return address is written to
+// the link register (x31 by convention) and control transfers to label.
+func (b *Builder) Call(label string) *Builder {
+	idx := len(b.insts)
+	if target, ok := b.labels[label]; ok {
+		return b.emit(isa.Inst{Op: isa.OpCall, Rd: isa.X(31), Target: target})
+	}
+	b.fixups[label] = append(b.fixups[label], idx)
+	return b.emit(isa.Inst{Op: isa.OpCall, Rd: isa.X(31), Target: -1})
+}
+
+// Ret emits a return through the link register (x31).
+func (b *Builder) Ret() *Builder {
+	return b.emit(isa.Inst{Op: isa.OpRet, Rs1: isa.X(31)})
+}
+
+// CsrFlush emits the serializing pipeline-flushing CSR instruction.
+func (b *Builder) CsrFlush() *Builder { return b.emit(isa.Inst{Op: isa.OpCsrFlush}) }
+
+// Halt emits the program terminator.
+func (b *Builder) Halt() *Builder { return b.emit(isa.Inst{Op: isa.OpHalt}) }
+
+// Alloc reserves size bytes of data memory aligned to align and returns
+// the base virtual address.
+func (b *Builder) Alloc(size, align uint64) uint64 {
+	if align == 0 {
+		align = 8
+	}
+	addr := (b.nextVar + align - 1) &^ (align - 1)
+	b.nextVar = addr + size
+	return addr
+}
+
+// SetWord initializes the 8-byte data word at addr (must be 8-byte
+// aligned) to value.
+func (b *Builder) SetWord(addr, value uint64) {
+	if addr%8 != 0 {
+		b.setErr("SetWord: unaligned address %#x", addr)
+		return
+	}
+	b.data[addr] = value
+}
+
+// Build finalizes the program: resolves branch fixups, closes the
+// current function, and returns the program.
+func (b *Builder) Build() (*Program, error) {
+	b.closeFunc()
+	if b.pending != "" {
+		b.setErr("label %q defined after the last instruction", b.pending)
+	}
+	for label, sites := range b.fixups {
+		target, ok := b.labels[label]
+		if !ok {
+			b.setErr("undefined label %q", label)
+			continue
+		}
+		for _, site := range sites {
+			b.insts[site].Target = target
+		}
+	}
+	if b.err != nil {
+		return nil, b.err
+	}
+	p := &Program{Name: b.name, Insts: b.insts, Funcs: b.funcs, Data: b.data}
+	sort.Slice(p.Funcs, func(i, j int) bool { return p.Funcs[i].Start < p.Funcs[j].Start })
+	return p, nil
+}
+
+// MustBuild is Build that panics on error, for statically known-good
+// programs such as the built-in workloads.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,170 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestBuilderForwardAndBackwardLabels(t *testing.T) {
+	b := NewBuilder("labels")
+	b.Func("main")
+	b.Movi(isa.X(1), 0)
+	b.Label("loop")
+	b.Addi(isa.X(1), isa.X(1), 1)
+	b.Movi(isa.X(2), 10)
+	b.Blt(isa.X(1), isa.X(2), "loop") // backward
+	b.Beq(isa.X(1), isa.X(2), "done") // forward
+	b.Nop()
+	b.Label("done")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loopIdx, doneIdx := 1, 6
+	if p.Insts[3].Target != loopIdx {
+		t.Errorf("backward branch target = %d, want %d", p.Insts[3].Target, loopIdx)
+	}
+	if p.Insts[4].Target != doneIdx {
+		t.Errorf("forward branch target = %d, want %d", p.Insts[4].Target, doneIdx)
+	}
+	if p.Insts[loopIdx].Label != "loop" || p.Insts[doneIdx].Label != "done" {
+		t.Errorf("labels not attached to instructions")
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Func("main")
+	b.Jmp("nowhere")
+	b.Halt()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Fatalf("expected undefined-label error, got %v", err)
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder("dup")
+	b.Label("a").Nop()
+	b.Label("a").Halt()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("expected duplicate-label error, got %v", err)
+	}
+}
+
+func TestBuilderTrailingLabel(t *testing.T) {
+	b := NewBuilder("trail")
+	b.Nop()
+	b.Label("end")
+	if _, err := b.Build(); err == nil {
+		t.Fatalf("expected error for label after last instruction")
+	}
+}
+
+func TestFuncBoundariesAndLookup(t *testing.T) {
+	b := NewBuilder("funcs")
+	b.Func("first")
+	b.Nop().Nop().Nop()
+	b.Func("second")
+	b.Nop().Nop()
+	b.Func("third")
+	b.Halt()
+	p := b.MustBuild()
+	if len(p.Funcs) != 3 {
+		t.Fatalf("got %d functions, want 3", len(p.Funcs))
+	}
+	cases := map[int]string{0: "first", 2: "first", 3: "second", 4: "second", 5: "third"}
+	for idx, want := range cases {
+		if got := p.FuncOf(idx); got != want {
+			t.Errorf("FuncOf(%d) = %q, want %q", idx, got, want)
+		}
+	}
+	if got := p.FuncOf(99); got != "<unknown>" {
+		t.Errorf("FuncOf(out of range) = %q", got)
+	}
+	if got := p.FuncOfPC(isa.PCOf(3)); got != "second" {
+		t.Errorf("FuncOfPC = %q, want second", got)
+	}
+}
+
+func TestAllocAlignmentAndNonOverlap(t *testing.T) {
+	b := NewBuilder("alloc")
+	a1 := b.Alloc(100, 64)
+	a2 := b.Alloc(8, 4096)
+	a3 := b.Alloc(16, 0) // default align 8
+	if a1%64 != 0 || a2%4096 != 0 || a3%8 != 0 {
+		t.Errorf("misaligned allocations: %#x %#x %#x", a1, a2, a3)
+	}
+	if a2 < a1+100 {
+		t.Errorf("allocations overlap: a1=%#x+100 a2=%#x", a1, a2)
+	}
+	if a3 < a2+8 {
+		t.Errorf("allocations overlap: a2=%#x+8 a3=%#x", a2, a3)
+	}
+	if a1 < DataBase {
+		t.Errorf("allocation below DataBase")
+	}
+}
+
+func TestSetWordAndData(t *testing.T) {
+	b := NewBuilder("data")
+	addr := b.Alloc(16, 8)
+	b.SetWord(addr, 42)
+	b.SetWord(addr+8, 99)
+	b.Nop().Halt()
+	p := b.MustBuild()
+	if p.Data[addr] != 42 || p.Data[addr+8] != 99 {
+		t.Errorf("data image wrong: %v", p.Data)
+	}
+}
+
+func TestSetWordUnaligned(t *testing.T) {
+	b := NewBuilder("unaligned")
+	b.SetWord(DataBase+3, 1)
+	b.Nop()
+	if _, err := b.Build(); err == nil {
+		t.Fatalf("expected unaligned SetWord error")
+	}
+}
+
+func TestInstLookupByPC(t *testing.T) {
+	b := NewBuilder("pc")
+	b.Func("main")
+	b.Movi(isa.X(1), 7)
+	b.Halt()
+	p := b.MustBuild()
+	in := p.Inst(isa.PCOf(0))
+	if in == nil || in.Op != isa.OpMovi {
+		t.Fatalf("Inst(PCOf(0)) = %v", in)
+	}
+	if p.Inst(isa.PCOf(5)) != nil {
+		t.Errorf("out-of-range PC should return nil")
+	}
+}
+
+func TestDisassembleContainsLabelsAndMnemonics(t *testing.T) {
+	b := NewBuilder("disasm")
+	b.Func("main")
+	b.Label("top").Movi(isa.X(1), 1)
+	b.Jmp("top")
+	p := b.MustBuild()
+	text := p.Disassemble()
+	for _, want := range []string{"top:", "movi x1, 1", "jmp @0"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustBuild should panic on error")
+		}
+	}()
+	b := NewBuilder("bad")
+	b.Jmp("missing")
+	b.MustBuild()
+}

@@ -1,0 +1,122 @@
+// Package stats provides the statistical primitives the evaluation
+// needs: Pearson correlation (Figure 7), percentiles (the Section 3
+// unattributed-stall analysis), and box-plot summaries.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Pearson returns the Pearson correlation coefficient r between x and y.
+// It returns 0 if the slices differ in length, have fewer than two
+// points, or either has zero variance (no correlation measurable).
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0
+	}
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// Percentile returns the p'th percentile (0..100) of xs using linear
+// interpolation between closest ranks. It returns 0 for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Max returns the maximum of xs (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of xs (0 for empty input).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// BoxPlot summarizes a sample for a box-and-whisker plot: minimum, first
+// quartile, median, third quartile, and maximum.
+type BoxPlot struct {
+	Min, Q1, Median, Q3, Max float64
+	N                        int
+}
+
+// NewBoxPlot computes the five-number summary of xs.
+func NewBoxPlot(xs []float64) BoxPlot {
+	return BoxPlot{
+		Min:    Min(xs),
+		Q1:     Percentile(xs, 25),
+		Median: Percentile(xs, 50),
+		Q3:     Percentile(xs, 75),
+		Max:    Max(xs),
+		N:      len(xs),
+	}
+}
+
+// IQR returns the interquartile range of the summary.
+func (b BoxPlot) IQR() float64 { return b.Q3 - b.Q1 }

@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPearsonPerfectPositive(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if r := Pearson(x, y); !almost(r, 1) {
+		t.Errorf("r = %v, want 1", r)
+	}
+}
+
+func TestPearsonPerfectNegative(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{8, 6, 4, 2}
+	if r := Pearson(x, y); !almost(r, -1) {
+		t.Errorf("r = %v, want -1", r)
+	}
+}
+
+func TestPearsonNoVariance(t *testing.T) {
+	if r := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); r != 0 {
+		t.Errorf("constant x should give r=0, got %v", r)
+	}
+}
+
+func TestPearsonDegenerateInputs(t *testing.T) {
+	if Pearson(nil, nil) != 0 || Pearson([]float64{1}, []float64{2}) != 0 {
+		t.Errorf("degenerate inputs should give 0")
+	}
+	if Pearson([]float64{1, 2}, []float64{1, 2, 3}) != 0 {
+		t.Errorf("mismatched lengths should give 0")
+	}
+}
+
+func TestPearsonBounded(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.IntN(100)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		r := Pearson(x, y)
+		if r < -1-1e-12 || r > 1+1e-12 {
+			t.Fatalf("r = %v out of [-1,1]", r)
+		}
+	}
+}
+
+func TestPearsonScaleInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 7))
+		n := 5 + rng.IntN(20)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64() * 100
+			y[i] = x[i]*3 + rng.NormFloat64()
+		}
+		r1 := Pearson(x, y)
+		xs := make([]float64, n)
+		for i := range x {
+			xs[i] = x[i]*10 + 5 // affine transform preserves r
+		}
+		r2 := Pearson(xs, y)
+		return math.Abs(r1-r2) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 15}, {100, 50}, {50, 35}, {25, 20}, {75, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almost(got, c.want) {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(xs, 62.5); !almost(got, 37.5) {
+		t.Errorf("interpolated P62.5 = %v, want 37.5", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Percentile mutated input: %v", xs)
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	if Percentile(nil, 50) != 0 {
+		t.Errorf("empty percentile should be 0")
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		n := 1 + rng.IntN(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 1000
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := Percentile(xs, p)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	xs := []float64{4, -2, 10, 0}
+	if !almost(Mean(xs), 3) {
+		t.Errorf("mean = %v", Mean(xs))
+	}
+	if Min(xs) != -2 || Max(xs) != 10 {
+		t.Errorf("min/max = %v/%v", Min(xs), Max(xs))
+	}
+	if Mean(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 {
+		t.Errorf("empty aggregates should be 0")
+	}
+}
+
+func TestBoxPlot(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	b := NewBoxPlot(xs)
+	if b.Min != 1 || b.Max != 9 || !almost(b.Median, 5) || b.N != 9 {
+		t.Errorf("box plot wrong: %+v", b)
+	}
+	if !almost(b.Q1, 3) || !almost(b.Q3, 7) {
+		t.Errorf("quartiles wrong: %+v", b)
+	}
+	if !almost(b.IQR(), 4) {
+		t.Errorf("IQR = %v, want 4", b.IQR())
+	}
+}
+
+func TestBoxPlotOrdering(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 11))
+		n := 1 + rng.IntN(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 50
+		}
+		b := NewBoxPlot(xs)
+		return b.Min <= b.Q1 && b.Q1 <= b.Median && b.Median <= b.Q3 && b.Q3 <= b.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

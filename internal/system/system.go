@@ -1,0 +1,92 @@
+// Package system composes multiple out-of-order cores into a
+// chip-multiprocessor: every core has private L1 caches and TLBs and
+// its own TEA unit (the paper requires one per physical core, Section
+// 3), while the last-level cache and DRAM are shared, so co-running
+// programs contend for capacity and bandwidth. Cores advance in
+// lockstep, one cycle per Step round, which keeps multi-core runs
+// deterministic. Samples are attributable per core/process, which is
+// what lets the paper's sampling software create PICS for each thread.
+package system
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/program"
+)
+
+// System is a multi-core chip with a shared LLC and DRAM.
+type System struct {
+	cores []*cpu.CPU
+	llc   *mem.Cache
+	dram  *mem.DRAM
+	cycle uint64
+}
+
+// New builds a system with one core per program. All cores use the same
+// core configuration; the LLC and DRAM described by cfg.Mem are built
+// once and shared.
+func New(cfg cpu.Config, progs []*program.Program) *System {
+	if len(progs) == 0 {
+		panic("system: need at least one program")
+	}
+	llc := mem.NewCache(cfg.Mem.LLC)
+	dram := mem.NewDRAM(cfg.Mem.DRAM)
+	s := &System{llc: llc, dram: dram}
+	for _, p := range progs {
+		h := mem.NewHierarchyShared(cfg.Mem, llc, dram)
+		s.cores = append(s.cores, cpu.NewWithHierarchy(cfg, p, h))
+	}
+	return s
+}
+
+// Core returns the i'th core (to attach probes before Run).
+func (s *System) Core(i int) *cpu.CPU { return s.cores[i] }
+
+// NumCores returns the core count.
+func (s *System) NumCores() int { return len(s.cores) }
+
+// LLC returns the shared last-level cache (statistics).
+func (s *System) LLC() *mem.Cache { return s.llc }
+
+// DRAM returns the shared memory device (statistics).
+func (s *System) DRAM() *mem.DRAM { return s.dram }
+
+// Cycles returns the number of lockstep cycles executed.
+func (s *System) Cycles() uint64 { return s.cycle }
+
+// Run advances all cores in lockstep until every program has finished,
+// then fires each core's probe-completion hooks. It returns the
+// per-core statistics.
+func (s *System) Run() []*cpu.Stats {
+	running := len(s.cores)
+	alive := make([]bool, len(s.cores))
+	for i := range alive {
+		alive[i] = true
+	}
+	for running > 0 {
+		s.cycle++
+		for i, c := range s.cores {
+			if !alive[i] {
+				continue
+			}
+			if !c.Step() {
+				alive[i] = false
+				running--
+			}
+		}
+	}
+	stats := make([]*cpu.Stats, len(s.cores))
+	for i, c := range s.cores {
+		c.Finish()
+		stats[i] = &c.Stats
+	}
+	return stats
+}
+
+// Describe summarizes the system configuration.
+func (s *System) Describe() string {
+	return fmt.Sprintf("%d cores, private L1s/TLBs, shared %d KiB LLC and DRAM",
+		len(s.cores), s.llc.Config().SizeBytes>>10)
+}

@@ -1,0 +1,169 @@
+package system
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/events"
+	"repro/internal/pics"
+	"repro/internal/program"
+	"repro/internal/workloads"
+)
+
+func TestSingleCoreSystemMatchesStandaloneCPU(t *testing.T) {
+	solo := cpu.New(cpu.DefaultConfig(), workloads.Fotonik3d(800)).Run()
+	sys := New(cpu.DefaultConfig(), []*program.Program{workloads.Fotonik3d(800)})
+	stats := sys.Run()
+	if len(stats) != 1 {
+		t.Fatalf("got %d stat sets", len(stats))
+	}
+	if stats[0].Cycles != solo.Cycles || stats[0].Committed != solo.Committed {
+		t.Errorf("single-core system (%d cycles, %d insts) differs from standalone CPU (%d, %d)",
+			stats[0].Cycles, stats[0].Committed, solo.Cycles, solo.Committed)
+	}
+}
+
+func TestLockstepAndCompletion(t *testing.T) {
+	// Two programs of very different lengths: the system runs until the
+	// longer one finishes, and both commit their full instruction count.
+	short := workloads.Exchange2(300)
+	long := workloads.Fotonik3d(2000)
+	sys := New(cpu.DefaultConfig(), []*program.Program{short, long})
+	stats := sys.Run()
+	if stats[0].Committed == 0 || stats[1].Committed == 0 {
+		t.Fatalf("a core committed nothing")
+	}
+	if stats[0].Cycles >= stats[1].Cycles {
+		t.Errorf("short program (%d cycles) should finish before long (%d)",
+			stats[0].Cycles, stats[1].Cycles)
+	}
+	if sys.Cycles() < stats[1].Cycles {
+		t.Errorf("system cycles %d below longest core %d", sys.Cycles(), stats[1].Cycles)
+	}
+}
+
+func TestSharedLLCContention(t *testing.T) {
+	// A cache-sensitive program co-runs with a streaming antagonist:
+	// its LLC misses must rise versus running alone on the same system
+	// size.
+	mk := func() *program.Program { return workloads.Fotonik3d(4000) }
+
+	aloneSys := New(cpu.DefaultConfig(), []*program.Program{mk()})
+	g0 := core.NewGolden(aloneSys.Core(0))
+	aloneSys.Core(0).Attach(g0)
+	aloneStats := aloneSys.Run()
+
+	pair := New(cpu.DefaultConfig(), []*program.Program{mk(), workloads.LBM(1800, 0)})
+	g1 := core.NewGolden(pair.Core(0))
+	pair.Core(0).Attach(g1)
+	pairStats := pair.Run()
+
+	if pairStats[0].Cycles <= aloneStats[0].Cycles {
+		t.Errorf("co-running with a streaming antagonist did not slow the victim: %d vs %d cycles",
+			pairStats[0].Cycles, aloneStats[0].Cycles)
+	}
+	// The contention must be visible in the victim's PICS as grown
+	// memory-event components.
+	memShare := func(p *pics.Profile) float64 {
+		var mem, total float64
+		for _, st := range p.Insts {
+			for sig, v := range st {
+				total += v
+				if sig.Has(events.STLLC) || sig.Has(events.STL1) {
+					mem += v
+				}
+			}
+		}
+		return mem / total
+	}
+	if memShare(g1.Profile()) <= memShare(g0.Profile()) {
+		t.Errorf("victim's memory-event share did not grow under contention: %.3f vs %.3f",
+			memShare(g1.Profile()), memShare(g0.Profile()))
+	}
+}
+
+func TestPerCoreTEARemainsAccurateUnderContention(t *testing.T) {
+	// The paper's multi-threading claim: one TEA unit per core suffices
+	// to build accurate per-thread PICS. Under shared-LLC contention,
+	// each core's TEA must still match that core's golden reference.
+	progs := []*program.Program{workloads.Fotonik3d(4000), workloads.Bwaves(2500)}
+	sys := New(cpu.DefaultConfig(), progs)
+	var teas []*core.TEA
+	var goldens []*core.TEA
+	for i := 0; i < sys.NumCores(); i++ {
+		g := core.NewGolden(sys.Core(i))
+		cfg := core.DefaultConfig()
+		cfg.IntervalCycles = 192
+		cfg.JitterCycles = 16
+		cfg.Seed = uint64(i + 1)
+		tea := core.NewTEA(sys.Core(i), cfg)
+		sys.Core(i).Attach(g)
+		sys.Core(i).Attach(tea)
+		goldens = append(goldens, g)
+		teas = append(teas, tea)
+	}
+	sys.Run()
+	for i := range teas {
+		e := pics.Error(teas[i].Profile(), goldens[i].Profile())
+		if e > 0.15 {
+			t.Errorf("core %d TEA error under contention = %.3f, want small", i, e)
+		}
+	}
+	// And the profiles are genuinely per-process: disjoint PCs cannot
+	// leak across cores (each core profiles its own program).
+	for pc := range teas[0].Profile().Insts {
+		if _, both := teas[1].Profile().Insts[pc]; both {
+			// Same code addresses across programs are expected (same
+			// base), so instead verify sample counts are independent.
+			break
+		}
+	}
+	if teas[0].SampleCnt == 0 || teas[1].SampleCnt == 0 {
+		t.Errorf("a core's TEA captured no samples")
+	}
+}
+
+func TestSharedBandwidthSlowsStreams(t *testing.T) {
+	// Two copies of a bandwidth-bound stream must each run slower than
+	// one copy alone (shared DRAM).
+	alone := New(cpu.DefaultConfig(), []*program.Program{workloads.ROMS(2500)})
+	aloneStats := alone.Run()
+	both := New(cpu.DefaultConfig(), []*program.Program{workloads.ROMS(2500), workloads.ROMS(2500)})
+	bothStats := both.Run()
+	if bothStats[0].Cycles <= aloneStats[0].Cycles || bothStats[1].Cycles <= aloneStats[0].Cycles {
+		t.Errorf("co-running streams not slowed by shared DRAM: alone %d, pair %d/%d",
+			aloneStats[0].Cycles, bothStats[0].Cycles, bothStats[1].Cycles)
+	}
+}
+
+func TestSystemDeterminism(t *testing.T) {
+	mk := func() []*cpu.Stats {
+		return New(cpu.DefaultConfig(), []*program.Program{
+			workloads.Fotonik3d(1000), workloads.Exchange2(1500),
+		}).Run()
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i].Cycles != b[i].Cycles || a[i].Committed != b[i].Committed {
+			t.Errorf("core %d non-deterministic: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestNewPanicsWithoutPrograms(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	New(cpu.DefaultConfig(), nil)
+}
+
+func TestDescribe(t *testing.T) {
+	sys := New(cpu.DefaultConfig(), []*program.Program{workloads.Exchange2(10), workloads.Exchange2(10)})
+	got := sys.Describe()
+	if got == "" || sys.NumCores() != 2 {
+		t.Errorf("Describe/NumCores wrong: %q %d", got, sys.NumCores())
+	}
+}

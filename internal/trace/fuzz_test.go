@@ -1,0 +1,38 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+)
+
+// FuzzReplay feeds arbitrary bytes to the trace reader: it must reject
+// or cleanly error on malformed input, never panic.
+func FuzzReplay(f *testing.F) {
+	// Seed with a valid trace prefix and some mutations.
+	p := testProgram()
+	c := cpu.New(cpu.DefaultConfig(), p)
+	var buf bytes.Buffer
+	tw := NewWriter(&buf)
+	c.Attach(tw)
+	c.Run()
+	valid := buf.Bytes()
+	f.Add(valid[:min(len(valid), 4096)])
+	f.Add([]byte("TEAT\x02"))
+	f.Add([]byte("TEAT\x02\x05\x01\x00"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := core.NewGolden(nil)
+		// Errors are fine; panics are not.
+		_, _ = Replay(bytes.NewReader(data), g)
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,377 @@
+// Package trace provides the TraceDoctor-style trace substrate of the
+// paper's methodology (Section 4): the core's probe event stream —
+// per-cycle commit states, fetch/dispatch/commit/squash events with
+// instruction addresses and PSVs — is serialized to a compact binary
+// stream, and any set of profiling techniques can later be replayed
+// against it offline, out-of-band from the simulation. This is exactly
+// how the paper evaluates 15 configurations from one FPGA run: capture
+// once, analyze many times.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/cpu"
+	"repro/internal/emu"
+	"repro/internal/events"
+	"repro/internal/isa"
+)
+
+// Record kinds.
+const (
+	recFetch    = 0x01
+	recDispatch = 0x02
+	recCommit   = 0x03
+	recSquash   = 0x04
+	recCycle    = 0x05
+	recDone     = 0x06
+)
+
+// magic identifies a trace stream.
+var magic = [4]byte{'T', 'E', 'A', 'T'}
+
+// version is the trace format version.
+const version = 2
+
+// Writer is a cpu.Probe that serializes the probe event stream.
+type Writer struct {
+	cpu.BaseProbe
+	w       *bufio.Writer
+	err     error
+	started bool
+	buf     [binary.MaxVarintLen64]byte
+
+	// Delta-encoding state: cycles are monotonically non-decreasing;
+	// sequence numbers and PCs are locally close, so signed deltas
+	// compress well.
+	lastCycle uint64
+	lastSeq   uint64
+	lastPC    uint64
+
+	// Records counts serialized records (for statistics).
+	Records uint64
+}
+
+// NewWriter returns a trace writer targeting w. Attach it to a core
+// like any other probe; the stream is complete after OnDone fires.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Err returns the first write error, if any.
+func (t *Writer) Err() error { return t.err }
+
+func (t *Writer) header() {
+	if t.started || t.err != nil {
+		return
+	}
+	t.started = true
+	if _, err := t.w.Write(magic[:]); err != nil {
+		t.err = err
+		return
+	}
+	t.err = t.w.WriteByte(version)
+}
+
+func (t *Writer) byteOut(b byte) {
+	if t.err == nil {
+		t.err = t.w.WriteByte(b)
+	}
+}
+
+func (t *Writer) varint(v uint64) {
+	if t.err != nil {
+		return
+	}
+	n := binary.PutUvarint(t.buf[:], v)
+	_, t.err = t.w.Write(t.buf[:n])
+}
+
+// cycleDelta emits the non-negative delta from the previous cycle.
+func (t *Writer) cycleDelta(cycle uint64) {
+	t.varint(cycle - t.lastCycle)
+	t.lastCycle = cycle
+}
+
+// seqDelta emits the zigzag-encoded signed delta from the previous
+// sequence number.
+func (t *Writer) seqDelta(seq uint64) {
+	t.varint(zigzag(int64(seq) - int64(t.lastSeq)))
+	t.lastSeq = seq
+}
+
+// pcDelta emits the zigzag-encoded signed delta from the previous PC.
+func (t *Writer) pcDelta(pc uint64) {
+	t.varint(zigzag(int64(pc) - int64(t.lastPC)))
+	t.lastPC = pc
+}
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// OnFetch implements cpu.Probe.
+func (t *Writer) OnFetch(u *cpu.UOp, cycle uint64) {
+	t.header()
+	t.byteOut(recFetch)
+	t.seqDelta(u.Seq())
+	t.pcDelta(u.PC())
+	t.cycleDelta(cycle)
+	t.Records++
+}
+
+// OnDispatch implements cpu.Probe.
+func (t *Writer) OnDispatch(u *cpu.UOp, cycle uint64) {
+	t.header()
+	t.byteOut(recDispatch)
+	t.seqDelta(u.Seq())
+	t.cycleDelta(cycle)
+	t.Records++
+}
+
+// OnCommit implements cpu.Probe. The µop's PSV is final here.
+func (t *Writer) OnCommit(u *cpu.UOp, cycle uint64) {
+	t.header()
+	t.byteOut(recCommit)
+	t.seqDelta(u.Seq())
+	t.varint(uint64(u.PSV))
+	t.cycleDelta(cycle)
+	t.Records++
+}
+
+// OnSquash implements cpu.Probe.
+func (t *Writer) OnSquash(u *cpu.UOp, cycle uint64) {
+	t.header()
+	t.byteOut(recSquash)
+	t.seqDelta(u.Seq())
+	t.cycleDelta(cycle)
+	t.Records++
+}
+
+// OnCycle implements cpu.Probe. Commit records for the cycle precede
+// the cycle record in the live probe ordering... the core fires
+// OnCommit during the commit stage and OnCycle at its end, so the
+// stream preserves that order naturally.
+func (t *Writer) OnCycle(ci *cpu.CycleInfo) {
+	t.header()
+	t.byteOut(recCycle)
+	t.cycleDelta(ci.Cycle)
+	t.byteOut(byte(ci.State))
+	switch ci.State {
+	case events.Compute:
+		t.varint(uint64(len(ci.Committed)))
+		for _, u := range ci.Committed {
+			t.seqDelta(u.Seq())
+		}
+	case events.Stalled:
+		t.seqDelta(ci.Head.Seq())
+	case events.Flushed:
+		t.seqDelta(ci.LastCommitted.Seq())
+	case events.Drained:
+		// No operand: the next commit resolves the attribution.
+	}
+	t.Records++
+}
+
+// OnDone implements cpu.Probe and finalizes the stream.
+func (t *Writer) OnDone(totalCycles uint64) {
+	t.header()
+	t.byteOut(recDone)
+	t.varint(totalCycles)
+	t.Records++
+	if t.err == nil {
+		t.err = t.w.Flush()
+	}
+}
+
+// Replay feeds a recorded trace to a set of probes, reconstructing the
+// µop identities the live probes would have seen. The probes cannot
+// tell replay from a live run: profiles built offline are identical to
+// online ones (the paper's out-of-band host processing).
+func Replay(r io.Reader, probes ...cpu.Probe) (totalCycles uint64, err error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [5]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != magic {
+		return 0, errors.New("trace: bad magic")
+	}
+	if hdr[4] != version {
+		return 0, fmt.Errorf("trace: unsupported version %d", hdr[4])
+	}
+
+	// Live µops by sequence number; nopInst backs synthesized records.
+	live := make(map[uint64]*cpu.UOp)
+	nopInst := &isa.Inst{Op: isa.OpNop}
+	get := func(seq uint64) *cpu.UOp {
+		u := live[seq]
+		if u == nil {
+			u = &cpu.UOp{Dyn: &emu.Inst{Static: nopInst, Seq: seq}}
+			live[seq] = u
+		}
+		return u
+	}
+	var lastCommitted *cpu.UOp
+	var recentCommitted []*cpu.UOp
+	ci := &cpu.CycleInfo{}
+
+	u64 := func() (uint64, error) { return binary.ReadUvarint(br) }
+	// Delta-decoding state mirroring the writer.
+	var lastCycle, lastSeq, lastPC uint64
+	readCycle := func() (uint64, error) {
+		d, err := u64()
+		if err != nil {
+			return 0, err
+		}
+		lastCycle += d
+		return lastCycle, nil
+	}
+	readSeq := func() (uint64, error) {
+		d, err := u64()
+		if err != nil {
+			return 0, err
+		}
+		lastSeq = uint64(int64(lastSeq) + unzigzag(d))
+		return lastSeq, nil
+	}
+	readPC := func() (uint64, error) {
+		d, err := u64()
+		if err != nil {
+			return 0, err
+		}
+		lastPC = uint64(int64(lastPC) + unzigzag(d))
+		return lastPC, nil
+	}
+	for {
+		kind, err := br.ReadByte()
+		if err == io.EOF {
+			return totalCycles, errors.New("trace: truncated stream (no done record)")
+		}
+		if err != nil {
+			return totalCycles, err
+		}
+		switch kind {
+		case recFetch:
+			seq, err1 := readSeq()
+			pc, err2 := readPC()
+			cycle, err3 := readCycle()
+			if err := firstErr(err1, err2, err3); err != nil {
+				return totalCycles, err
+			}
+			u := get(seq)
+			u.Dyn.PC = pc
+			for _, p := range probes {
+				p.OnFetch(u, cycle)
+			}
+		case recDispatch:
+			seq, err1 := readSeq()
+			cycle, err2 := readCycle()
+			if err := firstErr(err1, err2); err != nil {
+				return totalCycles, err
+			}
+			u := get(seq)
+			for _, p := range probes {
+				p.OnDispatch(u, cycle)
+			}
+		case recCommit:
+			seq, err1 := readSeq()
+			psv, err2 := u64()
+			cycle, err3 := readCycle()
+			if err := firstErr(err1, err2, err3); err != nil {
+				return totalCycles, err
+			}
+			u := get(seq)
+			u.PSV = events.PSV(psv)
+			u.CommitCycle = cycle
+			for _, p := range probes {
+				p.OnCommit(u, cycle)
+			}
+			lastCommitted = u
+			recentCommitted = append(recentCommitted, u)
+		case recSquash:
+			seq, err1 := readSeq()
+			cycle, err2 := readCycle()
+			if err := firstErr(err1, err2); err != nil {
+				return totalCycles, err
+			}
+			u := get(seq)
+			for _, p := range probes {
+				p.OnSquash(u, cycle)
+			}
+			delete(live, seq)
+		case recCycle:
+			cycle, err1 := readCycle()
+			stateByte, err2 := br.ReadByte()
+			if err := firstErr(err1, err2); err != nil {
+				return totalCycles, err
+			}
+			ci.Cycle = cycle
+			ci.State = events.CommitState(stateByte)
+			ci.Committed = ci.Committed[:0]
+			ci.Head = nil
+			ci.LastCommitted = nil
+			switch ci.State {
+			case events.Compute:
+				n, err := u64()
+				if err != nil {
+					return totalCycles, err
+				}
+				for i := uint64(0); i < n; i++ {
+					seq, err := readSeq()
+					if err != nil {
+						return totalCycles, err
+					}
+					ci.Committed = append(ci.Committed, get(seq))
+				}
+			case events.Stalled:
+				seq, err := readSeq()
+				if err != nil {
+					return totalCycles, err
+				}
+				ci.Head = get(seq)
+			case events.Flushed:
+				seq, err := readSeq()
+				if err != nil {
+					return totalCycles, err
+				}
+				ci.LastCommitted = get(seq)
+			}
+			for _, p := range probes {
+				p.OnCycle(ci)
+			}
+			// Recycle committed µops once their commit cycle's record
+			// has been delivered; only the most recent committed µop
+			// stays referenceable (Flushed cycles point at it).
+			for _, u := range recentCommitted {
+				if u != lastCommitted {
+					delete(live, u.Seq())
+				}
+			}
+			recentCommitted = recentCommitted[:0]
+		case recDone:
+			totalCycles, err = u64()
+			if err != nil {
+				return totalCycles, err
+			}
+			for _, p := range probes {
+				p.OnDone(totalCycles)
+			}
+			return totalCycles, nil
+		default:
+			return totalCycles, fmt.Errorf("trace: unknown record kind %#x", kind)
+		}
+	}
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

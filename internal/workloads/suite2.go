@@ -1,0 +1,225 @@
+package workloads
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// suite2 returns the second half of the benchmark suite, bringing the
+// evaluation to the paper's "broad set of SPEC CPU2017 benchmarks".
+func suite2() []Workload {
+	return []Workload{
+		{"cam4", "mixed FP compute with store streams", 7000, Cam4},
+		{"imagick", "FP multiply/add chains over streaming pixels", 9000, Imagick},
+		{"leela", "branchy tree search over an LLC-resident arena", 8000, Leela},
+		{"perlbench", "hash-table probes with data-dependent branches", 10000, Perlbench},
+		{"povray", "FP divide/sqrt-heavy ray math; execution-latency bound", 9000, Povray},
+		{"x264", "integer SAD kernels over streaming frames; high IPC", 8000, X264},
+		{"xalancbmk", "pointer chasing over an LLC-resident tree: L1 misses that hit the LLC", 9000, Xalancbmk},
+	}
+}
+
+// Perlbench mimics perlbench: hash-table probes whose buckets live in
+// the L1/LLC and whose comparison branches are data-dependent — FL-MB
+// with light memory events.
+func Perlbench(iters int) *program.Program {
+	b := program.NewBuilder("perlbench")
+	const buckets = 4096
+	table := b.Alloc(buckets*8+4096, 4096)
+	rng := rand.New(rand.NewPCG(0x9E81, 2))
+	for i := 0; i < buckets; i++ {
+		b.SetWord(table+uint64(i)*8, rng.Uint64N(2))
+	}
+	b.Func("perl_hash")
+	b.MoviU(isa.X(1), table)
+	b.Movi(isa.X(2), 0)
+	b.Movi(isa.X(3), int64(iters))
+	b.Movi(isa.X(4), 88172)
+	b.Movi(isa.X(7), 0)
+	b.Label("loop")
+	// xorshift key -> bucket index.
+	b.Shli(isa.X(5), isa.X(4), 13)
+	b.Xor(isa.X(4), isa.X(4), isa.X(5))
+	b.Shri(isa.X(5), isa.X(4), 7)
+	b.Xor(isa.X(4), isa.X(4), isa.X(5))
+	b.Andi(isa.X(5), isa.X(4), buckets-1)
+	b.Shli(isa.X(5), isa.X(5), 3)
+	b.Add(isa.X(6), isa.X(1), isa.X(5))
+	b.Load(isa.X(8), isa.X(6), 0)     // bucket flag: pseudo-random 0/1
+	b.Beq(isa.X(8), isa.X(0), "miss") // data-dependent: unpredictable
+	b.Addi(isa.X(7), isa.X(7), 2)
+	b.Label("miss")
+	b.Addi(isa.X(2), isa.X(2), 1)
+	b.Blt(isa.X(2), isa.X(3), "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// X264 mimics x264: a SAD-like integer reduction over two streaming
+// frames — sequential loads that mostly hit (next lines already
+// resident from the linear walk), dense ALU work, perfectly predicted
+// loops: the high-IPC end of the suite.
+func X264(iters int) *program.Program {
+	b := program.NewBuilder("x264")
+	// 16 KB reference windows: L1-resident after the first pass, so the
+	// kernel is compute-bound like a motion-search inner loop.
+	frameA := b.Alloc(16<<10+8192, 4096)
+	frameB := b.Alloc(16<<10+8192, 4096)
+	b.Func("x264_sad")
+	b.MoviU(isa.X(1), frameA)
+	b.MoviU(isa.X(2), frameB)
+	b.Movi(isa.X(3), 0)
+	b.Movi(isa.X(4), int64(iters))
+	b.Movi(isa.X(10), 0) // SAD accumulator
+	b.Label("loop")
+	// Window offset wraps every 512 iterations (16 KB / 32 B).
+	b.Andi(isa.X(11), isa.X(3), 511)
+	b.Shli(isa.X(11), isa.X(11), 5)
+	b.Add(isa.X(12), isa.X(1), isa.X(11))
+	b.Add(isa.X(13), isa.X(2), isa.X(11))
+	for w := int64(0); w < 4; w++ {
+		b.Load(isa.X(5), isa.X(12), w*8)
+		b.Load(isa.X(6), isa.X(13), w*8)
+		b.Sub(isa.X(7), isa.X(5), isa.X(6))
+		// |x| via mask trick: m = x >> 63; |x| = (x ^ m) - m.
+		b.Shri(isa.X(8), isa.X(7), 63)
+		b.Xor(isa.X(9), isa.X(7), isa.X(8))
+		b.Sub(isa.X(9), isa.X(9), isa.X(8))
+		b.Add(isa.X(10), isa.X(10), isa.X(9))
+	}
+	b.Addi(isa.X(3), isa.X(3), 1)
+	b.Blt(isa.X(3), isa.X(4), "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// Imagick mimics imagick: floating-point multiply/add chains over a
+// streaming pixel buffer — FP latency partially hidden under cache
+// misses.
+func Imagick(iters int) *program.Program {
+	b := program.NewBuilder("imagick")
+	pixels := b.Alloc(uint64(iters)*48+8192, 4096)
+	b.Func("imagick_convolve")
+	b.MoviU(isa.X(1), pixels)
+	b.Movi(isa.X(2), 0)
+	b.Movi(isa.X(3), int64(iters))
+	b.Movi(isa.X(4), 3)
+	b.FMovI(isa.F(1), isa.X(4))
+	b.Label("loop")
+	b.LoadF(isa.F(2), isa.X(1), 0)
+	b.LoadF(isa.F(3), isa.X(1), 16)
+	b.LoadF(isa.F(4), isa.X(1), 32)
+	b.FMul(isa.F(5), isa.F(2), isa.F(1))
+	b.FAdd(isa.F(5), isa.F(5), isa.F(3))
+	b.FMul(isa.F(5), isa.F(5), isa.F(1))
+	b.FAdd(isa.F(5), isa.F(5), isa.F(4))
+	b.FMul(isa.F(6), isa.F(5), isa.F(1))
+	b.StoreF(isa.X(1), isa.F(6), 40)
+	b.Addi(isa.X(1), isa.X(1), 48)
+	b.Addi(isa.X(2), isa.X(2), 1)
+	b.Blt(isa.X(2), isa.X(3), "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// Povray mimics povray: ray-geometry math dominated by dependent FP
+// divides and square roots — exposed execution latency without memory
+// events (like nab's fsqrt, but without the serializing flushes).
+func Povray(iters int) *program.Program {
+	b := program.NewBuilder("povray")
+	b.Func("povray_intersect")
+	b.Movi(isa.X(2), 0)
+	b.Movi(isa.X(3), int64(iters))
+	b.Movi(isa.X(4), 17)
+	b.FMovI(isa.F(1), isa.X(4))
+	b.Movi(isa.X(5), 3)
+	b.FMovI(isa.F(2), isa.X(5))
+	b.Label("loop")
+	b.FMul(isa.F(3), isa.F(1), isa.F(1)) // b^2
+	b.FMul(isa.F(4), isa.F(2), isa.F(2))
+	b.FSub(isa.F(5), isa.F(3), isa.F(4)) // discriminant
+	b.FMax(isa.F(5), isa.F(5), isa.F(2)) // keep it positive
+	b.FSqrt(isa.F(6), isa.F(5))
+	b.FDiv(isa.F(1), isa.F(6), isa.F(2)) // dependent: feeds next iter
+	b.FAdd(isa.F(1), isa.F(1), isa.F(2))
+	b.Addi(isa.X(2), isa.X(2), 1)
+	b.Blt(isa.X(2), isa.X(3), "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// Xalancbmk mimics xalancbmk: pointer chasing over a DOM-like arena
+// sized to fit the LLC but not the L1 — the chase load misses the L1
+// and hits the LLC, giving solitary ST-L1 components (distinct from
+// omnetpp's DRAM-deep combined misses).
+func Xalancbmk(iters int) *program.Program {
+	b := program.NewBuilder("xalancbmk")
+	// 2048 nodes x 96 B = 192 KB: far beyond the 32 KB L1, well within
+	// the 2 MiB LLC, and small enough that the cyclic walk warms it.
+	base := chaseList(b, 2048, 96, 0xD0)
+	b.Func("xalanc_walk")
+	b.MoviU(isa.X(1), base)
+	b.Movi(isa.X(2), 0)
+	b.Movi(isa.X(3), int64(iters))
+	b.Movi(isa.X(7), 0)
+	b.Label("loop")
+	b.Load(isa.X(1), isa.X(1), 0)
+	b.Add(isa.X(7), isa.X(7), isa.X(1))
+	b.Addi(isa.X(2), isa.X(2), 1)
+	b.Blt(isa.X(2), isa.X(3), "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// Leela mimics leela: tree search mixing an LLC-resident pointer chase
+// with data-dependent branches on node contents.
+func Leela(iters int) *program.Program {
+	b := program.NewBuilder("leela")
+	base := chaseList(b, 4096, 64, 0x1EE1A) // 256 KB arena: LLC-resident
+	b.Func("leela_search")
+	b.MoviU(isa.X(1), base)
+	b.Movi(isa.X(2), 0)
+	b.Movi(isa.X(3), int64(iters))
+	b.Movi(isa.X(7), 0)
+	b.Label("loop")
+	b.Load(isa.X(1), isa.X(1), 0)
+	b.Andi(isa.X(5), isa.X(1), 64) // pseudo-random address bit
+	b.Beq(isa.X(5), isa.X(0), "prune")
+	b.Addi(isa.X(7), isa.X(7), 1)
+	b.Label("prune")
+	b.Addi(isa.X(2), isa.X(2), 1)
+	b.Blt(isa.X(2), isa.X(3), "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// Cam4 mimics cam4: columns of FP physics with a store stream — a mix
+// of FP latency, moderate cache misses, and store bandwidth.
+func Cam4(iters int) *program.Program {
+	b := program.NewBuilder("cam4")
+	in := b.Alloc(uint64(iters)*80+8192, 4096)
+	out := b.Alloc(uint64(iters)*80+8192, 4096)
+	b.Func("cam4_physics")
+	b.MoviU(isa.X(1), in)
+	b.MoviU(isa.X(2), out)
+	b.Movi(isa.X(3), 0)
+	b.Movi(isa.X(4), int64(iters))
+	b.Movi(isa.X(5), 2)
+	b.FMovI(isa.F(1), isa.X(5))
+	b.Label("loop")
+	b.LoadF(isa.F(2), isa.X(1), 0)
+	b.LoadF(isa.F(3), isa.X(1), 40)
+	b.FMul(isa.F(4), isa.F(2), isa.F(1))
+	b.FDiv(isa.F(5), isa.F(3), isa.F(1))
+	b.FAdd(isa.F(6), isa.F(4), isa.F(5))
+	b.StoreF(isa.X(2), isa.F(6), 0)
+	b.StoreF(isa.X(2), isa.F(4), 40)
+	b.Addi(isa.X(1), isa.X(1), 80)
+	b.Addi(isa.X(2), isa.X(2), 80)
+	b.Addi(isa.X(3), isa.X(3), 1)
+	b.Blt(isa.X(3), isa.X(4), "loop")
+	b.Halt()
+	return b.MustBuild()
+}

@@ -1,0 +1,127 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/events"
+	"repro/internal/program"
+)
+
+// appStack runs a program under the golden reference and returns its
+// application-level cycle stack.
+func appStack(t *testing.T, p *program.Program) (map[events.PSV]float64, *cpu.Stats) {
+	t.Helper()
+	c := cpu.New(cpu.DefaultConfig(), p)
+	g := core.NewGolden(c)
+	c.Attach(g)
+	st := c.Run()
+	return g.Profile().Application(), st
+}
+
+func eventShare(app map[events.PSV]float64, e events.Event) float64 {
+	var hit, total float64
+	for sig, v := range app {
+		total += v
+		if sig.Has(e) {
+			hit += v
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return hit / total
+}
+
+func TestSuiteHasTwentyBenchmarks(t *testing.T) {
+	if got := len(All()); got != 20 {
+		t.Fatalf("suite has %d benchmarks, want 20", got)
+	}
+	// Alphabetical and unique.
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Errorf("suite not sorted/unique at %q <= %q", names[i], names[i-1])
+		}
+	}
+}
+
+func TestXalancbmkL1MissLLCHit(t *testing.T) {
+	// Cycle shares overweight the expensive cold first lap, so check
+	// steady-state cache behaviour through the miss-rate counters: the
+	// arena thrashes the L1 but is LLC-resident.
+	p := Xalancbmk(16000) // ~8 laps
+	c := cpu.New(cpu.DefaultConfig(), p)
+	g := core.NewGolden(c)
+	c.Attach(g)
+	c.Run()
+	l1Rate := c.Hierarchy().L1D().MissRate()
+	llcRate := c.Hierarchy().LLC().MissRate()
+	if l1Rate < 0.5 {
+		t.Errorf("xalancbmk L1D miss rate = %.2f, want L1-thrashing chase", l1Rate)
+	}
+	if llcRate > 0.35 {
+		t.Errorf("xalancbmk LLC miss rate = %.2f, want LLC-resident arena", llcRate)
+	}
+	// And the event view: ST-L1 dominates ST-LLC once warm.
+	app := g.Profile().Application()
+	if eventShare(app, events.STL1) < eventShare(app, events.STLLC) {
+		t.Errorf("ST-L1 share should exceed ST-LLC share for an LLC-resident chase")
+	}
+}
+
+func TestPovrayExecutionLatencyBound(t *testing.T) {
+	app, _ := appStack(t, Povray(2500))
+	base := app[0]
+	var total float64
+	for _, v := range app {
+		total += v
+	}
+	if base/total < 0.8 {
+		t.Errorf("povray Base share = %.2f; FP-latency-bound code carries no events", base/total)
+	}
+}
+
+func TestX264HighIPC(t *testing.T) {
+	_, st := appStack(t, X264(3000))
+	if st.IPC() < 1.5 {
+		t.Errorf("x264 IPC = %.2f, want the high-IPC end of the suite", st.IPC())
+	}
+}
+
+func TestPerlbenchBranchBound(t *testing.T) {
+	app, st := appStack(t, Perlbench(3000))
+	if st.Mispredicts < 500 {
+		t.Errorf("perlbench mispredicts = %d, want frequent", st.Mispredicts)
+	}
+	if eventShare(app, events.FLMB) < 0.1 {
+		t.Errorf("perlbench FL-MB share = %.2f, want visible", eventShare(app, events.FLMB))
+	}
+}
+
+func TestLeelaMixesChaseAndBranches(t *testing.T) {
+	app, st := appStack(t, Leela(3000))
+	if st.Mispredicts < 300 {
+		t.Errorf("leela mispredicts = %d", st.Mispredicts)
+	}
+	if eventShare(app, events.STL1) < 0.15 {
+		t.Errorf("leela ST-L1 share = %.2f, want chase misses", eventShare(app, events.STL1))
+	}
+}
+
+func TestImagickAndCam4Mix(t *testing.T) {
+	appI, _ := appStack(t, Imagick(2500))
+	if eventShare(appI, events.STL1) < 0.05 {
+		t.Errorf("imagick should show streaming cache misses")
+	}
+	appC, _ := appStack(t, Cam4(2500))
+	base := appC[0]
+	var total float64
+	for _, v := range appC {
+		total += v
+	}
+	if base == 0 || base/total > 0.95 {
+		t.Errorf("cam4 should mix FP latency with memory events: base share %.2f", base/total)
+	}
+}

@@ -1,0 +1,244 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/emu"
+	"repro/internal/events"
+	"repro/internal/program"
+)
+
+// profile runs the program under the golden reference and returns the
+// application-level cycle stack plus core stats.
+func profile(t *testing.T, p *program.Program) (map[events.PSV]float64, *cpu.Stats) {
+	t.Helper()
+	c := cpu.New(cpu.DefaultConfig(), p)
+	g := core.NewGolden(c)
+	c.Attach(g)
+	st := c.Run()
+	return g.Profile().Application(), st
+}
+
+// share returns the fraction of attributed cycles whose signature
+// contains the event.
+func share(app map[events.PSV]float64, e events.Event) float64 {
+	var hit, total float64
+	for sig, v := range app {
+		total += v
+		if sig.Has(e) {
+			hit += v
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return hit / total
+}
+
+func TestSuiteIsCompleteAndBuildable(t *testing.T) {
+	all := All()
+	if len(all) < 10 {
+		t.Fatalf("suite has %d benchmarks, want a broad set", len(all))
+	}
+	seen := map[string]bool{}
+	for _, w := range all {
+		if seen[w.Name] {
+			t.Errorf("duplicate benchmark %q", w.Name)
+		}
+		seen[w.Name] = true
+		if w.Behavior == "" || w.DefaultIters <= 0 {
+			t.Errorf("benchmark %q metadata incomplete", w.Name)
+		}
+		p := w.Build(50)
+		if n := emu.Run(p); n == 0 {
+			t.Errorf("benchmark %q executes zero instructions", w.Name)
+		}
+	}
+	for _, name := range []string{"lbm", "nab", "bwaves", "omnetpp", "fotonik3d", "exchange2"} {
+		if !seen[name] {
+			t.Errorf("paper-discussed benchmark %q missing from suite", name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("lbm")
+	if err != nil || w.Name != "lbm" {
+		t.Fatalf("ByName(lbm) = %v, %v", w, err)
+	}
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Fatalf("expected error for unknown benchmark")
+	}
+	if len(Names()) != len(All()) {
+		t.Errorf("Names/All length mismatch")
+	}
+}
+
+func TestBwavesCombinedCacheTLB(t *testing.T) {
+	app, _ := profile(t, Bwaves(1200))
+	combined := 0.0
+	total := 0.0
+	for sig, v := range app {
+		total += v
+		if sig.Has(events.STTLB) && (sig.Has(events.STL1) || sig.Has(events.STLLC)) {
+			combined += v
+		}
+	}
+	if combined/total < 0.2 {
+		t.Errorf("bwaves combined cache+TLB share = %.2f, want substantial", combined/total)
+	}
+}
+
+func TestFotonikCacheMissesWithoutTLB(t *testing.T) {
+	app, _ := profile(t, Fotonik3d(3000))
+	cache := share(app, events.STL1)
+	tlb := share(app, events.STTLB)
+	if cache < 0.15 {
+		t.Errorf("fotonik3d cache-event share = %.2f, want substantial", cache)
+	}
+	if tlb > cache/2 {
+		t.Errorf("fotonik3d TLB share %.2f should be well below cache share %.2f", tlb, cache)
+	}
+}
+
+func TestOmnetppCombinedAndMemoryBound(t *testing.T) {
+	app, st := profile(t, Omnetpp(2500))
+	if share(app, events.STLLC) < 0.3 {
+		t.Errorf("omnetpp LLC-miss share = %.2f, want memory-bound", share(app, events.STLLC))
+	}
+	if st.IPC() > 0.3 {
+		t.Errorf("omnetpp IPC = %.2f, pointer chase should be slow", st.IPC())
+	}
+}
+
+func TestExchange2FewEvents(t *testing.T) {
+	app, st := profile(t, Exchange2(4000))
+	base := app[0]
+	total := 0.0
+	for _, v := range app {
+		total += v
+	}
+	if base/total < 0.8 {
+		t.Errorf("exchange2 Base share = %.2f, want compute-dominated", base/total)
+	}
+	if st.IPC() < 0.8 {
+		t.Errorf("exchange2 IPC = %.2f, want compute-bound but reasonable", st.IPC())
+	}
+}
+
+func TestDeepsjengMispredicts(t *testing.T) {
+	app, st := profile(t, Deepsjeng(4000))
+	if st.Mispredicts < 1000 {
+		t.Errorf("deepsjeng mispredicts = %d, want frequent", st.Mispredicts)
+	}
+	if share(app, events.FLMB) < 0.1 {
+		t.Errorf("deepsjeng FL-MB share = %.2f, want visible flush cost", share(app, events.FLMB))
+	}
+}
+
+func TestROMSStoreBound(t *testing.T) {
+	app, _ := profile(t, ROMS(3000))
+	if share(app, events.DRSQ) < 0.1 {
+		t.Errorf("roms DR-SQ share = %.2f, want store-drain bound", share(app, events.DRSQ))
+	}
+}
+
+func TestXZOrderingViolations(t *testing.T) {
+	p := XZ(3000)
+	c := cpu.New(cpu.DefaultConfig(), p)
+	st := c.Run()
+	if st.Violations == 0 {
+		t.Errorf("xz produced no ordering violations")
+	}
+	// Aliasing hits every 512 iterations by construction, plus nearby
+	// cross-iteration aliases within the ROB window: occasional, not
+	// every iteration.
+	if st.Violations > uint64(3000/20) {
+		t.Errorf("xz violations = %d, should be occasional", st.Violations)
+	}
+}
+
+func TestNabFlushesAndFastMathSpeedup(t *testing.T) {
+	slow := cpu.New(cpu.DefaultConfig(), NAB(2000, false))
+	slowStats := slow.Run()
+	fast := cpu.New(cpu.DefaultConfig(), NAB(2000, true))
+	fastStats := fast.Run()
+	if slowStats.Flushes < 2000 {
+		t.Errorf("nab flushes = %d, want >= one per iteration", slowStats.Flushes)
+	}
+	speedup := float64(slowStats.Cycles) / float64(fastStats.Cycles)
+	if speedup < 1.5 {
+		t.Errorf("fast-math speedup = %.2fx, paper reports 1.96-2.45x", speedup)
+	}
+	if speedup > 4.0 {
+		t.Errorf("fast-math speedup = %.2fx, implausibly high", speedup)
+	}
+}
+
+func TestLbmPrefetchSpeedup(t *testing.T) {
+	baseline := cpu.New(cpu.DefaultConfig(), LBM(600, 0))
+	baseStats := baseline.Run()
+	speedups := map[int]float64{}
+	for _, d := range []int{1, 3, 6} {
+		c := cpu.New(cpu.DefaultConfig(), LBM(600, d))
+		s := c.Run()
+		speedups[d] = float64(baseStats.Cycles) / float64(s.Cycles)
+	}
+	if speedups[3] < 1.1 {
+		t.Errorf("lbm prefetch-distance-3 speedup = %.2fx, paper reports 1.28x at the optimum", speedups[3])
+	}
+	for d, s := range speedups {
+		if s > 2.5 {
+			t.Errorf("lbm distance-%d speedup = %.2fx, implausibly high", d, s)
+		}
+	}
+}
+
+func TestLbmLoadIsTopInstructionWithLLCMisses(t *testing.T) {
+	p := LBM(500, 0)
+	c := cpu.New(cpu.DefaultConfig(), p)
+	g := core.NewGolden(c)
+	c.Attach(g)
+	c.Run()
+	top := g.Profile().TopInstructions(3)
+	if len(top) == 0 {
+		t.Fatalf("no instructions profiled")
+	}
+	// The tallest stack must be a load with ST-LLC components.
+	st := g.Profile().Insts[top[0]]
+	llc := 0.0
+	for sig, v := range st {
+		if sig.Has(events.STLLC) {
+			llc += v
+		}
+	}
+	if llc < 0.5*st.Total() {
+		t.Errorf("lbm top instruction has only %.0f/%.0f cycles on LLC-miss signatures", llc, st.Total())
+	}
+}
+
+func TestCactuStallsWithoutEvents(t *testing.T) {
+	app, _ := profile(t, Cactu(3000))
+	base := app[0]
+	total := 0.0
+	for _, v := range app {
+		total += v
+	}
+	if base/total < 0.7 {
+		t.Errorf("cactuBSSN Base share = %.2f, dependent FP chains carry no events", base/total)
+	}
+}
+
+func TestWorkloadsAreDeterministic(t *testing.T) {
+	for _, name := range []string{"omnetpp", "xz", "nab"} {
+		w, _ := ByName(name)
+		a := cpu.New(cpu.DefaultConfig(), w.Build(400)).Run()
+		b := cpu.New(cpu.DefaultConfig(), w.Build(400)).Run()
+		if a.Cycles != b.Cycles || a.Committed != b.Committed {
+			t.Errorf("%s non-deterministic: %d/%d vs %d/%d cycles/insts",
+				name, a.Cycles, a.Committed, b.Cycles, b.Committed)
+		}
+	}
+}
