@@ -1,0 +1,37 @@
+GO      ?= go
+BINDIR  := bin
+TEALINT := $(BINDIR)/tealint
+
+.PHONY: all build test race vet lint check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+$(TEALINT): FORCE
+	$(GO) build -o $(TEALINT) ./cmd/tealint
+
+.PHONY: FORCE
+FORCE:
+
+# lint runs the TEA invariant suite in both modes: standalone over the
+# non-test source, and through `go vet -vettool` to cover test files.
+lint: $(TEALINT)
+	$(TEALINT) ./...
+	$(GO) vet -vettool=$(CURDIR)/$(TEALINT) ./...
+
+check:
+	./scripts/check.sh
+
+clean:
+	rm -rf $(BINDIR)

@@ -1,0 +1,115 @@
+// Command tealint is a static-analysis driver enforcing TEA simulator
+// invariants. It runs in two modes:
+//
+//	tealint [packages]          standalone: load, type-check, and lint the
+//	                            named packages (default ./...)
+//	go vet -vettool=tealint ... vet mode: cmd/go invokes tealint with a
+//	                            *.cfg JSON file per package (unitchecker
+//	                            protocol), which also covers test files
+//
+// Individual analyzers can be disabled with -<name>=false.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/checker"
+	"repro/internal/lint/detiter"
+	"repro/internal/lint/eventswitch"
+	"repro/internal/lint/psvwidth"
+	"repro/internal/lint/randsource"
+)
+
+const version = "v0.1.0"
+
+var all = []*analysis.Analyzer{
+	eventswitch.Analyzer,
+	psvwidth.Analyzer,
+	detiter.Analyzer,
+	randsource.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// cmd/go probes the vet tool with -V=full before anything else; it
+	// expects a single line "<name> version <ver>" used as a cache key.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		fmt.Printf("tealint version %s\n", version)
+		return 0
+	}
+
+	fs := flag.NewFlagSet("tealint", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: tealint [flags] [package ...]\n")
+		fs.PrintDefaults()
+	}
+	enabled := make(map[string]*bool, len(all))
+	for _, a := range all {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		enabled[a.Name] = fs.Bool(a.Name, true, doc)
+	}
+	flagsJSON := fs.Bool("flags", false, "print analyzer flags in JSON (vet protocol)")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	// cmd/go probes -flags to learn which flags it may forward.
+	if *flagsJSON {
+		type jsonFlag struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		var out []jsonFlag
+		fs.VisitAll(func(f *flag.Flag) {
+			if f.Name == "flags" {
+				return
+			}
+			out = append(out, jsonFlag{f.Name, true, f.Usage})
+		})
+		data, err := json.MarshalIndent(out, "", "\t")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tealint:", err)
+			return 1
+		}
+		os.Stdout.Write(append(data, '\n'))
+		return 0
+	}
+
+	var analyzers []*analysis.Analyzer
+	for _, a := range all {
+		if *enabled[a.Name] {
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		code, err := checker.Vet(os.Stdout, rest[0], analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tealint:", err)
+		}
+		return code
+	}
+
+	n, err := checker.Standalone(os.Stdout, ".", rest, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tealint:", err)
+		return 1
+	}
+	if n > 0 {
+		return 2
+	}
+	return 0
+}

@@ -29,6 +29,7 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit the full profile as JSON")
 	scale := flag.Float64("scale", 1.0, "workload size multiplier")
 	interval := flag.Uint64("interval", 256, "sampling interval in cycles")
+	seed := flag.Uint64("seed", 1, "sample-clock seed (recorded in the output for replay)")
 	flag.Parse()
 
 	w, err := workloads.ByName(*bench)
@@ -40,6 +41,7 @@ func main() {
 	rc.Scale = *scale
 	rc.Interval = *interval
 	rc.Jitter = *interval / 16
+	rc.Seed = *seed
 
 	br := analysis.RunBenchmark(w, rc)
 	var prof *pics.Profile

@@ -54,10 +54,15 @@ func TestAccuracyStudyShape(t *testing.T) {
 	if nci < tea {
 		t.Errorf("NCI-TEA (%.3f) should be worse than TEA (%.3f)", nci, tea)
 	}
-	for name, e := range map[string]float64{"IBS": ibs, "SPE": spe, "RIS": ris} {
-		if e < 2*nci || e < 0.25 {
+	// Fixed iteration order keeps failure messages stable across runs
+	// (ranging over a map literal reports in random order).
+	for _, c := range []struct {
+		name string
+		err  float64
+	}{{"IBS", ibs}, {"SPE", spe}, {"RIS", ris}} {
+		if c.err < 2*nci || c.err < 0.25 {
 			t.Errorf("%s average error = %.3f; front-end tagging should be far worse (TEA=%.3f, NCI=%.3f)",
-				name, e, tea, nci)
+				c.name, c.err, tea, nci)
 		}
 	}
 	// Every error is a valid fraction.

@@ -11,6 +11,7 @@ import (
 	"repro/internal/profilers"
 	"repro/internal/stats"
 	"repro/internal/workloads"
+	"repro/internal/xiter"
 )
 
 // TechniqueNames is the Figure 5 technique order.
@@ -45,8 +46,8 @@ func AccuracyStudy(runs []*BenchRun) []AccuracyRow {
 	}
 	if len(runs) > 0 {
 		mean := AccuracyRow{Benchmark: "average", Errors: map[string]float64{}}
-		for k, v := range avg {
-			mean.Errors[k] = v / float64(len(runs))
+		for _, k := range xiter.SortedKeys(avg) {
+			mean.Errors[k] = avg[k] / float64(len(runs))
 		}
 		rows = append(rows, mean)
 	}
@@ -146,12 +147,13 @@ func EventCorrelation(runs []*BenchRun) []CorrelationResult {
 // event: the count of dynamic executions that saw the event and the
 // golden cycles attributed to signatures containing it.
 func correlationPoints(br *BenchRun, e events.Event) (xs, ys []float64) {
-	for pc, st := range br.Golden.Insts {
+	for _, pc := range xiter.SortedKeys(br.Golden.Insts) {
+		st := br.Golden.Insts[pc]
 		count := float64(br.Counters.EventCount(pc, e))
 		impact := 0.0
-		for sig, v := range st {
+		for _, sig := range xiter.SortedKeys(st) {
 			if sig.Has(e) {
-				impact += v
+				impact += st[sig]
 			}
 		}
 		if count == 0 && impact == 0 {
@@ -279,7 +281,8 @@ func PrefetchSweep(rc RunConfig, distances []int) []PrefetchPoint {
 func topOfClass(prof *pics.Profile, br *BenchRun, match func(isa.Op) bool) (uint64, pics.Stack) {
 	var bestPC uint64
 	var best pics.Stack
-	for pc, st := range prof.Insts {
+	for _, pc := range xiter.SortedKeys(prof.Insts) {
+		st := prof.Insts[pc]
 		in := br.Program.Inst(pc)
 		if in == nil || !match(in.Op) {
 			continue
@@ -451,10 +454,7 @@ func MeasureOverhead(rc RunConfig, benchmark string, sampleCost uint64) Overhead
 // SortedSignatures returns a stack's signatures sorted by descending
 // cycles (deterministic rendering helper).
 func SortedSignatures(st pics.Stack) []events.PSV {
-	sigs := make([]events.PSV, 0, len(st))
-	for sig := range st {
-		sigs = append(sigs, sig)
-	}
+	sigs := xiter.SortedKeys(st)
 	sort.Slice(sigs, func(i, j int) bool {
 		if st[sigs[i]] != st[sigs[j]] {
 			return st[sigs[i]] > st[sigs[j]]

@@ -6,9 +6,11 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/events"
 	"repro/internal/pics"
 	"repro/internal/profilers"
 	"repro/internal/workloads"
+	"repro/internal/xiter"
 )
 
 // DTEARow compares dispatch-tagged TEA against TEA and IBS on one
@@ -95,9 +97,9 @@ func EventSetAblationStudy(rc RunConfig, benchmark string) ([]AblationRow, error
 	rungs, golden, ladder := profilers.RunAblation(c, rc.Interval, rc.Jitter, rc.Seed)
 	rows := make([]AblationRow, len(rungs))
 	for i, prof := range rungs {
-		comps := map[any]bool{}
-		for _, st := range prof.Insts {
-			for sig := range st {
+		comps := map[events.PSV]bool{}
+		for _, pc := range xiter.SortedKeys(prof.Insts) {
+			for _, sig := range xiter.SortedKeys(prof.Insts[pc]) {
 				comps[sig] = true
 			}
 		}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/program"
 	"repro/internal/system"
 	"repro/internal/workloads"
+	"repro/internal/xiter"
 )
 
 // MulticoreStudy validates the paper's Section 3 multi-threading claim:
@@ -82,8 +83,10 @@ func Multicore(rc RunConfig, victim, antagonist string) (MulticoreStudy, error) 
 
 func memShare(p *pics.Profile) float64 {
 	var mem, total float64
-	for _, st := range p.Insts {
-		for sig, v := range st {
+	for _, pc := range xiter.SortedKeys(p.Insts) {
+		st := p.Insts[pc]
+		for _, sig := range xiter.SortedKeys(st) {
+			v := st[sig]
 			total += v
 			if sig.Has(events.STL1) || sig.Has(events.STLLC) || sig.Has(events.STTLB) {
 				mem += v

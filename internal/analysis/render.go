@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/events"
+	"repro/internal/pics"
 )
 
 // RenderTable1 prints the Table 1 event matrix (events per technique).
@@ -93,11 +94,7 @@ func RenderFig6(w io.Writer, tp TopPICS) {
 }
 
 func stackTotal(st map[events.PSV]float64) float64 {
-	t := 0.0
-	for _, v := range st {
-		t += v
-	}
-	return t
+	return pics.Stack(st).Total()
 }
 
 func renderStack(st map[events.PSV]float64, total float64) string {

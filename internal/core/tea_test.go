@@ -12,7 +12,7 @@ import (
 )
 
 func TestSamplerFiresAtInterval(t *testing.T) {
-	s := NewSampler(100, 0, 1)
+	s := NewSeededSampler(100, 0, 1)
 	fired := []uint64{}
 	for c := uint64(1); c <= 1000; c++ {
 		if s.Fires(c) {
@@ -30,7 +30,7 @@ func TestSamplerFiresAtInterval(t *testing.T) {
 }
 
 func TestSamplerJitterStaysNearInterval(t *testing.T) {
-	s := NewSampler(1000, 100, 7)
+	s := NewSeededSampler(1000, 100, 7)
 	prev := uint64(0)
 	count := 0
 	for c := uint64(1); c <= 200_000; c++ {
@@ -53,7 +53,7 @@ func TestSamplerJitterStaysNearInterval(t *testing.T) {
 func TestSamplerSkippedCyclesCatchUp(t *testing.T) {
 	// If Fires is consulted sparsely (cycle jumps), the next fire must
 	// not be in the past.
-	s := NewSampler(10, 0, 1)
+	s := NewSeededSampler(10, 0, 1)
 	if !s.Fires(100) {
 		t.Fatalf("overdue sampler should fire")
 	}
@@ -74,7 +74,7 @@ func TestSamplerZeroIntervalPanics(t *testing.T) {
 			t.Fatalf("expected panic")
 		}
 	}()
-	NewSampler(0, 0, 1)
+	NewSeededSampler(0, 0, 1)
 }
 
 // runWith builds a core for p, attaches golden + a TEA configured with

@@ -282,3 +282,46 @@ func TestDependsOnAndRootOf(t *testing.T) {
 		}
 	}
 }
+
+func TestEventStringOutOfRange(t *testing.T) {
+	for _, e := range []Event{Event(NumEvents), Event(NumEvents + 1), Event(255)} {
+		if got := e.String(); got != "EV-?" {
+			t.Errorf("Event(%d).String() = %q, want \"EV-?\"", uint8(e), got)
+		}
+		if got := e.Description(); got != "unknown event" {
+			t.Errorf("Event(%d).Description() = %q, want \"unknown event\"", uint8(e), got)
+		}
+	}
+}
+
+// TestEventNamesExhaustive pins eventNames (and Description) to
+// NumEvents: adding a tenth event without naming and describing it is
+// a bug this test — and the tealint eventswitch analyzer — must catch.
+func TestEventNamesExhaustive(t *testing.T) {
+	if len(eventNames) != NumEvents {
+		t.Fatalf("eventNames has %d entries, want NumEvents = %d", len(eventNames), NumEvents)
+	}
+	seenName := map[string]Event{}
+	seenDesc := map[string]Event{}
+	for _, e := range AllEvents() {
+		name := e.String()
+		if name == "" || name == "EV-?" {
+			t.Errorf("event %d has no name", uint8(e))
+		}
+		if prev, dup := seenName[name]; dup {
+			t.Errorf("events %d and %d share the name %q", uint8(prev), uint8(e), name)
+		}
+		seenName[name] = e
+		desc := e.Description()
+		if desc == "" || desc == "unknown event" {
+			t.Errorf("event %s has no Table 1 description", e)
+		}
+		if prev, dup := seenDesc[desc]; dup {
+			t.Errorf("events %s and %s share the description %q", prev, e, desc)
+		}
+		seenDesc[desc] = e
+	}
+	if n := len(AllEvents()); n != NumEvents {
+		t.Errorf("AllEvents() returned %d events, want %d", n, NumEvents)
+	}
+}

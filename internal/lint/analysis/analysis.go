@@ -1,0 +1,132 @@
+// Package analysis is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis API surface that tealint needs.
+//
+// The repository builds hermetically (no module downloads), so the
+// real x/tools module is not available; this package mirrors its
+// Analyzer/Pass/Diagnostic contract closely enough that the tealint
+// analyzers could be ported to the upstream framework by changing one
+// import path. Only the subset tealint uses is implemented: no facts,
+// no sub-analyzer requirements, no suggested fixes.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// An Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, flags, and
+	// tealint:ignore directives. It must be a valid Go identifier.
+	Name string
+	// Doc is the analyzer's documentation; the first line is its
+	// one-sentence summary.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides one analyzer run with a type-checked package and a
+// sink for diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding. Category is filled in by the driver
+// with the analyzer name.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Category string
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go
+// file. Analyzers that police only production code (detiter,
+// randsource) use this to exempt tests.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// ignoreRE matches suppression directives:
+//
+//	//tealint:ignore <name>[,<name>...] [reason]
+//
+// A directive on the flagged line, or alone on the line above it,
+// suppresses the named analyzers ("all" suppresses every analyzer).
+var ignoreRE = regexp.MustCompile(`^//\s*tealint:ignore\s+([A-Za-z0-9_,]+)`)
+
+// IgnoredLines returns, per filename, the set of line numbers whose
+// diagnostics from the named analyzer are suppressed by a
+// tealint:ignore directive in the given files.
+func IgnoredLines(fset *token.FileSet, files []*ast.File, analyzer string) map[string]map[int]bool {
+	out := map[string]map[int]bool{}
+	add := func(filename string, line int) {
+		m := out[filename]
+		if m == nil {
+			m = map[int]bool{}
+			out[filename] = m
+		}
+		m[line] = true
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				covered := false
+				for _, name := range strings.Split(m[1], ",") {
+					if name == analyzer || name == "all" {
+						covered = true
+					}
+				}
+				if !covered {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				// The directive covers its own line and, so that it can
+				// stand alone above a long statement, the line below.
+				add(posn.Filename, posn.Line)
+				add(posn.Filename, posn.Line+1)
+			}
+		}
+	}
+	return out
+}
+
+// FilterIgnored drops diagnostics suppressed by tealint:ignore
+// directives in the package's files.
+func FilterIgnored(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	byAnalyzer := map[string]map[string]map[int]bool{}
+	kept := diags[:0]
+	for _, d := range diags {
+		ignored, ok := byAnalyzer[d.Category]
+		if !ok {
+			ignored = IgnoredLines(fset, files, d.Category)
+			byAnalyzer[d.Category] = ignored
+		}
+		posn := fset.Position(d.Pos)
+		if ignored[posn.Filename][posn.Line] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,155 @@
+// Package analysistest runs a tealint analyzer over golden test
+// packages under a testdata directory, mirroring the
+// golang.org/x/tools/go/analysis/analysistest contract.
+//
+// Test packages live in testdata/src/<importpath>/. Imports between
+// test packages resolve within testdata/src; anything else (the
+// standard library) is loaded from source via the go command. Expected
+// diagnostics are declared with trailing comments:
+//
+//	bad() // want "regexp matching the diagnostic"
+//
+// Each `want` comment holds one or more double-quoted Go string
+// literals, each a regular expression; every diagnostic on that line
+// must match one expectation and vice versa.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/checker"
+	"repro/internal/lint/load"
+)
+
+// Run applies the analyzer to each named test package under
+// dir/testdata/src and checks reported diagnostics against the `want`
+// comments in its sources.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	srcRoot := filepath.Join(dir, "testdata", "src")
+	golist := load.NewGoListResolver(dir)
+	loader := load.NewLoader(func(path string) (*load.Meta, error) {
+		pkgDir := filepath.Join(srcRoot, filepath.FromSlash(path))
+		if fi, err := os.Stat(pkgDir); err == nil && fi.IsDir() {
+			names, err := goFilesIn(pkgDir)
+			if err != nil {
+				return nil, err
+			}
+			return &load.Meta{ImportPath: path, Dir: pkgDir, GoFiles: names}, nil
+		}
+		return golist.Resolve(path)
+	})
+
+	for _, pkgPath := range pkgPaths {
+		pkg, err := loader.Load(pkgPath)
+		if err != nil {
+			t.Errorf("loading testdata package %s: %v", pkgPath, err)
+			continue
+		}
+		diags, err := checker.RunPackage(loader.Fset, pkg.Files, pkg.Types, pkg.Info, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, pkgPath, err)
+			continue
+		}
+		checkExpectations(t, loader.Fset, pkgPath, pkg.Meta.GoFiles, pkg.Meta.Dir, diags)
+	}
+}
+
+func goFilesIn(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	return names, nil
+}
+
+// expectation is one `want` pattern at a file:line.
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+func checkExpectations(t *testing.T, fset *token.FileSet, pkgPath string, goFiles []string, dir string, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := map[string][]*expectation{} // "file:line" -> expectations
+	for _, name := range goFiles {
+		filename := filepath.Join(dir, name)
+		data, err := os.ReadFile(filename)
+		if err != nil {
+			t.Errorf("%s: %v", filename, err)
+			return
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d", filename, i+1)
+			for _, q := range quotedRE.FindAllString(m[1], -1) {
+				pattern, err := strconv.Unquote(q)
+				if err != nil {
+					t.Errorf("%s: bad want pattern %s: %v", key, q, err)
+					continue
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Errorf("%s: bad want regexp %q: %v", key, pattern, err)
+					continue
+				}
+				wants[key] = append(wants[key], &expectation{re: re, raw: pattern})
+			}
+		}
+	}
+
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", posn.Filename, posn.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, w.raw)
+			}
+		}
+	}
+	_ = pkgPath
+}

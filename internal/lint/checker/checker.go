@@ -1,0 +1,91 @@
+// Package checker drives tealint analyzers over packages, in two
+// modes: standalone (`tealint ./...`, loading from source via
+// internal/lint/load) and vet-tool (`go vet -vettool=tealint`, speaking
+// cmd/go's unitchecker config protocol — see vet.go).
+package checker
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"sort"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// RunPackage applies the analyzers to one type-checked package and
+// returns the surviving (non-suppressed) diagnostics, sorted by
+// position.
+func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				d.Category = a.Name
+				diags = append(diags, d)
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	diags = analysis.FilterIgnored(fset, files, diags)
+	sortDiagnostics(fset, diags)
+	return diags, nil
+}
+
+func sortDiagnostics(fset *token.FileSet, diags []analysis.Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Category < diags[j].Category
+	})
+}
+
+// Standalone loads the packages matching patterns (relative to dir)
+// from source, runs the analyzers over each, and prints diagnostics to
+// w as "file:line:col: message (analyzer)". It returns the number of
+// diagnostics printed.
+func Standalone(w io.Writer, dir string, patterns []string, analyzers []*analysis.Analyzer) (int, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	resolver := load.NewGoListResolver(dir)
+	roots, err := resolver.Roots(patterns...)
+	if err != nil {
+		return 0, err
+	}
+	loader := load.NewLoader(resolver.Resolve)
+	count := 0
+	for _, root := range roots {
+		pkg, err := loader.Load(root)
+		if err != nil {
+			return count, err
+		}
+		diags, err := RunPackage(loader.Fset, pkg.Files, pkg.Types, pkg.Info, analyzers)
+		if err != nil {
+			return count, fmt.Errorf("%s: %w", root, err)
+		}
+		for _, d := range diags {
+			fmt.Fprintf(w, "%s: %s (%s)\n", loader.Fset.Position(d.Pos), d.Message, d.Category)
+			count++
+		}
+	}
+	return count, nil
+}

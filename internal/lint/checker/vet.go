@@ -1,0 +1,143 @@
+package checker
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+
+	"repro/internal/lint/analysis"
+)
+
+// vetConfig is the JSON configuration cmd/go writes for a vet tool
+// (the unitchecker protocol): one file per package, naming the Go
+// sources to analyze and the export-data files of every dependency.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Vet runs the analyzers in `go vet -vettool` mode: cfgFile is the
+// *.cfg path cmd/go passed as the final argument. Diagnostics go to w
+// in the standard "file:line:col: message" form. The returned exit
+// code follows the unitchecker convention: 0 for success, 2 when
+// diagnostics were reported, 1 on operational error (with the error
+// returned for the caller to print).
+func Vet(w io.Writer, cfgFile string, analyzers []*analysis.Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return 1, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 1, fmt.Errorf("parsing vet config %s: %w", cfgFile, err)
+	}
+
+	// cmd/go caches the vetx (facts) output of every run and requires
+	// the file to exist afterwards. tealint's analyzers are fact-free,
+	// so an empty placeholder satisfies the protocol.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("tealint: no facts\n"), 0o666); err != nil {
+			return 1, fmt.Errorf("writing vetx output: %w", err)
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency-only run: cmd/go wants facts, and we have none.
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil
+			}
+			return 1, err
+		}
+		files = append(files, f)
+	}
+
+	// Dependencies are imported from the compiler export data cmd/go
+	// listed in PackageFile, via the standard gc importer.
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	gcImporter := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			if resolved, ok := cfg.ImportMap[path]; ok {
+				path = resolved
+			}
+			if path == "unsafe" {
+				return types.Unsafe, nil
+			}
+			return gcImporter.Import(path)
+		}),
+		Sizes: types.SizesFor(compiler, goarch()),
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 1, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
+	}
+
+	diags, err := RunPackage(fset, files, tpkg, info, analyzers)
+	if err != nil {
+		return 1, err
+	}
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Category)
+	}
+	if len(diags) > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}
+
+func goarch() string {
+	if a := os.Getenv("GOARCH"); a != "" {
+		return a
+	}
+	return runtime.GOARCH
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

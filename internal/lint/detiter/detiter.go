@@ -1,0 +1,80 @@
+// Package detiter defines a tealint analyzer that forbids ranging
+// over maps in the report/emission packages.
+//
+// PICS generation and report rendering must be deterministic: golden
+// comparisons against the paper's Figure 6/7 numbers diff serialized
+// profiles, and float64 accumulation is order-sensitive in its last
+// ulp, so even a "harmless" summation over a map perturbs results
+// between runs. Inside internal/pics, internal/analysis, and
+// internal/stats, any `range` over a map must be replaced by sorted
+// key iteration (see internal/xiter.SortedKeys). Test files are
+// exempt, as is code annotated with a `//tealint:ignore detiter`
+// directive carrying a justification.
+package detiter
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// scopedPackages are the package-path suffixes the invariant covers:
+// everything on the path from samples to rendered/serialized reports.
+var scopedPackages = []string{
+	"internal/pics",
+	"internal/analysis",
+	"internal/stats",
+}
+
+// Analyzer flags range-over-map in report/emission packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "detiter",
+	Doc: "forbid ranging over maps in report/emission packages (internal/pics, internal/analysis, internal/stats)\n\n" +
+		"Map iteration order is randomized; these paths feed golden comparisons and must be deterministic.",
+	Run: run,
+}
+
+// InScope reports whether the package path is covered. Vet-mode test
+// variants carry an " [pkg.test]" suffix that must be stripped first.
+func InScope(pkgPath string) bool {
+	if i := strings.Index(pkgPath, " ["); i >= 0 {
+		pkgPath = pkgPath[:i]
+	}
+	for _, scoped := range scopedPackages {
+		if pkgPath == scoped || strings.HasSuffix(pkgPath, "/"+scoped) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !InScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := types.Unalias(tv.Type).Underlying().(*types.Map); !isMap {
+				return true
+			}
+			pass.Reportf(rs.For,
+				"range over map (%s) in a report/emission path is nondeterministic; iterate sorted keys instead (e.g. xiter.SortedKeys)",
+				types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+			return true
+		})
+	}
+	return nil, nil
+}

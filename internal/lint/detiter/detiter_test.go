@@ -1,0 +1,29 @@
+package detiter_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/detiter"
+)
+
+func TestDetIter(t *testing.T) {
+	analysistest.Run(t, ".", detiter.Analyzer, "internal/pics", "other")
+}
+
+func TestScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"internal/pics":                                  true,
+		"repro/internal/pics":                            true,
+		"repro/internal/analysis":                        true,
+		"repro/internal/stats":                           true,
+		"repro/internal/pics [repro/internal/pics.test]": true,
+		"repro/internal/lint/analysis":                   false,
+		"repro/internal/picsother":                       false,
+		"repro/internal/core":                            false,
+	} {
+		if got := detiter.InScope(path); got != want {
+			t.Errorf("InScope(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

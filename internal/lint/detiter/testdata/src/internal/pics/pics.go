@@ -1,0 +1,69 @@
+// Package pics is the detiter golden suite: its import path ends in
+// internal/pics, putting it in the analyzer's scope.
+package pics
+
+import "sort"
+
+type Stack map[uint16]float64
+
+// ranging over a map in a report path: flagged.
+func total(s Stack) float64 {
+	t := 0.0
+	for _, v := range s { // want "range over map .* is nondeterministic"
+		t += v
+	}
+	return t
+}
+
+// both map kinds of range clause are flagged.
+func keysOf(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "range over map .* is nondeterministic"
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// named map types are still maps underneath: flagged.
+func fromStack(s Stack) int {
+	n := 0
+	for range s { // want "range over map .* is nondeterministic"
+		n++
+	}
+	return n
+}
+
+// slices, arrays, strings, channels, ints: none of these are maps.
+func fine(xs []float64, s string, n int) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	for range s {
+		t++
+	}
+	for i := range n {
+		t += float64(i)
+	}
+	return t
+}
+
+// sorted-key iteration is the sanctioned pattern: not flagged.
+func sortedTotal(s Stack, keys []uint16) float64 {
+	t := 0.0
+	for _, k := range keys {
+		t += s[k]
+	}
+	return t
+}
+
+// a suppressed violation: the directive must silence the report.
+func suppressedClone(s Stack) Stack {
+	c := make(Stack, len(s))
+	//tealint:ignore detiter pure map copy, order provably irrelevant
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}

@@ -1,0 +1,10 @@
+package pics
+
+// Test files are exempt: assertions may range maps freely.
+func sumForTest(m map[string]float64) float64 {
+	t := 0.0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,11 @@
+// Package other is outside the detiter scope (not a report/emission
+// package), so its map ranges are left alone.
+package other
+
+func Sum(m map[int]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}

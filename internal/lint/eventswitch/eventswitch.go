@@ -1,0 +1,131 @@
+// Package eventswitch defines a tealint analyzer that requires every
+// switch over the events.Event type to be exhaustive.
+//
+// Table 1 of the TEA paper fixes nine performance events; the
+// simulator encodes them as consecutive events.Event constants with
+// NumEvents as the count. A switch that handles only some events
+// silently misclassifies the rest (the compiler cannot help — Event is
+// just a uint8), so any switch on an Event value must either cover all
+// NumEvents values or carry an explicit default case.
+package eventswitch
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags non-exhaustive switches on events.Event.
+var Analyzer = &analysis.Analyzer{
+	Name: "eventswitch",
+	Doc: "require switches on events.Event to cover all NumEvents values or have a default\n\n" +
+		"The nine Table-1 events are a closed set; a partial switch silently drops events.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, sw)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	tv, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok {
+		return
+	}
+	named := eventType(tv.Type)
+	if named == nil {
+		return
+	}
+	scope := named.Obj().Pkg().Scope()
+	numEvents, ok := lookupNumEvents(scope)
+	if !ok {
+		return // events package without NumEvents: nothing to enforce
+	}
+
+	covered := make(map[int64]bool)
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // explicit default: the switch handles everything
+		}
+		for _, expr := range cc.List {
+			etv, ok := pass.TypesInfo.Types[expr]
+			if !ok || etv.Value == nil {
+				continue // dynamic case expression: proves nothing
+			}
+			if v, exact := constant.Int64Val(constant.ToInt(etv.Value)); exact {
+				covered[v] = true
+			}
+		}
+	}
+
+	var missing []string
+	for v := int64(0); v < numEvents; v++ {
+		if !covered[v] {
+			missing = append(missing, eventName(scope, named, v))
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	pass.Reportf(sw.Switch,
+		"switch on %s.Event is not exhaustive: missing %s (cover all NumEvents events or add a default case)",
+		named.Obj().Pkg().Name(), strings.Join(missing, ", "))
+}
+
+// eventType returns t as the events.Event named type, or nil.
+func eventType(t types.Type) *types.Named {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Name() != "Event" || obj.Pkg() == nil || obj.Pkg().Name() != "events" {
+		return nil
+	}
+	return named
+}
+
+func lookupNumEvents(scope *types.Scope) (int64, bool) {
+	c, ok := scope.Lookup("NumEvents").(*types.Const)
+	if !ok {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(c.Val()))
+	if !exact || v <= 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// eventName names the Event constant with value v, falling back to the
+// numeric value.
+func eventName(scope *types.Scope, named *types.Named, v int64) string {
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || types.Unalias(c.Type()) != named {
+			continue
+		}
+		if cv, exact := constant.Int64Val(constant.ToInt(c.Val())); exact && cv == v {
+			return c.Name()
+		}
+	}
+	return fmt.Sprintf("Event(%d)", v)
+}

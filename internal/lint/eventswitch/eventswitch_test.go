@@ -1,0 +1,12 @@
+package eventswitch_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/eventswitch"
+)
+
+func TestEventSwitch(t *testing.T) {
+	analysistest.Run(t, ".", eventswitch.Analyzer, "a")
+}

@@ -1,0 +1,68 @@
+// Package a is the eventswitch golden suite.
+package a
+
+import "events"
+
+// missing two events, no default: flagged.
+func incomplete(e events.Event) string {
+	switch e { // want "switch on events.Event is not exhaustive: missing FLMO, STLLC"
+	case events.DRL1, events.DRTLB, events.DRSQ:
+		return "drained"
+	case events.FLMB, events.FLEX:
+		return "flushed"
+	case events.STL1, events.STTLB:
+		return "stalled"
+	}
+	return ""
+}
+
+// all nine events covered: not flagged.
+func exhaustive(e events.Event) string {
+	switch e {
+	case events.DRL1, events.DRTLB, events.DRSQ:
+		return "drained"
+	case events.FLMB, events.FLEX, events.FLMO:
+		return "flushed"
+	case events.STL1, events.STTLB, events.STLLC:
+		return "stalled"
+	}
+	return ""
+}
+
+// partial coverage with an explicit default: not flagged.
+func defaulted(e events.Event) string {
+	switch e {
+	case events.FLMB:
+		return "mispredict"
+	default:
+		return "other"
+	}
+}
+
+// a switch on a different type is none of our business: not flagged.
+func otherType(n int) string {
+	switch n {
+	case 0:
+		return "zero"
+	}
+	return "nonzero"
+}
+
+// tag-free switches are plain if/else chains: not flagged.
+func tagless(e events.Event) string {
+	switch {
+	case e == events.DRL1:
+		return "icache"
+	}
+	return ""
+}
+
+// a suppressed violation: the directive must silence the report.
+func suppressed(e events.Event) bool {
+	//tealint:ignore eventswitch only DR-SQ matters to this helper
+	switch e {
+	case events.DRSQ:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,28 @@
+// Package events is a miniature stand-in for repro/internal/events:
+// the analyzers match the type/package names and the NumEvents
+// constant, so the golden suites exercise them without importing the
+// real simulator.
+package events
+
+// Event identifies one of the nine performance events.
+type Event uint8
+
+const (
+	DRL1 Event = iota
+	DRTLB
+	DRSQ
+	FLMB
+	FLEX
+	FLMO
+	STL1
+	STTLB
+	STLLC
+
+	NumEvents = 9
+)
+
+// PSV is a 9-bit performance signature vector.
+type PSV uint16
+
+// Set is a 9-bit event set mask.
+type Set uint16

@@ -1,0 +1,251 @@
+// Package load type-checks Go packages from source using only the
+// standard library.
+//
+// The hermetic build environment has no module proxy access, so the
+// usual golang.org/x/tools/go/packages loader is unavailable. This
+// loader recovers the same capability for tealint's needs: package
+// metadata comes from `go list -e -json -deps`, and type information
+// is produced by go/parser + go/types, type-checking dependencies
+// (including the standard library) from source in dependency order.
+// Dependency packages are checked with IgnoreFuncBodies for speed;
+// target packages get full bodies and a complete types.Info.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// Meta is the `go list` metadata the loader needs for one package.
+type Meta struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	// ImportMap maps source-level import strings to resolved package
+	// paths (identity entries omitted), e.g. for vendored imports.
+	ImportMap map[string]string
+	// DepOnly marks packages loaded only as dependencies; their
+	// function bodies are not type-checked.
+	DepOnly bool
+}
+
+// Package is a type-checked package.
+type Package struct {
+	Meta  *Meta
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader type-checks packages from source, memoizing results. Resolve
+// supplies metadata for an import path; the zero Loader is not usable.
+type Loader struct {
+	Fset    *token.FileSet
+	Resolve func(path string) (*Meta, error)
+
+	pkgs map[string]*result
+}
+
+type result struct {
+	pkg *Package
+	err error
+}
+
+// NewLoader returns a Loader over a fresh FileSet.
+func NewLoader(resolve func(path string) (*Meta, error)) *Loader {
+	return &Loader{
+		Fset:    token.NewFileSet(),
+		Resolve: resolve,
+		pkgs:    map[string]*result{},
+	}
+}
+
+// Load type-checks the package at the given (resolved) import path
+// and, transitively, its dependencies.
+func (l *Loader) Load(path string) (*Package, error) {
+	if r, ok := l.pkgs[path]; ok {
+		return r.pkg, r.err
+	}
+	// Mark in-progress to fail fast on cycles instead of recursing.
+	l.pkgs[path] = &result{err: fmt.Errorf("load: import cycle through %q", path)}
+	pkg, err := l.load(path)
+	l.pkgs[path] = &result{pkg: pkg, err: err}
+	return pkg, err
+}
+
+func (l *Loader) load(path string) (*Package, error) {
+	if path == "unsafe" {
+		return &Package{Meta: &Meta{ImportPath: "unsafe"}, Types: types.Unsafe}, nil
+	}
+	meta, err := l.Resolve(path)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", path, err)
+	}
+	files := make([]*ast.File, 0, len(meta.GoFiles))
+	for _, name := range meta.GoFiles {
+		filename := name
+		if !filepath.IsAbs(filename) {
+			filename = filepath.Join(meta.Dir, name)
+		}
+		f, err := parser.ParseFile(l.Fset, filename, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: importerFunc(func(ipath string) (*types.Package, error) {
+			if resolved, ok := meta.ImportMap[ipath]; ok {
+				ipath = resolved
+			}
+			dep, err := l.Load(ipath)
+			if err != nil {
+				return nil, err
+			}
+			return dep.Types, nil
+		}),
+		IgnoreFuncBodies: meta.DepOnly,
+		FakeImportC:      true,
+		Sizes:            types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("load %s: %w", path, firstErr)
+	}
+	return &Package{Meta: meta, Files: files, Types: tpkg, Info: info}, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// ---------------------------------------------------------------------------
+// go list metadata.
+
+// listPkg mirrors the subset of `go list -json` output we consume.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	ImportMap  map[string]string
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// GoListResolver resolves package metadata via the go command, caching
+// everything each invocation returns.
+type GoListResolver struct {
+	// Dir is the working directory for go list (the module root for
+	// relative patterns).
+	Dir  string
+	meta map[string]*Meta
+}
+
+// NewGoListResolver returns a resolver rooted at dir.
+func NewGoListResolver(dir string) *GoListResolver {
+	return &GoListResolver{Dir: dir, meta: map[string]*Meta{}}
+}
+
+// Roots expands the given package patterns (e.g. "./...") and caches
+// metadata for them and their transitive dependencies. It returns the
+// resolved import paths of the matched packages, sorted.
+func (r *GoListResolver) Roots(patterns ...string) ([]string, error) {
+	pkgs, err := r.list(patterns, false)
+	if err != nil {
+		return nil, err
+	}
+	var roots []string
+	for _, p := range pkgs {
+		if !p.DepOnly {
+			roots = append(roots, p.ImportPath)
+		}
+	}
+	sort.Strings(roots)
+	return roots, nil
+}
+
+// Resolve returns metadata for one import path, consulting the go
+// command on a cache miss (this covers standard-library packages that
+// were not in any earlier listing).
+func (r *GoListResolver) Resolve(path string) (*Meta, error) {
+	if m, ok := r.meta[path]; ok {
+		return m, nil
+	}
+	// Anything fetched lazily is a dependency of some target package,
+	// never a lint target itself, so its bodies can be skipped.
+	if _, err := r.list([]string{path}, true); err != nil {
+		return nil, err
+	}
+	m, ok := r.meta[path]
+	if !ok {
+		return nil, fmt.Errorf("go list did not report %q", path)
+	}
+	return m, nil
+}
+
+func (r *GoListResolver) list(patterns []string, depOnly bool) ([]*listPkg, error) {
+	args := append([]string{"list", "-e", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = r.Dir
+	// Hermetic, cgo-free metadata: file lists must not depend on the
+	// network or on a C toolchain.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0", "GOPROXY=off", "GOWORK=off")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v: %s", patterns, err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", patterns, err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, &p)
+		if _, ok := r.meta[p.ImportPath]; !ok {
+			r.meta[p.ImportPath] = &Meta{
+				ImportPath: p.ImportPath,
+				Dir:        p.Dir,
+				GoFiles:    p.GoFiles,
+				ImportMap:  p.ImportMap,
+				DepOnly:    p.DepOnly || depOnly,
+			}
+		}
+	}
+	return pkgs, nil
+}

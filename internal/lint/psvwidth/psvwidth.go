@@ -1,0 +1,207 @@
+// Package psvwidth defines a tealint analyzer that keeps PSV bit
+// manipulation inside the 9-bit signature width.
+//
+// The Performance Signature Vector carries one bit per Table-1 event
+// (NumEvents = 9) inside a uint16. A shift or mask constant that
+// touches bits at or above NumEvents either aliases a nonexistent
+// event or silently reads zero — both corrupt cycle-stack components
+// without any runtime failure. The same applies to arrays indexed by
+// events.Event that are shorter than NumEvents.
+package psvwidth
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags PSV/Set bit operations that can escape the signature
+// width, and Event-indexed arrays shorter than NumEvents.
+var Analyzer = &analysis.Analyzer{
+	Name: "psvwidth",
+	Doc: "flag PSV shifts/masks beyond the 9-bit signature width and short Event-indexed arrays\n\n" +
+		"PSV bits at or above NumEvents do not correspond to any Table-1 event.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkBinary(pass, n.Op, n.X, n.Y, n)
+			case *ast.AssignStmt:
+				checkAssignOp(pass, n)
+			case *ast.IndexExpr:
+				checkIndex(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// psvLikeType returns the named events.PSV or events.Set type behind
+// t, or nil.
+func psvLikeType(t types.Type) *types.Named {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Name() != "events" {
+		return nil
+	}
+	if obj.Name() != "PSV" && obj.Name() != "Set" {
+		return nil
+	}
+	return named
+}
+
+// eventTypeOf returns the named events.Event type behind t, or nil.
+func eventTypeOf(t types.Type) *types.Named {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Name() != "Event" || obj.Pkg() == nil || obj.Pkg().Name() != "events" {
+		return nil
+	}
+	return named
+}
+
+// numEvents returns the events package's NumEvents constant (the
+// signature width), defaulting to 0 (disabled) when absent.
+func numEvents(pkg *types.Package) int64 {
+	c, ok := pkg.Scope().Lookup("NumEvents").(*types.Const)
+	if !ok {
+		return 0
+	}
+	v, exact := constant.Int64Val(constant.ToInt(c.Val()))
+	if !exact {
+		return 0
+	}
+	return v
+}
+
+func constIntValue(pass *analysis.Pass, e ast.Expr) (int64, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(constant.ToInt(tv.Value))
+}
+
+func checkBinary(pass *analysis.Pass, op token.Token, x, y ast.Expr, at ast.Node) {
+	switch op {
+	case token.SHL:
+		checkShift(pass, x, y, at)
+	case token.AND, token.OR, token.XOR, token.AND_NOT:
+		checkMask(pass, x, y, at)
+	}
+}
+
+// checkAssignOp handles the op= forms (p |= 0x200, p <<= 10, ...).
+func checkAssignOp(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	switch as.Tok {
+	case token.SHL_ASSIGN:
+		checkShift(pass, as.Lhs[0], as.Rhs[0], as)
+	case token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN, token.AND_NOT_ASSIGN:
+		checkMask(pass, as.Lhs[0], as.Rhs[0], as)
+	}
+}
+
+// checkShift flags `v << k` when v is PSV/Set-typed and the constant
+// shift k reaches past the top signature bit. (`1 << e` with a
+// non-constant Event e is the idiomatic bit-select and is not
+// checkable statically; the events package guards it by construction.)
+func checkShift(pass *analysis.Pass, x, y ast.Expr, at ast.Node) {
+	tv, ok := pass.TypesInfo.Types[x]
+	if !ok {
+		return
+	}
+	named := psvLikeType(tv.Type)
+	if named == nil {
+		return
+	}
+	width := numEvents(named.Obj().Pkg())
+	if width == 0 {
+		return
+	}
+	if k, ok := constIntValue(pass, y); ok && k >= width {
+		pass.Reportf(at.Pos(),
+			"shift by %d on events.%s exceeds the %d-bit signature width (bits 0..%d)",
+			k, named.Obj().Name(), width, width-1)
+	}
+}
+
+// checkMask flags bitwise ops between a PSV/Set-typed operand and a
+// constant with bits at or above NumEvents.
+func checkMask(pass *analysis.Pass, x, y ast.Expr, at ast.Node) {
+	for _, pair := range [2][2]ast.Expr{{x, y}, {y, x}} {
+		typed, lit := pair[0], pair[1]
+		tv, ok := pass.TypesInfo.Types[typed]
+		if !ok {
+			continue
+		}
+		named := psvLikeType(tv.Type)
+		if named == nil {
+			continue
+		}
+		width := numEvents(named.Obj().Pkg())
+		if width == 0 {
+			continue
+		}
+		v, ok := constIntValue(pass, lit)
+		if !ok {
+			continue
+		}
+		if excess := v &^ ((1 << width) - 1); excess != 0 {
+			pass.Reportf(at.Pos(),
+				"mask %#x on events.%s has bits above bit %d (%#x); the signature width is %d bits",
+				v, named.Obj().Name(), width-1, excess, width)
+			return
+		}
+	}
+}
+
+// checkIndex flags arr[e] where e is an events.Event and arr is an
+// array (or pointer to array) shorter than NumEvents.
+func checkIndex(pass *analysis.Pass, ix *ast.IndexExpr) {
+	itv, ok := pass.TypesInfo.Types[ix.Index]
+	if !ok {
+		return
+	}
+	named := eventTypeOf(itv.Type)
+	if named == nil {
+		return
+	}
+	width := numEvents(named.Obj().Pkg())
+	if width == 0 {
+		return
+	}
+	xtv, ok := pass.TypesInfo.Types[ix.X]
+	if !ok {
+		return
+	}
+	t := types.Unalias(xtv.Type).Underlying()
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = types.Unalias(ptr.Elem()).Underlying()
+	}
+	arr, ok := t.(*types.Array)
+	if !ok {
+		return // slices and maps have no static bound to check
+	}
+	if arr.Len() < width {
+		pass.Reportf(ix.Pos(),
+			"array of length %d indexed by events.Event; it must hold NumEvents (%d) entries",
+			arr.Len(), width)
+	}
+}

@@ -1,0 +1,12 @@
+package psvwidth_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/psvwidth"
+)
+
+func TestPSVWidth(t *testing.T) {
+	analysistest.Run(t, ".", psvwidth.Analyzer, "a")
+}

@@ -1,0 +1,71 @@
+// Package a is the psvwidth golden suite.
+package a
+
+import "events"
+
+var names [8]string // too short for an Event index
+var full [9]string  // exactly NumEvents: fine
+var wide [16]string // more than NumEvents: fine
+
+// shifts past the top signature bit: flagged.
+func badShift(p events.PSV) events.PSV {
+	return p << 12 // want "shift by 12 on events.PSV exceeds the 9-bit signature width"
+}
+
+func badShiftAssign(p events.PSV) events.PSV {
+	p <<= 9 // want "shift by 9 on events.PSV exceeds the 9-bit signature width"
+	return p
+}
+
+// masks with bits above bit 8: flagged.
+func badMask(p events.PSV) events.PSV {
+	return p & 0x3FF // want "mask 0x3ff on events.PSV has bits above bit 8"
+}
+
+func badMaskAssign(s events.Set) events.Set {
+	s |= 0x200 // want "mask 0x200 on events.Set has bits above bit 8"
+	return s
+}
+
+func badMaskReversed(p events.PSV) events.PSV {
+	return 0x1000 ^ p // want "mask 0x1000 on events.PSV has bits above bit 8"
+}
+
+// short array indexed by an Event: flagged.
+func badIndex(e events.Event) string {
+	return names[e] // want "array of length 8 indexed by events.Event"
+}
+
+func badIndexPtr(e events.Event, arr *[4]uint64) uint64 {
+	return arr[e] // want "array of length 4 indexed by events.Event"
+}
+
+// in-width operations: not flagged.
+func good(p events.PSV, e events.Event, s events.Set) (events.PSV, bool) {
+	p = p | 1<<e      // dynamic bit-select, the idiomatic form
+	p = p &^ (1 << e) // clear
+	p = p & 0x1FF     // full in-width mask
+	p = p | 1<<8      // top valid bit
+	has := p&(1<<e) != 0
+	p = p & events.PSV(s)
+	return p, has
+}
+
+func goodIndex(e events.Event) (string, string) {
+	return full[e], wide[e]
+}
+
+// slices carry no static bound; the analyzer stays quiet.
+func goodSlice(e events.Event, xs []float64) float64 {
+	return xs[e]
+}
+
+// ints are not Events; out-of-width masks on them are fine here.
+func goodOtherType(x uint16) uint16 {
+	return x & 0xFFF
+}
+
+// a suppressed violation: the directive must silence the report.
+func suppressed(p events.PSV) events.PSV {
+	return p & 0xFFF //tealint:ignore psvwidth deliberate overwide scratch mask
+}

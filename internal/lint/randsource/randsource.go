@@ -1,0 +1,80 @@
+// Package randsource defines a tealint analyzer that forbids the
+// global math/rand (v1 or v2) functions in non-test code.
+//
+// The package-global random source is seeded per process, so two runs
+// of the same trace diverge: sample-clock jitter drawn from it makes
+// PICS unreproducible and golden comparisons meaningless. Production
+// code must thread an explicitly seeded *rand.Rand (the sampler in
+// internal/core records its seed in the profile for replay); only the
+// constructors (rand.New, rand.NewPCG, ...) that build such sources
+// are allowed at package level.
+package randsource
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags calls to top-level math/rand[/v2] functions outside
+// tests.
+var Analyzer = &analysis.Analyzer{
+	Name: "randsource",
+	Doc: "forbid global math/rand[/v2] functions in non-test code; inject a seeded *rand.Rand\n\n" +
+		"Samplers must be replay-reproducible: the jitter source is part of the experiment seed.",
+	Run: run,
+}
+
+// allowedConstructors build explicit sources and are therefore fine to
+// call from anywhere.
+var allowedConstructors = map[string]bool{
+	"New":        true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewSource":  true,
+	"NewZipf":    true,
+}
+
+func randPackage(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var callee *ast.Ident
+			switch fn := ast.Unparen(call.Fun).(type) {
+			case *ast.SelectorExpr:
+				callee = fn.Sel
+			case *ast.Ident:
+				callee = fn // dot-imported or aliased reference
+			default:
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[callee].(*types.Func)
+			if !ok || obj.Pkg() == nil || !randPackage(obj.Pkg().Path()) {
+				return true
+			}
+			sig, ok := obj.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil {
+				return true // methods on an injected source are the goal
+			}
+			if allowedConstructors[obj.Name()] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"call to %s.%s uses the process-global random source; inject a seeded *rand.Rand (record the seed in the output) for replay-reproducible runs",
+				obj.Pkg().Path(), obj.Name())
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package randsource_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/randsource"
+)
+
+func TestRandSource(t *testing.T) {
+	analysistest.Run(t, ".", randsource.Analyzer, "a")
+}

@@ -1,0 +1,34 @@
+// Package a is the randsource golden suite.
+package a
+
+import "math/rand/v2"
+
+// top-level functions draw from the process-global source: flagged.
+func badIntN() int {
+	return rand.IntN(10) // want "call to math/rand/v2.IntN uses the process-global random source"
+}
+
+func badFloat() float64 {
+	return rand.Float64() // want "call to math/rand/v2.Float64 uses the process-global random source"
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "call to math/rand/v2.Shuffle uses the process-global random source"
+}
+
+// an injected, explicitly seeded source is the sanctioned pattern:
+// the constructors and the methods on the source are not flagged.
+func good(seed uint64) int {
+	rng := rand.New(rand.NewPCG(seed, 0x7EA))
+	return rng.IntN(10)
+}
+
+func goodSource(seed uint64) uint64 {
+	src := rand.NewChaCha8([32]byte{byte(seed)})
+	return src.Uint64()
+}
+
+// a suppressed violation: the directive must silence the report.
+func suppressed() int {
+	return rand.IntN(3) //tealint:ignore randsource demo code, reproducibility not required
+}

@@ -1,0 +1,8 @@
+package a
+
+import "math/rand/v2"
+
+// Test files are exempt: fuzzing inputs may use the global source.
+func randomInputForTest() int {
+	return rand.IntN(1 << 16)
+}

@@ -2,11 +2,13 @@ package pics
 
 import (
 	"fmt"
+	"slices"
 	"strings"
 
 	"repro/internal/events"
 	"repro/internal/isa"
 	"repro/internal/program"
+	"repro/internal/xiter"
 )
 
 // ByBlock aggregates the profile at basic-block granularity using the
@@ -14,7 +16,7 @@ import (
 func (p *Profile) ByBlock(prog *program.Program) map[string]Stack {
 	blocks := prog.BasicBlocks()
 	out := make(map[string]Stack)
-	for pc, st := range p.Insts {
+	for _, pc := range xiter.SortedKeys(p.Insts) {
 		idx := program.BlockOf(blocks, isa.IndexOf(pc))
 		name := "<unknown>"
 		if idx >= 0 {
@@ -25,8 +27,9 @@ func (p *Profile) ByBlock(prog *program.Program) map[string]Stack {
 			dst = make(Stack)
 			out[name] = dst
 		}
-		for sig, v := range st {
-			dst[sig] += v
+		st := p.Insts[pc]
+		for _, sig := range xiter.SortedKeys(st) {
+			dst[sig] += st[sig]
 		}
 	}
 	return out
@@ -69,17 +72,19 @@ func (s Stack) RenderBars(total float64, width int) string {
 	return b.String()
 }
 
+// sortedSigs orders a stack's signatures by descending cycles, with
+// the signature value itself as the tie-break.
 func sortedSigs(s Stack) []events.PSV {
-	sigs := make([]events.PSV, 0, len(s))
-	for sig := range s {
-		sigs = append(sigs, sig)
-	}
-	for i := 1; i < len(sigs); i++ {
-		for j := i; j > 0 && (s[sigs[j]] > s[sigs[j-1]] ||
-			(s[sigs[j]] == s[sigs[j-1]] && sigs[j] < sigs[j-1])); j-- {
-			sigs[j], sigs[j-1] = sigs[j-1], sigs[j]
+	sigs := xiter.SortedKeys(s)
+	slices.SortStableFunc(sigs, func(a, b events.PSV) int {
+		switch {
+		case s[a] > s[b]:
+			return -1
+		case s[a] < s[b]:
+			return 1
 		}
-	}
+		return 0
+	})
 	return sigs
 }
 

@@ -6,12 +6,14 @@ import (
 	"sort"
 
 	"repro/internal/events"
+	"repro/internal/xiter"
 )
 
 // jsonProfile is the stable JSON shape of a profile.
 type jsonProfile struct {
 	Name   string     `json:"name"`
 	Events []string   `json:"events"`
+	Seed   uint64     `json:"seed"`
 	Total  float64    `json:"total_cycles"`
 	Insts  []jsonInst `json:"instructions"`
 }
@@ -32,7 +34,7 @@ type jsonComponent struct {
 // sorted by descending height, components by descending cycles —
 // deterministic output for diffing and dashboards.
 func (p *Profile) WriteJSON(w io.Writer) error {
-	jp := jsonProfile{Name: p.Name, Total: p.Total()}
+	jp := jsonProfile{Name: p.Name, Seed: p.Seed, Total: p.Total()}
 	for _, e := range p.Set.Events() {
 		jp.Events = append(jp.Events, e.String())
 	}
@@ -71,25 +73,25 @@ type Diff struct {
 // other side at zero.
 func DiffProfiles(before, after *Profile) []Diff {
 	pcs := map[uint64]bool{}
-	for pc := range before.Insts {
+	for _, pc := range xiter.SortedKeys(before.Insts) {
 		pcs[pc] = true
 	}
-	for pc := range after.Insts {
+	for _, pc := range xiter.SortedKeys(after.Insts) {
 		pcs[pc] = true
 	}
 	var out []Diff
-	for pc := range pcs {
+	for _, pc := range xiter.SortedKeys(pcs) {
 		d := Diff{PC: pc, SignatureDeltas: map[events.PSV]float64{}}
 		if st := before.Insts[pc]; st != nil {
 			d.Before = st.Total()
-			for sig, v := range st {
-				d.SignatureDeltas[sig] -= v
+			for _, sig := range xiter.SortedKeys(st) {
+				d.SignatureDeltas[sig] -= st[sig]
 			}
 		}
 		if st := after.Insts[pc]; st != nil {
 			d.After = st.Total()
-			for sig, v := range st {
-				d.SignatureDeltas[sig] += v
+			for _, sig := range xiter.SortedKeys(st) {
+				d.SignatureDeltas[sig] += st[sig]
 			}
 		}
 		d.Delta = d.After - d.Before

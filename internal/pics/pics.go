@@ -8,23 +8,26 @@
 package pics
 
 import (
+	"cmp"
 	"fmt"
 	"sort"
 	"strings"
 
 	"repro/internal/events"
 	"repro/internal/program"
+	"repro/internal/xiter"
 )
 
 // Stack is one cycle stack: cycles per signature (events.PSV). The zero
 // signature is the paper's "Base" component (no events).
 type Stack map[events.PSV]float64
 
-// Total returns the stack height.
+// Total returns the stack height. Components are summed in signature
+// order so the float64 result is identical run to run.
 func (s Stack) Total() float64 {
 	t := 0.0
-	for _, v := range s {
-		t += v
+	for _, sig := range xiter.SortedKeys(s) {
+		t += s[sig]
 	}
 	return t
 }
@@ -35,15 +38,15 @@ func (s Stack) Add(sig events.PSV, w float64) { s[sig] += w }
 // Clone returns a deep copy.
 func (s Stack) Clone() Stack {
 	c := make(Stack, len(s))
-	for k, v := range s {
-		c[k] = v
+	for _, k := range xiter.SortedKeys(s) {
+		c[k] = s[k]
 	}
 	return c
 }
 
 // Scale multiplies every component by f.
 func (s Stack) Scale(f float64) {
-	for k := range s {
+	for _, k := range xiter.SortedKeys(s) {
 		s[k] *= f
 	}
 }
@@ -54,8 +57,8 @@ func (s Stack) Scale(f float64) {
 // technique's event set for fair comparison (Section 4).
 func (s Stack) Project(set events.Set) Stack {
 	out := make(Stack, len(s))
-	for sig, v := range s {
-		out[sig.Mask(set)] += v
+	for _, sig := range xiter.SortedKeys(s) {
+		out[sig.Mask(set)] += s[sig]
 	}
 	return out
 }
@@ -68,6 +71,11 @@ type Profile struct {
 	Name string
 	// Set is the event set signatures are drawn from.
 	Set events.Set
+	// Seed is the sample-clock seed the producing technique ran with
+	// (zero for unseeded producers such as the golden reference). It is
+	// recorded in serialized output so a profile can be replayed:
+	// identical traces plus an identical seed produce identical PICS.
+	Seed uint64
 	// Insts maps a static instruction's PC to its cycle stack.
 	Insts map[uint64]Stack
 }
@@ -88,11 +96,12 @@ func (p *Profile) Add(pc uint64, sig events.PSV, w float64) {
 	st.Add(sig.Mask(p.Set), w)
 }
 
-// Total returns the cycles attributed across all instructions.
+// Total returns the cycles attributed across all instructions, summed
+// in PC order for run-to-run bit identity.
 func (p *Profile) Total() float64 {
 	t := 0.0
-	for _, st := range p.Insts {
-		t += st.Total()
+	for _, pc := range xiter.SortedKeys(p.Insts) {
+		t += p.Insts[pc].Total()
 	}
 	return t
 }
@@ -106,16 +115,17 @@ func (p *Profile) Normalize(total float64) {
 		return
 	}
 	f := total / cur
-	for _, st := range p.Insts {
-		st.Scale(f)
+	for _, pc := range xiter.SortedKeys(p.Insts) {
+		p.Insts[pc].Scale(f)
 	}
 }
 
 // Project returns the profile folded onto a (smaller) event set.
 func (p *Profile) Project(set events.Set) *Profile {
 	out := NewProfile(p.Name, set)
-	for pc, st := range p.Insts {
-		out.Insts[pc] = st.Project(set)
+	out.Seed = p.Seed
+	for _, pc := range xiter.SortedKeys(p.Insts) {
+		out.Insts[pc] = p.Insts[pc].Project(set)
 	}
 	return out
 }
@@ -124,15 +134,16 @@ func (p *Profile) Project(set events.Set) *Profile {
 // program's symbol table.
 func (p *Profile) ByFunction(prog *program.Program) map[string]Stack {
 	out := make(map[string]Stack)
-	for pc, st := range p.Insts {
+	for _, pc := range xiter.SortedKeys(p.Insts) {
 		fn := prog.FuncOfPC(pc)
 		dst := out[fn]
 		if dst == nil {
 			dst = make(Stack)
 			out[fn] = dst
 		}
-		for sig, v := range st {
-			dst[sig] += v
+		st := p.Insts[pc]
+		for _, sig := range xiter.SortedKeys(st) {
+			dst[sig] += st[sig]
 		}
 	}
 	return out
@@ -141,23 +152,26 @@ func (p *Profile) ByFunction(prog *program.Program) map[string]Stack {
 // Application aggregates the whole profile into a single stack.
 func (p *Profile) Application() Stack {
 	out := make(Stack)
-	for _, st := range p.Insts {
-		for sig, v := range st {
-			out[sig] += v
+	for _, pc := range xiter.SortedKeys(p.Insts) {
+		st := p.Insts[pc]
+		for _, sig := range xiter.SortedKeys(st) {
+			out[sig] += st[sig]
 		}
 	}
 	return out
 }
 
 // TopInstructions returns the n instructions with the tallest stacks,
-// most expensive first.
+// most expensive first. Stack heights are computed once per
+// instruction rather than inside the sort comparator.
 func (p *Profile) TopInstructions(n int) []uint64 {
-	pcs := make([]uint64, 0, len(p.Insts))
-	for pc := range p.Insts {
-		pcs = append(pcs, pc)
+	pcs := xiter.SortedKeys(p.Insts)
+	totals := make(map[uint64]float64, len(pcs))
+	for _, pc := range pcs {
+		totals[pc] = p.Insts[pc].Total()
 	}
 	sort.Slice(pcs, func(i, j int) bool {
-		ti, tj := p.Insts[pcs[i]].Total(), p.Insts[pcs[j]].Total()
+		ti, tj := totals[pcs[i]], totals[pcs[j]]
 		if ti != tj {
 			return ti > tj
 		}
@@ -216,14 +230,16 @@ func ErrorApplication(test, golden *Profile) float64 {
 		total)
 }
 
-func errorBetween[K comparable](test, golden map[K]Stack, total float64) float64 {
+func errorBetween[K cmp.Ordered](test, golden map[K]Stack, total float64) float64 {
 	correct := 0.0
-	for key, gst := range golden {
+	for _, key := range xiter.SortedKeys(golden) {
+		gst := golden[key]
 		tst := test[key]
 		if tst == nil {
 			continue
 		}
-		for sig, gv := range gst {
+		for _, sig := range xiter.SortedKeys(gst) {
+			gv := gst[sig]
 			tv := tst[sig]
 			if tv < gv {
 				correct += tv
@@ -234,8 +250,8 @@ func errorBetween[K comparable](test, golden map[K]Stack, total float64) float64
 	}
 	e := (total - correct) / total
 	// Clamp floating-point residue: the metric is in [0, 1] by
-	// construction, but map-order-dependent summation can leave ~1e-16
-	// of noise on either side.
+	// construction, but summation can leave ~1e-16 of noise on either
+	// side.
 	if e < 0 {
 		return 0
 	}
@@ -253,8 +269,8 @@ func (s Stack) Render(total float64) string {
 		v   float64
 	}
 	comps := make([]comp, 0, len(s))
-	for sig, v := range s {
-		comps = append(comps, comp{sig, v})
+	for _, sig := range xiter.SortedKeys(s) {
+		comps = append(comps, comp{sig, s[sig]})
 	}
 	sort.Slice(comps, func(i, j int) bool {
 		if comps[i].v != comps[j].v {

@@ -88,12 +88,14 @@ func NewRIS(interval, jitter, seed uint64) *FrontEndTagger {
 }
 
 func newTagger(name string, point TagPoint, set events.Set, interval, jitter, seed uint64) *FrontEndTagger {
+	prof := pics.NewProfile(name, set)
+	prof.Seed = seed
 	return &FrontEndTagger{
 		name:    name,
 		point:   point,
 		set:     set,
-		sampler: core.NewSampler(interval, jitter, seed),
-		profile: pics.NewProfile(name, set),
+		sampler: core.NewSeededSampler(interval, jitter, seed),
+		profile: prof,
 	}
 }
 
@@ -159,9 +161,11 @@ type NCITEA struct {
 
 // NewNCITEA builds the NCI-TEA configuration.
 func NewNCITEA(interval, jitter, seed uint64) *NCITEA {
+	prof := pics.NewProfile(NameNCITEA, events.TEASet)
+	prof.Seed = seed
 	return &NCITEA{
-		sampler: core.NewSampler(interval, jitter, seed),
-		profile: pics.NewProfile(NameNCITEA, events.TEASet),
+		sampler: core.NewSeededSampler(interval, jitter, seed),
+		profile: prof,
 	}
 }
 

@@ -101,12 +101,17 @@ func TestAccuracyOrderingOnMemoryStalls(t *testing.T) {
 	// The paper's headline: dispatch/fetch tagging is dramatically less
 	// accurate because the sampled instruction is whatever dispatches
 	// during the stall, not the stalling load.
-	for name, e := range map[string]float64{"IBS": ibsErr, "SPE": speErr, "RIS": risErr} {
-		if e < 2*teaErr {
-			t.Errorf("%s error = %v, TEA = %v; front-end tagging should be much worse", name, e, teaErr)
+	// Fixed iteration order keeps failure messages stable across runs
+	// (ranging over a map literal reports in random order).
+	for _, c := range []struct {
+		name string
+		err  float64
+	}{{"IBS", ibsErr}, {"SPE", speErr}, {"RIS", risErr}} {
+		if c.err < 2*teaErr {
+			t.Errorf("%s error = %v, TEA = %v; front-end tagging should be much worse", c.name, c.err, teaErr)
 		}
-		if e < 0.2 {
-			t.Errorf("%s error = %v, expected large error on stall-heavy code", name, e)
+		if c.err < 0.2 {
+			t.Errorf("%s error = %v, expected large error on stall-heavy code", c.name, c.err)
 		}
 	}
 }

@@ -1,0 +1,39 @@
+// Package xiter provides deterministic iteration helpers for maps.
+//
+// Go's map iteration order is deliberately randomized, which is fine
+// for lookups but poisons anything that feeds a report, a golden-file
+// comparison, or a floating-point accumulation (float64 addition is
+// not associative, so even a pure sum is order-sensitive in its last
+// ulp). The tealint `detiter` analyzer forbids ranging over maps in
+// the report/emission packages; these helpers are the sanctioned
+// replacement.
+package xiter
+
+import (
+	"cmp"
+	"slices"
+)
+
+// SortedKeys returns m's keys in ascending order. The result is a
+// fresh slice; m is not modified.
+func SortedKeys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// SortedKeysFunc returns m's keys ordered by the given comparison
+// function (same contract as slices.SortFunc). Ties keep no
+// particular order, so cmp should be a total order over the keys a
+// caller can encounter.
+func SortedKeysFunc[M ~map[K]V, K comparable, V any](m M, compare func(a, b K) int) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, compare)
+	return keys
+}

@@ -1,0 +1,36 @@
+package xiter
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSortedKeys(t *testing.T) {
+	m := map[uint64]string{9: "i", 2: "b", 7: "g", 0: "a"}
+	want := []uint64{0, 2, 7, 9}
+	for i := 0; i < 10; i++ { // map order is randomized per iteration
+		if got := SortedKeys(m); !reflect.DeepEqual(got, want) {
+			t.Fatalf("SortedKeys = %v, want %v", got, want)
+		}
+	}
+	if got := SortedKeys(map[string]int(nil)); len(got) != 0 {
+		t.Fatalf("SortedKeys(nil) = %v, want empty", got)
+	}
+}
+
+func TestSortedKeysFunc(t *testing.T) {
+	m := map[string]float64{"a": 1, "b": 3, "c": 2}
+	got := SortedKeysFunc(m, func(x, y string) int {
+		switch {
+		case m[x] > m[y]:
+			return -1
+		case m[x] < m[y]:
+			return 1
+		}
+		return 0
+	})
+	want := []string{"b", "c", "a"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SortedKeysFunc = %v, want %v", got, want)
+	}
+}
