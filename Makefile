@@ -2,7 +2,7 @@ GO      ?= go
 BINDIR  := bin
 TEALINT := $(BINDIR)/tealint
 
-.PHONY: all build test race vet lint check clean
+.PHONY: all build test race vet lint check bench clean
 
 all: build
 
@@ -32,6 +32,11 @@ lint: $(TEALINT)
 
 check:
 	./scripts/check.sh
+
+# bench runs the figure/table benchmark harness with -benchmem and
+# writes BENCH_<date>.json (see scripts/bench.sh for BENCHTIME/LABEL).
+bench:
+	./scripts/bench.sh
 
 clean:
 	rm -rf $(BINDIR)

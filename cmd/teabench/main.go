@@ -1,0 +1,131 @@
+// Command teabench converts `go test -bench` output into the
+// repository's BENCH_<date>.json format: one record per benchmark with
+// the standard ns/op, B/op, and allocs/op columns plus every custom
+// metric the harness reports (tea_err_%, trace_bytes/cycle, ...).
+// scripts/bench.sh pipes the raw benchmark output through it:
+//
+//	go test -bench=. -benchmem . | teabench -label after -o BENCH_20260806.json
+//
+// Committed BENCH files are the before/after evidence for performance
+// work; see DESIGN.md §6 for how to read them.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string             `json:"name"`
+	Runs        int64              `json:"runs"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the BENCH_<date>.json document.
+type File struct {
+	Date       string   `json:"date"`
+	Label      string   `json:"label,omitempty"`
+	GoVersion  string   `json:"go_version"`
+	GOARCH     string   `json:"goarch"`
+	GOOS       string   `json:"goos"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	label := flag.String("label", "", "label recorded in the file (e.g. baseline, after-replay)")
+	date := flag.String("date", time.Now().Format("2006-01-02"), "date recorded in the file")
+	flag.Parse()
+
+	results, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "teabench:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "teabench: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	doc := File{
+		Date:       *date,
+		Label:      *label,
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		GOOS:       runtime.GOOS,
+		Benchmarks: results,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "teabench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "teabench:", err)
+		os.Exit(1)
+	}
+}
+
+// parse extracts benchmark result lines from go test output. A line
+// looks like:
+//
+//	BenchmarkFig5Accuracy-16  1  4560122983 ns/op  550253440 B/op  7498544 allocs/op  6.407 tea_err_%
+//
+// i.e. name, run count, then (value, unit) pairs.
+func parse(r io.Reader) ([]Result, error) {
+	var results []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		runs, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "Benchmark... --- FAIL" lines
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+		res := Result{Name: name, Runs: runs}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", sc.Text(), fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			default:
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[unit] = v
+			}
+		}
+		results = append(results, res)
+	}
+	return results, sc.Err()
+}

@@ -32,12 +32,15 @@ import (
 	"os"
 
 	"repro/internal/analysis"
+	"repro/internal/profio"
 	"repro/internal/workloads"
 )
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload size multiplier")
 	interval := flag.Uint64("interval", 256, "sampling interval in cycles")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: teaexp [-scale f] [-interval n] <experiment-id|all>")
@@ -50,22 +53,24 @@ func main() {
 	rc.Jitter = *interval / 16
 
 	id := flag.Arg(0)
-	if id == "all" {
-		for _, e := range []string{
-			"tab1", "tab2", "fig1", "fig3", "fig5", "fig6", "fig7", "fig8",
-			"fig9", "fig10", "fig11", "fig12", "dtea", "ablation", "jitter", "multicore",
-			"stat-stall", "stat-comb", "stat-ovh",
-		} {
-			fmt.Printf("================ %s ================\n", e)
-			if err := run(e, rc); err != nil {
-				fmt.Fprintln(os.Stderr, "teaexp:", err)
-				os.Exit(1)
+	err := profio.Profiled(*cpuprofile, *memprofile, func() error {
+		if id == "all" {
+			for _, e := range []string{
+				"tab1", "tab2", "fig1", "fig3", "fig5", "fig6", "fig7", "fig8",
+				"fig9", "fig10", "fig11", "fig12", "dtea", "ablation", "jitter", "multicore",
+				"stat-stall", "stat-comb", "stat-ovh",
+			} {
+				fmt.Printf("================ %s ================\n", e)
+				if err := run(e, rc); err != nil {
+					return err
+				}
+				fmt.Println()
 			}
-			fmt.Println()
+			return nil
 		}
-		return
-	}
-	if err := run(id, rc); err != nil {
+		return run(id, rc)
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "teaexp:", err)
 		os.Exit(1)
 	}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/lint/checker"
 	"repro/internal/lint/detiter"
 	"repro/internal/lint/eventswitch"
+	"repro/internal/lint/proberetain"
 	"repro/internal/lint/psvwidth"
 	"repro/internal/lint/randsource"
 )
@@ -32,6 +33,7 @@ var all = []*analysis.Analyzer{
 	psvwidth.Analyzer,
 	detiter.Analyzer,
 	randsource.Analyzer,
+	proberetain.Analyzer,
 }
 
 func main() {

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/pics"
+	"repro/internal/profio"
 	"repro/internal/workloads"
 )
 
@@ -30,6 +31,8 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload size multiplier")
 	interval := flag.Uint64("interval", 256, "sampling interval in cycles")
 	seed := flag.Uint64("seed", 1, "sample-clock seed (recorded in the output for replay)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
 
 	w, err := workloads.ByName(*bench)
@@ -43,7 +46,14 @@ func main() {
 	rc.Jitter = *interval / 16
 	rc.Seed = *seed
 
-	br := analysis.RunBenchmark(w, rc)
+	var br *analysis.BenchRun
+	if err := profio.Profiled(*cpuprofile, *memprofile, func() error {
+		br = analysis.RunBenchmark(w, rc)
+		return nil
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "teaprof:", err)
+		os.Exit(1)
+	}
 	var prof *pics.Profile
 	switch *tech {
 	case "TEA":

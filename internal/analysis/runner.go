@@ -7,14 +7,18 @@
 package analysis
 
 import (
+	"bytes"
+	"fmt"
 	"runtime"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/events"
 	"repro/internal/pics"
 	"repro/internal/profilers"
 	"repro/internal/program"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -78,6 +82,10 @@ type BenchRun struct {
 	Counters *profilers.Counters
 	Events   *profilers.EventStats
 	Stalls   *profilers.StallProbe
+
+	// finish materializes the technique profiles once attribution is
+	// complete (dense accumulators flush lazily).
+	finish func()
 }
 
 // Techniques returns the sampled techniques' profiles in evaluation
@@ -91,16 +99,17 @@ func RunBenchmark(w workloads.Workload, rc RunConfig) *BenchRun {
 	return RunProgram(w, w.Build(rc.iters(w)), rc)
 }
 
-// RunProgram is RunBenchmark for an explicitly built program (used by
-// the case studies, which vary prefetch distance or fast-math).
-func RunProgram(w workloads.Workload, p *program.Program, rc RunConfig) *BenchRun {
-	c := cpu.New(rc.Core, p)
-
-	golden := core.NewGolden(c)
+// suiteProbes builds the nine evaluation probes for one run. A non-nil
+// core wires the probes for live attachment; with a nil core the TEA
+// units accumulate against prog (the replay path).
+func suiteProbes(c *cpu.CPU, p *program.Program, rc RunConfig) (probes []cpu.Probe, br *BenchRun) {
+	goldenCfg := core.Config{Set: events.TEASet, EveryCycle: true, Prog: p}
+	golden := core.NewTEA(c, goldenCfg)
 	teaCfg := core.DefaultConfig()
 	teaCfg.IntervalCycles = rc.Interval
 	teaCfg.JitterCycles = rc.Jitter
 	teaCfg.Seed = rc.Seed
+	teaCfg.Prog = p
 	tea := core.NewTEA(c, teaCfg)
 	nci := profilers.NewNCITEA(rc.Interval, rc.Jitter, rc.Seed+1)
 	ibs := profilers.NewIBS(rc.Interval, rc.Jitter, rc.Seed+2)
@@ -110,25 +119,87 @@ func RunProgram(w workloads.Workload, p *program.Program, rc RunConfig) *BenchRu
 	eventStats := profilers.NewEventStats()
 	stalls := profilers.NewStallProbe()
 
-	for _, pr := range []cpu.Probe{golden, tea, nci, ibs, spe, ris, counters, eventStats, stalls} {
+	br = &BenchRun{Program: p, Counters: counters, Events: eventStats, Stalls: stalls}
+	probes = []cpu.Probe{golden, tea, nci, ibs, spe, ris, counters, eventStats, stalls}
+	br.finish = func() {
+		br.Golden = golden.Profile()
+		br.TEA = tea.Profile()
+		br.NCITEA = nci.Profile()
+		br.IBS = ibs.Profile()
+		br.SPE = spe.Profile()
+		br.RIS = ris.Profile()
+	}
+	return probes, br
+}
+
+// RunProgram is RunBenchmark for an explicitly built program (used by
+// the case studies, which vary prefetch distance or fast-math). It
+// follows the paper's capture-once, analyze-many methodology (Section
+// 4): the core runs exactly once with only a trace-capture probe, and
+// the recorded stream is then replayed to the techniques out-of-band,
+// partitioned across goroutines. Replay is bit-identical to live
+// attachment (see RunProgramLive and the equivalence test), so the
+// profiles do not depend on the grouping.
+func RunProgram(w workloads.Workload, p *program.Program, rc RunConfig) *BenchRun {
+	c := cpu.New(rc.Core, p)
+	var buf bytes.Buffer
+	tw := trace.NewWriter(&buf)
+	c.Attach(tw)
+	stats := c.Run()
+	if err := tw.Err(); err != nil {
+		panic(fmt.Sprintf("analysis: in-memory trace capture failed: %v", err))
+	}
+
+	probes, br := suiteProbes(nil, p, rc)
+	br.Workload = w
+	br.Stats = stats
+
+	// Partition the probes across up to GOMAXPROCS replay goroutines.
+	// Each group decodes the stream independently, so a single-threaded
+	// environment pays exactly one decode pass while parallel ones
+	// overlap the techniques.
+	par := runtime.GOMAXPROCS(0)
+	if par > len(probes) {
+		par = len(probes)
+	}
+	data := buf.Bytes()
+	errs := make([]error, par)
+	var wg sync.WaitGroup
+	for g := 0; g < par; g++ {
+		group := make([]cpu.Probe, 0, (len(probes)+par-1)/par)
+		for i := g; i < len(probes); i += par {
+			group = append(group, probes[i])
+		}
+		wg.Add(1)
+		go func(g int, ps []cpu.Probe) {
+			defer wg.Done()
+			_, errs[g] = trace.Replay(bytes.NewReader(data), ps...)
+		}(g, group)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			panic(fmt.Sprintf("analysis: replaying captured trace: %v", err))
+		}
+	}
+	br.finish()
+	return br
+}
+
+// RunProgramLive attaches every technique directly to the core — the
+// pre-capture evaluation path. The replay path must produce profiles
+// byte-identical to this one; the internal/trace equivalence test pins
+// that invariant across the whole suite.
+func RunProgramLive(w workloads.Workload, p *program.Program, rc RunConfig) *BenchRun {
+	c := cpu.New(rc.Core, p)
+	probes, br := suiteProbes(c, p, rc)
+	for _, pr := range probes {
 		c.Attach(pr)
 	}
-	stats := c.Run()
-
-	return &BenchRun{
-		Workload: w,
-		Program:  p,
-		Stats:    stats,
-		Golden:   golden.Profile(),
-		TEA:      tea.Profile(),
-		NCITEA:   nci.Profile(),
-		IBS:      ibs.Profile(),
-		SPE:      spe.Profile(),
-		RIS:      ris.Profile(),
-		Counters: counters,
-		Events:   eventStats,
-		Stalls:   stalls,
-	}
+	br.Workload = w
+	br.Stats = c.Run()
+	br.finish()
+	return br
 }
 
 // RunSuite runs the whole benchmark suite. Benchmarks are independent

@@ -15,6 +15,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/events"
 	"repro/internal/pics"
+	"repro/internal/program"
 )
 
 // SampledInst is one (instruction pointer, PSV) pair within a sample.
@@ -125,6 +126,12 @@ type Config struct {
 	// EveryCycle turns the unit into the golden reference: attribution
 	// runs every cycle with weight 1 and no samples are materialized.
 	EveryCycle bool
+	// Prog, when non-nil, identifies the program under profile so the
+	// unit can accumulate into a dense per-static-instruction slice
+	// instead of maps (replay against a recorded trace has no core to
+	// derive the program from). With neither a core nor a program the
+	// unit falls back to map accumulation.
+	Prog *program.Program
 	// ChargeOverhead makes each delivered sample charge the modeled
 	// interrupt cost to the core (performance-overhead experiments).
 	ChargeOverhead bool
@@ -167,7 +174,8 @@ type TEA struct {
 	samples   []Sample
 	pendings  []pending
 	profile   *pics.Profile
-	keep      bool // materialize Sample records (not just the profile)
+	acc       *pics.Accum // dense accumulator when the program is known
+	keep      bool        // materialize Sample records (not just the profile)
 	SampleCnt uint64
 }
 
@@ -180,11 +188,19 @@ func NewTEA(core *cpu.CPU, cfg Config) *TEA {
 	if cfg.Set.Size() == 0 {
 		name = "TIP"
 	}
+	prog := cfg.Prog
+	if prog == nil && core != nil {
+		prog = core.Program()
+	}
 	t := &TEA{
-		cfg:     cfg,
-		core:    core,
-		profile: pics.NewProfile(name, cfg.Set),
-		keep:    !cfg.EveryCycle,
+		cfg:  cfg,
+		core: core,
+		keep: !cfg.EveryCycle,
+	}
+	if prog != nil {
+		t.acc = pics.NewAccum(name, cfg.Set, len(prog.Insts))
+	} else {
+		t.profile = pics.NewProfile(name, cfg.Set)
 	}
 	if !cfg.EveryCycle {
 		rng := cfg.Rand
@@ -192,9 +208,23 @@ func NewTEA(core *cpu.CPU, cfg Config) *TEA {
 			rng = SamplerSource(cfg.Seed)
 		}
 		t.sampler = NewSampler(cfg.IntervalCycles, cfg.JitterCycles, rng)
-		t.profile.Seed = cfg.Seed
+		if t.acc != nil {
+			t.acc.SetSeed(cfg.Seed)
+		} else {
+			t.profile.Seed = cfg.Seed
+		}
 	}
 	return t
+}
+
+// add attributes w cycles to (pc, signature) through whichever
+// accumulator the unit runs with.
+func (t *TEA) add(pc uint64, sig events.PSV, w float64) {
+	if t.acc != nil {
+		t.acc.AddPC(pc, sig, w)
+	} else {
+		t.profile.Add(pc, sig, w)
+	}
 }
 
 // NewGolden builds the golden reference: per-cycle attribution of every
@@ -204,8 +234,16 @@ func NewGolden(core *cpu.CPU) *TEA {
 	return NewTEA(core, Config{Set: events.TEASet, EveryCycle: true})
 }
 
-// Profile returns the PICS generated from the captured samples.
-func (t *TEA) Profile() *pics.Profile { return t.profile }
+// Profile returns the PICS generated from the captured samples. A
+// dense accumulator is materialized on first call; attribution must be
+// complete by then.
+func (t *TEA) Profile() *pics.Profile {
+	if t.acc != nil {
+		t.profile = t.acc.Profile()
+		t.acc = nil
+	}
+	return t.profile
+}
 
 // Samples returns the materialized sample records (empty for the golden
 // reference, which models an impossible 116 GB/s sample stream).
@@ -233,10 +271,18 @@ func (t *TEA) OnCycle(ci *cpu.CycleInfo) {
 			return
 		}
 		share := weight / float64(n)
-		insts := make([]SampledInst, 0, n)
-		for _, u := range ci.Committed {
-			t.profile.Add(u.PC(), u.PSV, share)
-			insts = append(insts, SampledInst{PC: u.PC(), PSV: u.PSV.Mask(t.cfg.Set)})
+		// The golden reference (keep=false) attributes every cycle;
+		// materializing per-cycle sample records there would dominate
+		// the run, so the slice is only built for sampling units.
+		var insts []SampledInst
+		if t.keep {
+			insts = make([]SampledInst, 0, n)
+		}
+		for _, r := range ci.Committed {
+			t.add(r.PC, r.PSV, share)
+			if t.keep {
+				insts = append(insts, SampledInst{PC: r.PC, PSV: r.PSV.Mask(t.cfg.Set)})
+			}
 		}
 		t.deliver(ci.Cycle, ci.State, insts, weight)
 	case events.Stalled:
@@ -246,28 +292,33 @@ func (t *TEA) OnCycle(ci *cpu.CycleInfo) {
 	case events.Drained:
 		t.pendings = append(t.pendings, pending{kind: pendDrained, cycle: ci.Cycle, weight: weight})
 	case events.Flushed:
-		u := ci.LastCommitted
-		if u == nil {
-			return
+		r := ci.LastCommitted
+		t.add(r.PC, r.PSV, weight)
+		var insts []SampledInst
+		if t.keep {
+			insts = []SampledInst{{PC: r.PC, PSV: r.PSV.Mask(t.cfg.Set)}}
 		}
-		t.profile.Add(u.PC(), u.PSV, weight)
-		t.deliver(ci.Cycle, ci.State, []SampledInst{{PC: u.PC(), PSV: u.PSV.Mask(t.cfg.Set)}}, weight)
+		t.deliver(ci.Cycle, ci.State, insts, weight)
 	}
 }
 
 // OnCommit resolves delayed Stalled/Drained samples against the first
 // committing µop (the next-committing instruction at sample time).
-func (t *TEA) OnCommit(u *cpu.UOp, cycle uint64) {
+func (t *TEA) OnCommit(r cpu.Ref, cycle uint64) {
 	if len(t.pendings) == 0 {
 		return
 	}
 	for _, p := range t.pendings {
-		t.profile.Add(u.PC(), u.PSV, p.weight)
+		t.add(r.PC, r.PSV, p.weight)
 		state := events.Stalled
 		if p.kind == pendDrained {
 			state = events.Drained
 		}
-		t.deliver(p.cycle, state, []SampledInst{{PC: u.PC(), PSV: u.PSV.Mask(t.cfg.Set)}}, p.weight)
+		var insts []SampledInst
+		if t.keep {
+			insts = []SampledInst{{PC: r.PC, PSV: r.PSV.Mask(t.cfg.Set)}}
+		}
+		t.deliver(p.cycle, state, insts, p.weight)
 	}
 	t.pendings = t.pendings[:0]
 }

@@ -120,12 +120,12 @@ func TestDeepRecursionOverflowsRAS(t *testing.T) {
 func TestReturnMispredictsCarryFLMB(t *testing.T) {
 	p := deepRecursion(24)
 	cpu := New(DefaultConfig(), p)
-	col := newCollector()
+	col := newCollector(p)
 	cpu.Attach(col)
 	cpu.Run()
 	flmbRets := 0
 	for _, u := range col.committed {
-		if u.Op() == isa.OpRet && u.PSV.Has(events.FLMB) {
+		if col.op(u) == isa.OpRet && u.PSV.Has(events.FLMB) {
 			flmbRets++
 		}
 	}

@@ -63,9 +63,17 @@ type CPU struct {
 	lastLine    uint64
 	streamDry   bool
 
-	lastCommitted *UOp
+	lastRef       Ref // last committed µop (final PSV)
+	haveLast      bool
 	flushActive   bool
 	blockDispatch *UOp
+
+	// freeUOps recycles µop storage: a µop returns to the pool the
+	// moment it leaves the pipeline (commit for non-stores, SQ drain for
+	// stores, squash otherwise). Probes therefore only ever see
+	// value-typed Refs. squashScratch is reused across squashes.
+	freeUOps      []*UOp
+	squashScratch []*UOp
 
 	// ras is the return-address stack: call sites push their return
 	// index at fetch, returns pop their prediction. Squashes can leave
@@ -190,14 +198,14 @@ func (c *CPU) commitStage() {
 	ci := &c.info
 	ci.Cycle = c.cycle
 	ci.Committed = ci.Committed[:0]
-	ci.Head = nil
-	ci.LastCommitted = nil
+	ci.Head = Ref{}
+	ci.LastCommitted = Ref{}
 
 	switch {
 	case c.rob.empty():
-		if c.flushActive && c.lastCommitted != nil {
+		if c.flushActive && c.haveLast {
 			ci.State = events.Flushed
-			ci.LastCommitted = c.lastCommitted
+			ci.LastCommitted = c.lastRef
 		} else {
 			ci.State = events.Drained
 		}
@@ -205,7 +213,7 @@ func (c *CPU) commitStage() {
 		head := c.rob.headUOp()
 		if !head.doneAt(c.cycle) {
 			ci.State = events.Stalled
-			ci.Head = head
+			ci.Head = head.Ref()
 		} else {
 			ci.State = events.Compute
 			for len(ci.Committed) < c.cfg.CommitWidth && !c.rob.empty() {
@@ -215,13 +223,21 @@ func (c *CPU) commitStage() {
 				}
 				c.rob.pop()
 				c.commitUOp(u)
-				ci.Committed = append(ci.Committed, u)
+				ci.Committed = append(ci.Committed, u.Ref())
 				if u.PSV.Has(events.FLMB) || u.PSV.Has(events.FLEX) || u.PSV.Has(events.FLMO) {
 					c.flushActive = true
 					c.Stats.Flushes++
 				}
-				if isa.IsSerializing(u.Op()) {
+				ser := isa.IsSerializing(u.Op())
+				if ser {
 					c.serializingFlush(u)
+				}
+				// Stores stay live in the SQ until their post-commit
+				// cache write finishes; everything else recycles now.
+				if !isa.IsStore(u.Op()) {
+					c.retireUOp(u)
+				}
+				if ser {
 					break
 				}
 			}
@@ -237,7 +253,8 @@ func (c *CPU) commitStage() {
 func (c *CPU) commitUOp(u *UOp) {
 	u.committed = true
 	u.CommitCycle = c.cycle
-	c.lastCommitted = u
+	c.lastRef = u.Ref()
+	c.haveLast = true
 	c.Stats.Committed++
 	if isa.IsStore(u.Op()) {
 		c.drainQ = append(c.drainQ, u)
@@ -248,9 +265,54 @@ func (c *CPU) commitUOp(u *UOp) {
 		c.blockDispatch = nil
 	}
 	c.stream.Release(u.Seq() + 1)
+	r := c.lastRef
 	for _, p := range c.probes {
-		p.OnCommit(u, c.cycle)
+		p.OnCommit(r, c.cycle)
 	}
+}
+
+// retireUOp recycles a committed non-store µop's storage the cycle it
+// commits. Its dynamic record was already released from the stream
+// buffer, so both the µop shell and the record return to their pools.
+func (c *CPU) retireUOp(u *UOp) {
+	if d := u.Dyn.Static.Dests(); d != isa.NoReg && d != isa.RegZero && c.lastWriter[d] == u {
+		// Equivalent to leaving the pointer: a committed producer always
+		// reads as ready, so consumers wired to nil see the same thing.
+		c.lastWriter[d] = nil
+	}
+	if c.awaitBranch == u {
+		// fetchStage would resolve the redirect later this same cycle
+		// (the branch is provably done); do it here before the storage
+		// is recycled.
+		c.fetchResume = u.CompleteCycle + c.cfg.RedirectPenalty
+		c.awaitBranch = nil
+		c.lastLine = invalidLine
+	}
+	c.stream.RecycleInst(u.Dyn)
+	c.freeUOp(u)
+}
+
+// allocUOp takes a µop shell from the free list (or allocates one) and
+// resets it, preserving the generation counter that guards stale
+// dependency pointers.
+func (c *CPU) allocUOp(d *emu.Inst) *UOp {
+	if n := len(c.freeUOps); n > 0 {
+		u := c.freeUOps[n-1]
+		c.freeUOps = c.freeUOps[:n-1]
+		gen := u.gen
+		*u = UOp{Dyn: d, FetchCycle: c.cycle, valueFromSeq: -1, gen: gen}
+		return u
+	}
+	return &UOp{Dyn: d, FetchCycle: c.cycle, valueFromSeq: -1}
+}
+
+// freeUOp returns a µop shell to the pool. Bumping the generation here
+// makes any pointer still wired to this shell read as "producer
+// recycled" immediately, before the storage is reused.
+func (c *CPU) freeUOp(u *UOp) {
+	u.gen++
+	u.Dyn = nil
+	c.freeUOps = append(c.freeUOps, u)
 }
 
 // serializingFlush implements the pipeline flush a serializing CSR
@@ -261,9 +323,13 @@ func (c *CPU) serializingFlush(u *UOp) {
 	for _, f := range c.fetchBuf {
 		f.squashed = true
 		c.Stats.Squashed++
+		r := f.Ref()
 		for _, p := range c.probes {
-			p.OnSquash(f, c.cycle)
+			p.OnSquash(r, c.cycle)
 		}
+		// The dynamic record stays in the stream buffer for re-delivery
+		// after the rewind; only the shell recycles.
+		c.freeUOp(f)
 	}
 	c.fetchBuf = c.fetchBuf[:0]
 	c.fetchNext = nil
@@ -426,10 +492,14 @@ func (c *CPU) dispatchStage() {
 func (c *CPU) wireSources(u *UOp) {
 	s1, s2 := u.Dyn.Static.Sources()
 	if s1 != isa.NoReg && s1 != isa.RegZero {
-		u.src1 = c.lastWriter[s1]
+		if p := c.lastWriter[s1]; p != nil {
+			u.src1, u.src1Gen = p, p.gen
+		}
 	}
 	if s2 != isa.NoReg && s2 != isa.RegZero {
-		u.src2 = c.lastWriter[s2]
+		if p := c.lastWriter[s2]; p != nil {
+			u.src2, u.src2Gen = p, p.gen
+		}
 	}
 }
 
@@ -442,8 +512,9 @@ func (c *CPU) enterROB(u *UOp) {
 		c.lastWriter[d] = u
 	}
 	c.flushActive = false
+	r := u.Ref()
 	for _, p := range c.probes {
-		p.OnDispatch(u, c.cycle)
+		p.OnDispatch(r, c.cycle)
 	}
 }
 
@@ -456,6 +527,11 @@ func (c *CPU) sqOccupancy() int {
 	out := c.sq[:0]
 	for _, st := range c.sq {
 		if st.committed && st.drainStarted && st.drainDone <= c.cycle {
+			// The SQ entry was the store's last pipeline reference (it
+			// left the drain queue when the cache write started), so its
+			// storage recycles here.
+			c.stream.RecycleInst(st.Dyn)
+			c.freeUOp(st)
 			continue
 		}
 		out = append(out, st)
@@ -513,7 +589,7 @@ func (c *CPU) fetchStage() {
 			}
 		}
 
-		u := &UOp{Dyn: d, FetchCycle: c.cycle, valueFromSeq: -1}
+		u := c.allocUOp(d)
 		if c.pendDRL1 {
 			u.PSV = u.PSV.Set(events.DRL1)
 			c.pendDRL1 = false
@@ -554,8 +630,9 @@ func (c *CPU) fetchStage() {
 		c.fetchNext = nil
 		c.fetchBuf = append(c.fetchBuf, u)
 		budget--
+		r := u.Ref()
 		for _, p := range c.probes {
-			p.OnFetch(u, c.cycle)
+			p.OnFetch(r, c.cycle)
 		}
 		if u.Mispredicted {
 			// Wrong path: fetch stalls until the branch resolves and

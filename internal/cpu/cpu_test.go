@@ -9,46 +9,56 @@ import (
 	"repro/internal/program"
 )
 
-// collector records every probe callback for inspection.
+// collector records every probe callback for inspection. Probes receive
+// value-typed Refs (the core recycles µops), so events are stored by
+// value and cycle maps are keyed by sequence number.
 type collector struct {
 	BaseProbe
-	fetched    []*UOp
-	dispatched []*UOp
-	committed  []*UOp
-	squashed   []*UOp
-	fetchAt    map[*UOp]uint64
-	dispatchAt map[*UOp]uint64
-	commitAt   map[*UOp]uint64
+	prog       *program.Program
+	fetched    []Ref
+	dispatched []Ref
+	committed  []Ref
+	squashed   []Ref
+	fetchAt    map[uint64]uint64 // seq -> cycle
+	dispatchAt map[uint64]uint64
+	commitAt   map[uint64]uint64
 	states     map[events.CommitState]uint64
 	done       uint64
 }
 
-func newCollector() *collector {
+func newCollector(p *program.Program) *collector {
 	return &collector{
-		fetchAt:    map[*UOp]uint64{},
-		dispatchAt: map[*UOp]uint64{},
-		commitAt:   map[*UOp]uint64{},
+		prog:       p,
+		fetchAt:    map[uint64]uint64{},
+		dispatchAt: map[uint64]uint64{},
+		commitAt:   map[uint64]uint64{},
 		states:     map[events.CommitState]uint64{},
 	}
 }
 
-func (c *collector) OnCycle(ci *CycleInfo)     { c.states[ci.State]++ }
-func (c *collector) OnFetch(u *UOp, cy uint64) { c.fetched = append(c.fetched, u); c.fetchAt[u] = cy }
-func (c *collector) OnDispatch(u *UOp, cy uint64) {
-	c.dispatched = append(c.dispatched, u)
-	c.dispatchAt[u] = cy
+// op resolves the static opcode behind a ref via the program.
+func (c *collector) op(r Ref) isa.Op { return c.prog.Insts[isa.IndexOf(r.PC)].Op }
+
+func (c *collector) OnCycle(ci *CycleInfo) { c.states[ci.State]++ }
+func (c *collector) OnFetch(r Ref, cy uint64) {
+	c.fetched = append(c.fetched, r)
+	c.fetchAt[r.Seq] = cy
 }
-func (c *collector) OnCommit(u *UOp, cy uint64) {
-	c.committed = append(c.committed, u)
-	c.commitAt[u] = cy
+func (c *collector) OnDispatch(r Ref, cy uint64) {
+	c.dispatched = append(c.dispatched, r)
+	c.dispatchAt[r.Seq] = cy
 }
-func (c *collector) OnSquash(u *UOp, cy uint64) { c.squashed = append(c.squashed, u) }
-func (c *collector) OnDone(total uint64)        { c.done = total }
+func (c *collector) OnCommit(r Ref, cy uint64) {
+	c.committed = append(c.committed, r)
+	c.commitAt[r.Seq] = cy
+}
+func (c *collector) OnSquash(r Ref, cy uint64) { c.squashed = append(c.squashed, r) }
+func (c *collector) OnDone(total uint64)       { c.done = total }
 
 func run(t *testing.T, p *program.Program) (*Stats, *collector) {
 	t.Helper()
 	cpu := New(DefaultConfig(), p)
-	col := newCollector()
+	col := newCollector(p)
 	cpu.Attach(col)
 	stats := cpu.Run()
 	return stats, col
@@ -138,13 +148,15 @@ func TestColdLoadSetsStallEvents(t *testing.T) {
 	b.Add(isa.X(3), isa.X(2), isa.X(2))
 	b.Halt()
 	_, col := run(t, b.MustBuild())
-	var ld *UOp
+	var ld Ref
+	found := false
 	for _, u := range col.committed {
-		if isa.IsLoad(u.Op()) {
+		if isa.IsLoad(col.op(u)) {
 			ld = u
+			found = true
 		}
 	}
-	if ld == nil {
+	if !found {
 		t.Fatalf("load never committed")
 	}
 	if !ld.PSV.Has(events.STL1) || !ld.PSV.Has(events.STLLC) {
@@ -172,7 +184,7 @@ func TestWarmLoadHasNoEvents(t *testing.T) {
 	_, col := run(t, b.MustBuild())
 	warm := 0
 	for _, u := range col.committed {
-		if isa.IsLoad(u.Op()) && u.PSV == 0 {
+		if isa.IsLoad(col.op(u)) && u.PSV == 0 {
 			warm++
 		}
 	}
@@ -235,7 +247,7 @@ func TestSerializingCsrFlush(t *testing.T) {
 	stats, col := run(t, b.MustBuild())
 	flex := 0
 	for _, u := range col.committed {
-		if u.Op() == isa.OpCsrFlush {
+		if col.op(u) == isa.OpCsrFlush {
 			if !u.PSV.Has(events.FLEX) {
 				t.Errorf("csrflush committed without FL-EX")
 			}
@@ -386,7 +398,7 @@ func TestStoreToLoadForwarding(t *testing.T) {
 	// Later loads should forward: quick completion, no cache events.
 	fwdLoads := 0
 	for _, u := range col.committed {
-		if isa.IsLoad(u.Op()) && !u.PSV.Has(events.STL1) {
+		if isa.IsLoad(col.op(u)) && !u.PSV.Has(events.STL1) {
 			fwdLoads++
 		}
 	}
@@ -399,45 +411,68 @@ func TestProbeEventOrdering(t *testing.T) {
 	p := straightALU(200)
 	_, col := run(t, p)
 	for _, u := range col.committed {
-		f, okF := col.fetchAt[u]
-		d, okD := col.dispatchAt[u]
-		cm, okC := col.commitAt[u]
+		f, okF := col.fetchAt[u.Seq]
+		d, okD := col.dispatchAt[u.Seq]
+		cm, okC := col.commitAt[u.Seq]
 		if !okF || !okD || !okC {
 			t.Fatalf("committed µop missing fetch/dispatch/commit callbacks")
 		}
 		if f > d || d > cm {
-			t.Errorf("µop seq %d: fetch %d, dispatch %d, commit %d out of order", u.Seq(), f, d, cm)
+			t.Errorf("µop seq %d: fetch %d, dispatch %d, commit %d out of order", u.Seq, f, d, cm)
 		}
 	}
 }
 
 func TestSquashedUOpsNeverCommit(t *testing.T) {
-	// Reuse the violation program: squashed µops must not appear in the
-	// commit stream (fresh µops for re-fetched instructions do).
+	// Reuse the violation program: every fetched µop instance ends in
+	// exactly one squash or one commit, and no sequence number commits
+	// twice (re-fetched instructions are fresh instances of the same
+	// sequence number).
 	b := program.NewBuilder("v2")
 	base := b.Alloc(4096, 64)
 	b.Func("main")
 	b.MoviU(isa.X(1), base)
 	b.Movi(isa.X(2), 3)
+	b.Movi(isa.X(9), 0)
+	b.Movi(isa.X(10), 30)
+	b.Label("top")
 	b.Movi(isa.X(4), 800)
 	b.Movi(isa.X(5), 2)
 	b.Div(isa.X(4), isa.X(4), isa.X(5))
+	b.Div(isa.X(4), isa.X(4), isa.X(5))
 	b.Add(isa.X(3), isa.X(1), isa.X(4))
-	b.Addi(isa.X(3), isa.X(3), -400)
+	b.Addi(isa.X(3), isa.X(3), -200)
 	b.Store(isa.X(3), isa.X(2), 0)
 	b.Load(isa.X(6), isa.X(1), 0)
 	b.Add(isa.X(7), isa.X(6), isa.X(6))
-	b.Add(isa.X(8), isa.X(7), isa.X(7))
+	b.Addi(isa.X(9), isa.X(9), 1)
+	b.Blt(isa.X(9), isa.X(10), "top")
 	b.Halt()
 	_, col := run(t, b.MustBuild())
-	for _, u := range col.squashed {
-		if u.Committed() {
-			t.Errorf("squashed µop seq %d committed", u.Seq())
+	if len(col.squashed) == 0 {
+		t.Fatalf("program did not squash")
+	}
+	commits := map[uint64]int{}
+	for _, u := range col.committed {
+		commits[u.Seq]++
+	}
+	for seq, n := range commits {
+		if n != 1 {
+			t.Errorf("seq %d committed %d times", seq, n)
 		}
-		for _, cu := range col.committed {
-			if cu == u {
-				t.Errorf("squashed µop object found in commit stream")
-			}
+	}
+	fetches := map[uint64]int{}
+	for _, u := range col.fetched {
+		fetches[u.Seq]++
+	}
+	squashes := map[uint64]int{}
+	for _, u := range col.squashed {
+		squashes[u.Seq]++
+	}
+	for seq, n := range fetches {
+		if want := squashes[seq] + commits[seq]; n != want {
+			t.Errorf("seq %d fetched %d times, want %d (%d squashes + %d commits)",
+				seq, n, want, squashes[seq], commits[seq])
 		}
 	}
 }

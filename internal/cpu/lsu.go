@@ -197,22 +197,24 @@ func (c *CPU) drainStores() {
 // restarts fetch after the redirect penalty.
 func (c *CPU) squashYoungerThan(keep *UOp) {
 	seq := keep.Seq()
-	removed := c.rob.squashYoungerThan(seq)
+	removed := c.rob.squashYoungerThan(seq, c.squashScratch[:0])
+	c.squashScratch = removed
 	for _, u := range removed {
 		u.squashed = true
 		c.Stats.Squashed++
+		r := u.Ref()
 		for _, p := range c.probes {
-			p.OnSquash(u, c.cycle)
+			p.OnSquash(r, c.cycle)
 		}
 	}
 	for _, u := range c.fetchBuf {
 		u.squashed = true
 		c.Stats.Squashed++
+		r := u.Ref()
 		for _, p := range c.probes {
-			p.OnSquash(u, c.cycle)
+			p.OnSquash(r, c.cycle)
 		}
 	}
-	c.fetchBuf = c.fetchBuf[:0]
 	c.fetchNext = nil
 
 	c.iqInt = dropYounger(c.iqInt, seq)
@@ -246,6 +248,17 @@ func (c *CPU) squashYoungerThan(keep *UOp) {
 	c.stream.Rewind(seq + 1)
 	c.streamDry = false
 	c.fetchResume = c.cycle + c.cfg.RedirectPenalty
+
+	// All bookkeeping above is done with the squashed µops still intact;
+	// now their shells recycle. The dynamic records stay in the stream
+	// buffer — the rewind re-delivers them to fresh shells.
+	for _, u := range removed {
+		c.freeUOp(u)
+	}
+	for _, u := range c.fetchBuf {
+		c.freeUOp(u)
+	}
+	c.fetchBuf = c.fetchBuf[:0]
 }
 
 func dropYounger(list []*UOp, seq uint64) []*UOp {

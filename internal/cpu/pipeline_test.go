@@ -61,19 +61,28 @@ func TestROBCapacityBoundsInFlight(t *testing.T) {
 
 type inFlightProbe struct {
 	BaseProbe
+	dispatched  map[uint64]bool
 	inFlight    int
 	maxInFlight int
 }
 
-func (p *inFlightProbe) OnDispatch(u *UOp, cy uint64) {
+func (p *inFlightProbe) OnDispatch(r Ref, cy uint64) {
+	if p.dispatched == nil {
+		p.dispatched = map[uint64]bool{}
+	}
+	p.dispatched[r.Seq] = true
 	p.inFlight++
 	if p.inFlight > p.maxInFlight {
 		p.maxInFlight = p.inFlight
 	}
 }
-func (p *inFlightProbe) OnCommit(u *UOp, cy uint64) { p.inFlight-- }
-func (p *inFlightProbe) OnSquash(u *UOp, cy uint64) {
-	if u.dispatched {
+func (p *inFlightProbe) OnCommit(r Ref, cy uint64) {
+	delete(p.dispatched, r.Seq)
+	p.inFlight--
+}
+func (p *inFlightProbe) OnSquash(r Ref, cy uint64) {
+	if p.dispatched[r.Seq] {
+		delete(p.dispatched, r.Seq)
 		p.inFlight--
 	}
 }
@@ -201,8 +210,9 @@ func TestWarmTLBNoEvents(t *testing.T) {
 		b.Add(isa.X(5), isa.X(1), isa.X(3))
 	}
 	b.Halt()
-	cpu := New(DefaultConfig(), b.MustBuild())
-	col := newCollector()
+	p := b.MustBuild()
+	cpu := New(DefaultConfig(), p)
+	col := newCollector(p)
 	cpu.Attach(col)
 	cpu.Run()
 	tlbMisses := 0
@@ -236,17 +246,20 @@ func TestPrefetchWarmsLLCOnly(t *testing.T) {
 	b.Load(isa.X(5), isa.X(4), 0)
 	b.Add(isa.X(6), isa.X(5), isa.X(5))
 	b.Halt()
-	cpu := New(DefaultConfig(), b.MustBuild())
-	col := newCollector()
+	p := b.MustBuild()
+	cpu := New(DefaultConfig(), p)
+	col := newCollector(p)
 	cpu.Attach(col)
 	cpu.Run()
-	var ld *UOp
+	var ld Ref
+	found := false
 	for _, u := range col.committed {
-		if isa.IsLoad(u.Op()) {
+		if isa.IsLoad(col.op(u)) {
 			ld = u
+			found = true
 		}
 	}
-	if ld == nil {
+	if !found {
 		t.Fatalf("no load committed")
 	}
 	if !ld.PSV.Has(events.STL1) {
@@ -267,18 +280,19 @@ func TestSerializingWaitsForROBDrain(t *testing.T) {
 	b.CsrFlush()
 	b.Addi(isa.X(4), isa.X(0), 1)
 	b.Halt()
-	cpu := New(DefaultConfig(), b.MustBuild())
-	col := newCollector()
+	p := b.MustBuild()
+	cpu := New(DefaultConfig(), p)
+	col := newCollector(p)
 	cpu.Attach(col)
 	cpu.Run()
 	var divCommit, csrCommit, csrDispatch uint64
 	for _, u := range col.committed {
-		switch u.Op() {
+		switch col.op(u) {
 		case isa.OpDiv:
-			divCommit = col.commitAt[u]
+			divCommit = col.commitAt[u.Seq]
 		case isa.OpCsrFlush:
-			csrCommit = col.commitAt[u]
-			csrDispatch = col.dispatchAt[u]
+			csrCommit = col.commitAt[u.Seq]
+			csrDispatch = col.dispatchAt[u.Seq]
 		}
 	}
 	// The commit stage runs before dispatch within a cycle, so the

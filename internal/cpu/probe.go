@@ -2,39 +2,75 @@ package cpu
 
 import "repro/internal/events"
 
+// Ref is a value-typed view of one µop, handed to probes instead of the
+// *UOp itself. The core recycles µop storage through a free list the
+// moment a µop leaves the pipeline, so probes MUST NOT retain *UOp
+// pointers — a retained pointer would silently start describing a
+// different instruction. Everything a profiling technique needs is in
+// the ref (or arrives in a later hook):
+//
+//   - Seq identifies the dynamic instruction. It is stable across
+//     hooks, so techniques that tag an instruction in the front end
+//     (IBS/SPE/RIS) match it at commit by sequence number. A squashed
+//     sequence number is re-fetched after the squash; OnSquash always
+//     fires before the re-fetch, so seq matching is exact.
+//   - PC is the static instruction's code address.
+//   - PSV is the signature observed so far. It is final — and part of
+//     the trace-replay contract — only at OnCommit and in the
+//     CycleInfo refs of committed/flushed instructions. At
+//     OnFetch/OnDispatch (and for the stalled head in CycleInfo) it is
+//     a live snapshot that offline replay does not reproduce; probes
+//     must read event state at commit.
+//
+// The tealint proberetain analyzer enforces the no-retention rule:
+// outside internal/cpu, no struct field or package variable may hold a
+// *cpu.UOp.
+type Ref struct {
+	// Seq is the dynamic sequence number.
+	Seq uint64
+	// PC is the instruction's code address.
+	PC uint64
+	// PSV is the signature observed so far (final at commit).
+	PSV events.PSV
+}
+
 // CycleInfo describes the commit-stage state of one cycle, following
 // the four-state classification of Section 2 of the paper. The struct
-// is reused across cycles; probes must not retain it (retaining the
-// µop pointers it references is fine).
+// is reused across cycles; probes must not retain it or the Committed
+// slice.
 type CycleInfo struct {
 	// Cycle is the cycle number (starting at 1).
 	Cycle uint64
 	// State is the commit-state classification.
 	State events.CommitState
-	// Committed lists the µops that committed this cycle (Compute).
-	Committed []*UOp
-	// Head is the stalled ROB-head µop (Stalled).
-	Head *UOp
+	// Committed lists the µops that committed this cycle (Compute), in
+	// commit order; their PSVs are final.
+	Committed []Ref
+	// Head is the stalled ROB-head µop (Stalled). Its PSV is a live
+	// snapshot (see Ref).
+	Head Ref
 	// LastCommitted is the flush-causing, already-committed µop
-	// (Flushed).
-	LastCommitted *UOp
+	// (Flushed); its PSV is final.
+	LastCommitted Ref
 }
 
 // Probe observes the core cycle by cycle. All attached profiling
 // techniques implement Probe, so they sample the exact same execution —
 // the evaluation methodology of Section 4 (multiple configurations
-// processed out-of-band from one trace).
+// processed out-of-band from one trace). The same hooks fire, with the
+// same values, when a recorded trace is replayed offline
+// (internal/trace), so a probe cannot tell replay from a live run.
 type Probe interface {
 	// OnCycle fires once per cycle after the commit stage.
 	OnCycle(ci *CycleInfo)
 	// OnFetch fires when a µop is fetched (RIS tags here).
-	OnFetch(u *UOp, cycle uint64)
+	OnFetch(r Ref, cycle uint64)
 	// OnDispatch fires when a µop is dispatched (IBS/SPE tag here).
-	OnDispatch(u *UOp, cycle uint64)
+	OnDispatch(r Ref, cycle uint64)
 	// OnCommit fires when a µop commits; its PSV is final.
-	OnCommit(u *UOp, cycle uint64)
+	OnCommit(r Ref, cycle uint64)
 	// OnSquash fires when an in-flight µop is squashed.
-	OnSquash(u *UOp, cycle uint64)
+	OnSquash(r Ref, cycle uint64)
 	// OnDone fires when the program finishes.
 	OnDone(totalCycles uint64)
 }
@@ -47,16 +83,16 @@ type BaseProbe struct{}
 func (BaseProbe) OnCycle(*CycleInfo) {}
 
 // OnFetch implements Probe.
-func (BaseProbe) OnFetch(*UOp, uint64) {}
+func (BaseProbe) OnFetch(Ref, uint64) {}
 
 // OnDispatch implements Probe.
-func (BaseProbe) OnDispatch(*UOp, uint64) {}
+func (BaseProbe) OnDispatch(Ref, uint64) {}
 
 // OnCommit implements Probe.
-func (BaseProbe) OnCommit(*UOp, uint64) {}
+func (BaseProbe) OnCommit(Ref, uint64) {}
 
 // OnSquash implements Probe.
-func (BaseProbe) OnSquash(*UOp, uint64) {}
+func (BaseProbe) OnSquash(Ref, uint64) {}
 
 // OnDone implements Probe.
 func (BaseProbe) OnDone(uint64) {}

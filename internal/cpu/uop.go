@@ -7,7 +7,11 @@ import (
 )
 
 // UOp is one in-flight micro-operation: a dynamic instruction plus its
-// timing state and Performance Signature Vector.
+// timing state and Performance Signature Vector. µop storage is
+// recycled through the core's free list the moment it leaves the
+// pipeline, so *UOp pointers must not escape internal/cpu — probes see
+// value-typed Refs instead (the tealint proberetain analyzer enforces
+// this).
 type UOp struct {
 	// Dyn is the functional record of the instruction.
 	Dyn *emu.Inst
@@ -31,9 +35,17 @@ type UOp struct {
 	// was wrong (FL-MB is set in the PSV as well).
 	Mispredicted bool
 
+	// gen counts reuses of this µop's storage. A consumer that wires a
+	// source dependency records the producer's generation; a mismatch
+	// later means the producer was recycled, which can only happen
+	// after it committed — i.e. the operand is architecturally ready.
+	gen uint32
+
 	// Register dependencies: the producing µops of the two source
-	// operands (nil when the value is architecturally ready).
-	src1, src2 *UOp
+	// operands (nil when the value is architecturally ready), tagged
+	// with the producer's generation at wiring time.
+	src1, src2       *UOp
+	src1Gen, src2Gen uint32
 
 	// Load/store unit state.
 	aguDone    uint64 // cycle the effective address is available
@@ -59,13 +71,19 @@ func (u *UOp) Op() isa.Op { return u.Dyn.Static.Op }
 // Committed reports whether the µop has committed.
 func (u *UOp) Committed() bool { return u.committed }
 
+// Ref returns the value-typed view handed to probes.
+func (u *UOp) Ref() Ref { return Ref{Seq: u.Dyn.Seq, PC: u.Dyn.PC, PSV: u.PSV} }
+
 // ready reports whether both source operands are available at cycle.
 func (u *UOp) ready(cycle uint64) bool {
-	return srcReady(u.src1, cycle) && srcReady(u.src2, cycle)
+	return srcReady(u.src1, u.src1Gen, cycle) && srcReady(u.src2, u.src2Gen, cycle)
 }
 
-func srcReady(p *UOp, cycle uint64) bool {
-	return p == nil || (p.completed && p.CompleteCycle <= cycle)
+// srcReady checks one source dependency. A generation mismatch means the
+// producer's storage was recycled after it committed, so the operand is
+// architecturally ready.
+func srcReady(p *UOp, gen uint32, cycle uint64) bool {
+	return p == nil || p.gen != gen || (p.completed && p.CompleteCycle <= cycle)
 }
 
 // doneAt reports whether the µop has finished executing by cycle.
@@ -113,9 +131,11 @@ func (r *rob) pop() *UOp {
 func (r *rob) at(i int) *UOp { return r.buf[(r.head+i)%len(r.buf)] }
 
 // squashYoungerThan removes every µop with a sequence number greater
-// than seq from the tail and returns the removed µops (oldest first).
-func (r *rob) squashYoungerThan(seq uint64) []*UOp {
-	var out []*UOp
+// than seq from the tail, appending the removed µops (oldest first) to
+// out; the caller passes a reusable scratch slice so squashes do not
+// allocate.
+func (r *rob) squashYoungerThan(seq uint64, out []*UOp) []*UOp {
+	base := len(out)
 	for r.count > 0 {
 		tail := r.buf[(r.head+r.count-1)%len(r.buf)]
 		if tail.Seq() <= seq {
@@ -125,8 +145,8 @@ func (r *rob) squashYoungerThan(seq uint64) []*UOp {
 		r.count--
 		out = append(out, tail)
 	}
-	// Reverse to oldest-first.
-	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+	// Reverse the appended section to oldest-first.
+	for i, j := base, len(out)-1; i < j; i, j = i+1, j-1 {
 		out[i], out[j] = out[j], out[i]
 	}
 	return out

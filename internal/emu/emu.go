@@ -76,6 +76,11 @@ type Stream struct {
 	bufBase uint64
 	cursor  int
 
+	// free recycles released instruction records. The core returns a
+	// record via RecycleInst once the last pipeline structure holding it
+	// retires; step reuses pooled records instead of allocating.
+	free []*Inst
+
 	// MaxInsts bounds execution to guard against runaway programs.
 	MaxInsts uint64
 }
@@ -147,6 +152,14 @@ func (s *Stream) Release(seq uint64) {
 	s.cursor -= n
 }
 
+// RecycleInst returns a released instruction record to the pool. The
+// caller must be the record's last holder: it must already have been
+// released (so the stream cannot re-deliver it) and no pipeline
+// structure may still point at it.
+func (s *Stream) RecycleInst(d *Inst) {
+	s.free = append(s.free, d)
+}
+
 func f64(bits uint64) float64 { return math.Float64frombits(bits) }
 func bits(f float64) uint64   { return math.Float64bits(f) }
 func (s *Stream) wr(r isa.Reg, v uint64) {
@@ -165,7 +178,14 @@ func (s *Stream) step() *Inst {
 		panic(fmt.Sprintf("emu: program %q exceeded %d instructions", s.prog.Name, s.MaxInsts))
 	}
 	in := &s.prog.Insts[s.pcIndex]
-	d := &Inst{Static: in, Index: s.pcIndex, PC: isa.PCOf(s.pcIndex), Seq: s.seq}
+	var d *Inst
+	if n := len(s.free); n > 0 {
+		d = s.free[n-1]
+		s.free = s.free[:n-1]
+		*d = Inst{Static: in, Index: s.pcIndex, PC: isa.PCOf(s.pcIndex), Seq: s.seq}
+	} else {
+		d = &Inst{Static: in, Index: s.pcIndex, PC: isa.PCOf(s.pcIndex), Seq: s.seq}
+	}
 	s.seq++
 	next := s.pcIndex + 1
 

@@ -1,0 +1,134 @@
+// Package proberetain defines a tealint analyzer that forbids storing
+// *cpu.UOp in struct fields or package-level variables outside the cpu
+// package itself.
+//
+// The core recycles µops through a free list the moment they leave the
+// ROB: a *cpu.UOp held across a probe callback is repointed at a
+// different dynamic instruction on the next allocation, silently
+// corrupting whatever analysis retained it. Probes receive value-typed
+// cpu.Ref snapshots (sequence number, PC, PSV) precisely so there is
+// nothing to retain; any struct field or global that keeps the pointer
+// defeats that contract. Transient locals inside a single callback are
+// fine — the µop is stable for the duration of the call.
+package proberetain
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags struct fields and package-level variables typed to
+// hold *cpu.UOp outside the cpu package.
+var Analyzer = &analysis.Analyzer{
+	Name: "proberetain",
+	Doc: "forbid storing *cpu.UOp in struct fields or package variables outside internal/cpu\n\n" +
+		"µops are recycled once they leave the ROB; probes must copy the value-typed cpu.Ref.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if isCPUPackage(pass.Pkg) {
+		return nil, nil // the core itself owns µop lifetime
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				if d.Tok == token.VAR {
+					checkVarDecl(pass, d)
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				tv, ok := pass.TypesInfo.Types[field.Type]
+				if !ok || !holdsUOpPtr(tv.Type) {
+					continue
+				}
+				name := "embedded field"
+				if len(field.Names) > 0 {
+					parts := make([]string, len(field.Names))
+					for i, id := range field.Names {
+						parts[i] = id.Name
+					}
+					name = "field " + strings.Join(parts, ", ")
+				}
+				pass.Reportf(field.Pos(),
+					"struct %s retains *cpu.UOp; µops are recycled after commit — store the value-typed cpu.Ref instead",
+					name)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkVarDecl flags package-level variables that can hold a *cpu.UOp.
+func checkVarDecl(pass *analysis.Pass, d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, name := range vs.Names {
+			obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+			if !ok || !holdsUOpPtr(obj.Type()) {
+				continue
+			}
+			pass.Reportf(name.Pos(),
+				"package variable %s retains *cpu.UOp; µops are recycled after commit — store the value-typed cpu.Ref instead",
+				name.Name)
+		}
+	}
+}
+
+// isCPUPackage reports whether pkg is the µop-owning core package. It
+// matches both the real simulator package (path suffix internal/cpu)
+// and the golden-suite stand-in (import path "cpu").
+func isCPUPackage(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == "cpu" || strings.HasSuffix(pkg.Path(), "internal/cpu")
+}
+
+// holdsUOpPtr reports whether t can transitively store a *cpu.UOp:
+// the pointer itself, or a slice/array/map/channel containing one.
+// Neither named composite types nor anonymous structs are unwrapped —
+// a type that retains µops is flagged where its fields are defined.
+func holdsUOpPtr(t types.Type) bool {
+	switch t := types.Unalias(t).(type) {
+	case *types.Pointer:
+		if isUOp(t.Elem()) {
+			return true
+		}
+		return holdsUOpPtr(t.Elem())
+	case *types.Slice:
+		return holdsUOpPtr(t.Elem())
+	case *types.Array:
+		return holdsUOpPtr(t.Elem())
+	case *types.Map:
+		return holdsUOpPtr(t.Key()) || holdsUOpPtr(t.Elem())
+	case *types.Chan:
+		return holdsUOpPtr(t.Elem())
+	}
+	return false
+}
+
+// isUOp reports whether t is the named type cpu.UOp.
+func isUOp(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "UOp" && isCPUPackage(obj.Pkg())
+}

@@ -1,0 +1,12 @@
+package proberetain_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/proberetain"
+)
+
+func TestProbeRetain(t *testing.T) {
+	analysistest.Run(t, ".", proberetain.Analyzer, "a", "cpu")
+}

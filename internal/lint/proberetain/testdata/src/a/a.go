@@ -1,0 +1,52 @@
+// Package a is the proberetain golden suite.
+package a
+
+import "cpu"
+
+// A probe that stores the pointer directly: flagged.
+type badProbe struct {
+	last *cpu.UOp // want "struct field last retains \\*cpu.UOp"
+}
+
+// Containers of µop pointers retain just the same: flagged.
+type badSlices struct {
+	committed []*cpu.UOp          // want "struct field committed retains \\*cpu.UOp"
+	byCycle   map[uint64]*cpu.UOp // want "struct field byCycle retains \\*cpu.UOp"
+	keyed     map[*cpu.UOp]uint64 // want "struct field keyed retains \\*cpu.UOp"
+	window    [8]*cpu.UOp         // want "struct field window retains \\*cpu.UOp"
+	feed      chan *cpu.UOp       // want "struct field feed retains \\*cpu.UOp"
+}
+
+// An anonymous struct nested in a field still retains: its inner
+// field is flagged where it is declared.
+type badNested struct {
+	inner struct {
+		u *cpu.UOp // want "struct field u retains \\*cpu.UOp"
+	}
+}
+
+// Package-level variables retain across every callback: flagged.
+var lastSeen *cpu.UOp // want "package variable lastSeen retains \\*cpu.UOp"
+
+var ring []*cpu.UOp // want "package variable ring retains \\*cpu.UOp"
+
+// The value-typed snapshot is the sanctioned pattern: not flagged.
+type goodProbe struct {
+	last      cpu.Ref
+	committed []cpu.Ref
+	commitAt  map[uint64]uint64
+}
+
+var lastRef cpu.Ref
+
+// Transient locals within one callback are fine — the µop is stable
+// for the duration of the call.
+func goodLocal(u *cpu.UOp) uint64 {
+	cur := u
+	return cur.Seq
+}
+
+// A suppressed violation: the directive must silence the report.
+type suppressed struct {
+	u *cpu.UOp //tealint:ignore proberetain test fixture keeps the pointer deliberately
+}

@@ -1,0 +1,28 @@
+// Package cpu is a miniature stand-in for repro/internal/cpu: the
+// proberetain analyzer matches the UOp type by name and package, so
+// the golden suite exercises it without importing the real simulator.
+// The cpu package itself owns µop lifetime, so nothing here is
+// flagged.
+package cpu
+
+// UOp is one in-flight micro-operation; the core recycles these.
+type UOp struct {
+	Seq uint64
+	PC  uint64
+}
+
+// Ref is the value-typed snapshot probes may keep.
+type Ref struct {
+	Seq uint64
+	PC  uint64
+	PSV uint16
+}
+
+// The core's own free list legitimately stores µop pointers.
+var pool []*UOp
+
+// rob holds in-flight µops inside the owning package: allowed.
+type rob struct {
+	entries []*UOp
+	head    *UOp
+}

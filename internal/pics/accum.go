@@ -1,0 +1,70 @@
+package pics
+
+import (
+	"repro/internal/events"
+	"repro/internal/isa"
+)
+
+// numSigs is the number of distinct signature values a PSV can take.
+const numSigs = 1 << events.NumEvents
+
+// Accum is a dense PICS accumulator for the per-cycle hot path. Where
+// Profile hashes every attribution into a two-level map, Accum indexes
+// a flat slice by (static-instruction index, masked signature) — the
+// program's static instruction count is known up front, and a masked
+// PSV is at most numSigs-1. Accumulation order per slot is identical to
+// the map path (the same sequence of float64 additions), so a
+// materialized Accum is bit-identical to a Profile built directly.
+type Accum struct {
+	name  string
+	set   events.Set
+	seed  uint64
+	dense []float64 // [instIdx*numSigs + maskedSig]
+}
+
+// NewAccum returns an accumulator for a program with nInsts static
+// instructions.
+func NewAccum(name string, set events.Set, nInsts int) *Accum {
+	return &Accum{
+		name:  name,
+		set:   set,
+		dense: make([]float64, nInsts*numSigs),
+	}
+}
+
+// SetSeed records the producing technique's sample-clock seed for the
+// materialized profile.
+func (a *Accum) SetSeed(seed uint64) { a.seed = seed }
+
+// Add attributes w cycles to (static instruction index, signature); the
+// signature is masked to the accumulator's event set.
+func (a *Accum) Add(instIdx int, sig events.PSV, w float64) {
+	a.dense[instIdx*numSigs+int(sig.Mask(a.set))] += w
+}
+
+// AddPC is Add keyed by the instruction's code address.
+func (a *Accum) AddPC(pc uint64, sig events.PSV, w float64) {
+	a.Add(isa.IndexOf(pc), sig, w)
+}
+
+// Profile materializes the accumulated stacks into a map-based Profile.
+// Only instructions that received attribution appear, exactly as if
+// every Add had gone through Profile.Add directly.
+func (a *Accum) Profile() *Profile {
+	p := NewProfile(a.name, a.set)
+	p.Seed = a.seed
+	for base := 0; base < len(a.dense); base += numSigs {
+		var st Stack
+		for s, v := range a.dense[base : base+numSigs] {
+			if v == 0 {
+				continue
+			}
+			if st == nil {
+				st = make(Stack)
+				p.Insts[isa.PCOf(base/numSigs)] = st
+			}
+			st[events.PSV(s)] = v
+		}
+	}
+	return p
+}

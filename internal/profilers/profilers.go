@@ -64,7 +64,8 @@ type FrontEndTagger struct {
 	sampler *core.Sampler
 
 	armed   bool
-	tagged  *cpu.UOp
+	hasTag  bool
+	tagged  uint64 // sequence number of the tagged instruction
 	profile *pics.Profile
 
 	Samples uint64
@@ -109,35 +110,40 @@ func (f *FrontEndTagger) OnCycle(ci *cpu.CycleInfo) {
 	}
 }
 
-// OnFetch tags at fetch for RIS.
-func (f *FrontEndTagger) OnFetch(u *cpu.UOp, cycle uint64) {
-	if f.point == TagFetch && f.armed && f.tagged == nil {
+// OnFetch tags at fetch for RIS. The tag is the sequence number: it is
+// stable across hooks and a squash always drops the tag before the same
+// sequence number is re-fetched, so matching is exact.
+func (f *FrontEndTagger) OnFetch(r cpu.Ref, cycle uint64) {
+	if f.point == TagFetch && f.armed && !f.hasTag {
 		f.armed = false
-		f.tagged = u
+		f.hasTag = true
+		f.tagged = r.Seq
 	}
 }
 
 // OnDispatch tags at dispatch for IBS/SPE.
-func (f *FrontEndTagger) OnDispatch(u *cpu.UOp, cycle uint64) {
-	if f.point == TagDispatch && f.armed && f.tagged == nil {
+func (f *FrontEndTagger) OnDispatch(r cpu.Ref, cycle uint64) {
+	if f.point == TagDispatch && f.armed && !f.hasTag {
 		f.armed = false
-		f.tagged = u
+		f.hasTag = true
+		f.tagged = r.Seq
 	}
 }
 
-// OnCommit records the sample when the tagged instruction retires.
-func (f *FrontEndTagger) OnCommit(u *cpu.UOp, cycle uint64) {
-	if u == f.tagged {
-		f.profile.Add(u.PC(), u.PSV, float64(f.sampler.Interval()))
+// OnCommit records the sample when the tagged instruction retires; its
+// PSV is final here.
+func (f *FrontEndTagger) OnCommit(r cpu.Ref, cycle uint64) {
+	if f.hasTag && r.Seq == f.tagged {
+		f.profile.Add(r.PC, r.PSV, float64(f.sampler.Interval()))
 		f.Samples++
-		f.tagged = nil
+		f.hasTag = false
 	}
 }
 
 // OnSquash drops the sample if the tagged instruction is squashed.
-func (f *FrontEndTagger) OnSquash(u *cpu.UOp, cycle uint64) {
-	if u == f.tagged {
-		f.tagged = nil
+func (f *FrontEndTagger) OnSquash(r cpu.Ref, cycle uint64) {
+	if f.hasTag && r.Seq == f.tagged {
+		f.hasTag = false
 		f.Dropped++
 	}
 }
@@ -180,8 +186,8 @@ func (n *NCITEA) OnCycle(ci *cpu.CycleInfo) {
 	}
 	w := float64(n.sampler.Interval())
 	if ci.State == events.Compute && len(ci.Committed) > 0 {
-		u := ci.Committed[0]
-		n.profile.Add(u.PC(), u.PSV, w)
+		r := ci.Committed[0]
+		n.profile.Add(r.PC, r.PSV, w)
 		return
 	}
 	// Stalled, Drained, and crucially also Flushed: next commit.
@@ -189,9 +195,9 @@ func (n *NCITEA) OnCycle(ci *cpu.CycleInfo) {
 }
 
 // OnCommit resolves deferred samples.
-func (n *NCITEA) OnCommit(u *cpu.UOp, cycle uint64) {
+func (n *NCITEA) OnCommit(r cpu.Ref, cycle uint64) {
 	if n.pending != 0 {
-		n.profile.Add(u.PC(), u.PSV, n.pending)
+		n.profile.Add(r.PC, r.PSV, n.pending)
 		n.pending = 0
 	}
 }
@@ -221,17 +227,17 @@ func NewCounters() *Counters {
 }
 
 // OnCommit counts the committed instruction's events.
-func (c *Counters) OnCommit(u *cpu.UOp, cycle uint64) {
-	c.Executions[u.PC()]++
-	if u.PSV == 0 {
+func (c *Counters) OnCommit(r cpu.Ref, cycle uint64) {
+	c.Executions[r.PC]++
+	if r.PSV == 0 {
 		return
 	}
-	arr := c.Counts[u.PC()]
+	arr := c.Counts[r.PC]
 	if arr == nil {
 		arr = new([events.NumEvents]uint64)
-		c.Counts[u.PC()] = arr
+		c.Counts[r.PC] = arr
 	}
-	for _, e := range u.PSV.Events() {
+	for _, e := range r.PSV.Events() {
 		arr[e]++
 	}
 }
@@ -262,13 +268,13 @@ type EventStats struct {
 func NewEventStats() *EventStats { return &EventStats{} }
 
 // OnCommit classifies the committed instruction's signature.
-func (s *EventStats) OnCommit(u *cpu.UOp, cycle uint64) {
+func (s *EventStats) OnCommit(r cpu.Ref, cycle uint64) {
 	s.Total++
-	if u.PSV == 0 {
+	if r.PSV == 0 {
 		return
 	}
 	s.WithEvent++
-	if u.PSV.IsCombined() {
+	if r.PSV.IsCombined() {
 		s.Combined++
 	}
 }
@@ -292,7 +298,9 @@ func (s *EventStats) CombinedFraction() float64 {
 // everything that can majorly impact performance.
 type StallProbe struct {
 	cpu.BaseProbe
-	current      *cpu.UOp
+	haveCur      bool
+	currentSeq   uint64
+	currentPSV   events.PSV
 	currentStall uint64
 	// EventFreeStalls collects stall durations of instructions with an
 	// empty PSV; EventStalls those with at least one event.
@@ -306,9 +314,11 @@ func NewStallProbe() *StallProbe { return &StallProbe{} }
 // OnCycle accumulates consecutive Stalled cycles per head µop.
 func (s *StallProbe) OnCycle(ci *cpu.CycleInfo) {
 	if ci.State == events.Stalled {
-		if s.current != ci.Head {
+		if !s.haveCur || s.currentSeq != ci.Head.Seq {
 			s.flush()
-			s.current = ci.Head
+			s.haveCur = true
+			s.currentSeq = ci.Head.Seq
+			s.currentPSV = 0
 		}
 		s.currentStall++
 		return
@@ -316,18 +326,27 @@ func (s *StallProbe) OnCycle(ci *cpu.CycleInfo) {
 	s.flush()
 }
 
+// OnCommit captures the stalled head's final signature: every stall run
+// ends with its head committing (the head only leaves the ROB by
+// commit), and OnCommit fires before the OnCycle that ends the run.
+func (s *StallProbe) OnCommit(r cpu.Ref, cycle uint64) {
+	if s.haveCur && r.Seq == s.currentSeq {
+		s.currentPSV = r.PSV
+	}
+}
+
 func (s *StallProbe) flush() {
-	if s.current == nil || s.currentStall == 0 {
-		s.current = nil
+	if !s.haveCur || s.currentStall == 0 {
+		s.haveCur = false
 		s.currentStall = 0
 		return
 	}
-	if s.current.PSV == 0 {
+	if s.currentPSV == 0 {
 		s.EventFreeStalls = append(s.EventFreeStalls, float64(s.currentStall))
 	} else {
 		s.EventStalls = append(s.EventStalls, float64(s.currentStall))
 	}
-	s.current = nil
+	s.haveCur = false
 	s.currentStall = 0
 }
 

@@ -1,0 +1,49 @@
+// Package profio wraps runtime/pprof profile collection for the
+// command-line tools: a single entry point runs a workload function
+// with optional CPU and heap profiling, so every command exposes the
+// same -cpuprofile/-memprofile contract (the profiles feed `go tool
+// pprof` when optimizing the simulator's capture/replay pipeline).
+package profio
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiled runs f, writing a CPU profile to cpuPath while it runs and
+// a heap profile to memPath after it returns. Empty paths disable the
+// corresponding profile. The heap profile is preceded by a GC so it
+// reflects live objects, matching `go test -memprofile`.
+func Profiled(cpuPath, memPath string, f func() error) error {
+	if cpuPath != "" {
+		cf, err := os.Create(cpuPath)
+		if err != nil {
+			return fmt.Errorf("creating CPU profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			cf.Close()
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			cf.Close()
+		}()
+	}
+	if memPath != "" {
+		defer func() {
+			mf, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "profio: creating heap profile:", err)
+				return
+			}
+			defer mf.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintln(os.Stderr, "profio: writing heap profile:", err)
+			}
+		}()
+	}
+	return f()
+}

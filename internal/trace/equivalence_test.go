@@ -1,0 +1,79 @@
+package trace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/pics"
+	"repro/internal/workloads"
+)
+
+// TestSuiteReplayEquivalence pins the capture-once/replay-many
+// invariant for the whole evaluation pipeline: for every suite
+// workload, the profiles produced by replaying the captured trace
+// (analysis.RunProgram) are byte-identical — down to the serialized
+// JSON, seed fields included — to the profiles produced by attaching
+// every technique to the live core (analysis.RunProgramLive). Identical
+// bytes mean identical float summation order, not just numerical
+// closeness: the parallel replay must be undetectable downstream.
+func TestSuiteReplayEquivalence(t *testing.T) {
+	rc := analysis.DefaultRunConfig()
+	rc.Scale = 0.05
+	rc.Interval = 64
+	rc.Jitter = 8
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			iters := int(float64(w.DefaultIters) * rc.Scale)
+			if iters < 2 {
+				iters = 2
+			}
+			p := w.Build(iters)
+			live := analysis.RunProgramLive(w, p, rc)
+			replayed := analysis.RunProgram(w, p, rc)
+
+			if live.Stats.Cycles != replayed.Stats.Cycles {
+				t.Errorf("cycle counts differ: live %d, replay %d",
+					live.Stats.Cycles, replayed.Stats.Cycles)
+			}
+			pairs := []struct {
+				name string
+				a, b *pics.Profile
+			}{
+				{"golden", live.Golden, replayed.Golden},
+				{"TEA", live.TEA, replayed.TEA},
+				{"NCI-TEA", live.NCITEA, replayed.NCITEA},
+				{"IBS", live.IBS, replayed.IBS},
+				{"SPE", live.SPE, replayed.SPE},
+				{"RIS", live.RIS, replayed.RIS},
+			}
+			for _, pr := range pairs {
+				la, err := marshal(pr.a)
+				if err != nil {
+					t.Fatalf("%s: live marshal: %v", pr.name, err)
+				}
+				rb, err := marshal(pr.b)
+				if err != nil {
+					t.Fatalf("%s: replay marshal: %v", pr.name, err)
+				}
+				if !bytes.Equal(la, rb) {
+					t.Errorf("%s: replayed profile JSON differs from live (%d vs %d bytes)",
+						pr.name, len(la), len(rb))
+				}
+			}
+			if live.Events.Total != replayed.Events.Total ||
+				live.Events.WithEvent != replayed.Events.WithEvent ||
+				live.Events.Combined != replayed.Events.Combined {
+				t.Errorf("event stats differ: live %+v, replay %+v",
+					*live.Events, *replayed.Events)
+			}
+		})
+	}
+}
+
+func marshal(p *pics.Profile) ([]byte, error) {
+	var buf bytes.Buffer
+	err := p.WriteJSON(&buf)
+	return buf.Bytes(), err
+}

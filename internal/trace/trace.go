@@ -16,9 +16,7 @@ import (
 	"io"
 
 	"repro/internal/cpu"
-	"repro/internal/emu"
 	"repro/internal/events"
-	"repro/internal/isa"
 )
 
 // Record kinds.
@@ -114,39 +112,39 @@ func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
 func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 
 // OnFetch implements cpu.Probe.
-func (t *Writer) OnFetch(u *cpu.UOp, cycle uint64) {
+func (t *Writer) OnFetch(r cpu.Ref, cycle uint64) {
 	t.header()
 	t.byteOut(recFetch)
-	t.seqDelta(u.Seq())
-	t.pcDelta(u.PC())
+	t.seqDelta(r.Seq)
+	t.pcDelta(r.PC)
 	t.cycleDelta(cycle)
 	t.Records++
 }
 
 // OnDispatch implements cpu.Probe.
-func (t *Writer) OnDispatch(u *cpu.UOp, cycle uint64) {
+func (t *Writer) OnDispatch(r cpu.Ref, cycle uint64) {
 	t.header()
 	t.byteOut(recDispatch)
-	t.seqDelta(u.Seq())
+	t.seqDelta(r.Seq)
 	t.cycleDelta(cycle)
 	t.Records++
 }
 
 // OnCommit implements cpu.Probe. The µop's PSV is final here.
-func (t *Writer) OnCommit(u *cpu.UOp, cycle uint64) {
+func (t *Writer) OnCommit(r cpu.Ref, cycle uint64) {
 	t.header()
 	t.byteOut(recCommit)
-	t.seqDelta(u.Seq())
-	t.varint(uint64(u.PSV))
+	t.seqDelta(r.Seq)
+	t.varint(uint64(r.PSV))
 	t.cycleDelta(cycle)
 	t.Records++
 }
 
 // OnSquash implements cpu.Probe.
-func (t *Writer) OnSquash(u *cpu.UOp, cycle uint64) {
+func (t *Writer) OnSquash(r cpu.Ref, cycle uint64) {
 	t.header()
 	t.byteOut(recSquash)
-	t.seqDelta(u.Seq())
+	t.seqDelta(r.Seq)
 	t.cycleDelta(cycle)
 	t.Records++
 }
@@ -163,13 +161,13 @@ func (t *Writer) OnCycle(ci *cpu.CycleInfo) {
 	switch ci.State {
 	case events.Compute:
 		t.varint(uint64(len(ci.Committed)))
-		for _, u := range ci.Committed {
-			t.seqDelta(u.Seq())
+		for _, r := range ci.Committed {
+			t.seqDelta(r.Seq)
 		}
 	case events.Stalled:
-		t.seqDelta(ci.Head.Seq())
+		t.seqDelta(ci.Head.Seq)
 	case events.Flushed:
-		t.seqDelta(ci.LastCommitted.Seq())
+		t.seqDelta(ci.LastCommitted.Seq)
 	case events.Drained:
 		// No operand: the next commit resolves the attribution.
 	}
@@ -187,10 +185,27 @@ func (t *Writer) OnDone(totalCycles uint64) {
 	}
 }
 
+// winEnt is one in-flight instruction inside the replay's sliding
+// window.
+type winEnt struct {
+	pc        uint64
+	psv       events.PSV
+	committed bool
+}
+
 // Replay feeds a recorded trace to a set of probes, reconstructing the
-// µop identities the live probes would have seen. The probes cannot
-// tell replay from a live run: profiles built offline are identical to
-// online ones (the paper's out-of-band host processing).
+// refs the live probes would have seen. The probes cannot tell replay
+// from a live run: profiles built offline are identical to online ones
+// (the paper's out-of-band host processing).
+//
+// Sequence numbers are dense and retire roughly in order, so in-flight
+// instructions live in a small sliding window indexed by seq instead of
+// a map; the replay loop performs no per-record allocation. Committed
+// entries are dropped from the window once their cycle record has been
+// delivered; only the most recent committed instruction stays
+// referenceable (Flushed cycles point at it). Squashed entries stay in
+// place — the same sequence number is re-fetched later, which resets
+// the entry, mirroring the fresh µop the live core allocates.
 func Replay(r io.Reader, probes ...cpu.Probe) (totalCycles uint64, err error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var hdr [5]byte
@@ -204,19 +219,28 @@ func Replay(r io.Reader, probes ...cpu.Probe) (totalCycles uint64, err error) {
 		return 0, fmt.Errorf("trace: unsupported version %d", hdr[4])
 	}
 
-	// Live µops by sequence number; nopInst backs synthesized records.
-	live := make(map[uint64]*cpu.UOp)
-	nopInst := &isa.Inst{Op: isa.OpNop}
-	get := func(seq uint64) *cpu.UOp {
-		u := live[seq]
-		if u == nil {
-			u = &cpu.UOp{Dyn: &emu.Inst{Static: nopInst, Seq: seq}}
-			live[seq] = u
+	var (
+		win  []winEnt
+		base uint64 // seq of win[0]
+		last cpu.Ref
+	)
+	// ensure grows the window to cover seq and returns its entry.
+	ensure := func(seq uint64) *winEnt {
+		for uint64(len(win)) <= seq-base {
+			win = append(win, winEnt{})
 		}
-		return u
+		return &win[seq-base]
 	}
-	var lastCommitted *cpu.UOp
-	var recentCommitted []*cpu.UOp
+	// ref builds the value-typed view of seq; sequence numbers outside
+	// the window (malformed traces) synthesize a zero entry, as the old
+	// map-based replay did.
+	ref := func(seq uint64) cpu.Ref {
+		if seq >= base && seq-base < uint64(len(win)) {
+			e := &win[seq-base]
+			return cpu.Ref{Seq: seq, PC: e.pc, PSV: e.psv}
+		}
+		return cpu.Ref{Seq: seq}
+	}
 	ci := &cpu.CycleInfo{}
 
 	u64 := func() (uint64, error) { return binary.ReadUvarint(br) }
@@ -262,10 +286,14 @@ func Replay(r io.Reader, probes ...cpu.Probe) (totalCycles uint64, err error) {
 			if err := firstErr(err1, err2, err3); err != nil {
 				return totalCycles, err
 			}
-			u := get(seq)
-			u.Dyn.PC = pc
+			if seq >= base {
+				// A re-fetch after a squash reuses the entry; the fresh
+				// µop starts with an empty signature.
+				*ensure(seq) = winEnt{pc: pc}
+			}
+			r := cpu.Ref{Seq: seq, PC: pc}
 			for _, p := range probes {
-				p.OnFetch(u, cycle)
+				p.OnFetch(r, cycle)
 			}
 		case recDispatch:
 			seq, err1 := readSeq()
@@ -273,9 +301,9 @@ func Replay(r io.Reader, probes ...cpu.Probe) (totalCycles uint64, err error) {
 			if err := firstErr(err1, err2); err != nil {
 				return totalCycles, err
 			}
-			u := get(seq)
+			r := ref(seq)
 			for _, p := range probes {
-				p.OnDispatch(u, cycle)
+				p.OnDispatch(r, cycle)
 			}
 		case recCommit:
 			seq, err1 := readSeq()
@@ -284,25 +312,29 @@ func Replay(r io.Reader, probes ...cpu.Probe) (totalCycles uint64, err error) {
 			if err := firstErr(err1, err2, err3); err != nil {
 				return totalCycles, err
 			}
-			u := get(seq)
-			u.PSV = events.PSV(psv)
-			u.CommitCycle = cycle
-			for _, p := range probes {
-				p.OnCommit(u, cycle)
+			var r cpu.Ref
+			if seq >= base {
+				e := ensure(seq)
+				e.psv = events.PSV(psv)
+				e.committed = true
+				r = cpu.Ref{Seq: seq, PC: e.pc, PSV: e.psv}
+			} else {
+				r = cpu.Ref{Seq: seq, PSV: events.PSV(psv)}
 			}
-			lastCommitted = u
-			recentCommitted = append(recentCommitted, u)
+			for _, p := range probes {
+				p.OnCommit(r, cycle)
+			}
+			last = r
 		case recSquash:
 			seq, err1 := readSeq()
 			cycle, err2 := readCycle()
 			if err := firstErr(err1, err2); err != nil {
 				return totalCycles, err
 			}
-			u := get(seq)
+			r := ref(seq)
 			for _, p := range probes {
-				p.OnSquash(u, cycle)
+				p.OnSquash(r, cycle)
 			}
-			delete(live, seq)
 		case recCycle:
 			cycle, err1 := readCycle()
 			stateByte, err2 := br.ReadByte()
@@ -312,8 +344,8 @@ func Replay(r io.Reader, probes ...cpu.Probe) (totalCycles uint64, err error) {
 			ci.Cycle = cycle
 			ci.State = events.CommitState(stateByte)
 			ci.Committed = ci.Committed[:0]
-			ci.Head = nil
-			ci.LastCommitted = nil
+			ci.Head = cpu.Ref{}
+			ci.LastCommitted = cpu.Ref{}
 			switch ci.State {
 			case events.Compute:
 				n, err := u64()
@@ -325,33 +357,35 @@ func Replay(r io.Reader, probes ...cpu.Probe) (totalCycles uint64, err error) {
 					if err != nil {
 						return totalCycles, err
 					}
-					ci.Committed = append(ci.Committed, get(seq))
+					ci.Committed = append(ci.Committed, ref(seq))
 				}
 			case events.Stalled:
 				seq, err := readSeq()
 				if err != nil {
 					return totalCycles, err
 				}
-				ci.Head = get(seq)
+				ci.Head = ref(seq)
 			case events.Flushed:
 				seq, err := readSeq()
 				if err != nil {
 					return totalCycles, err
 				}
-				ci.LastCommitted = get(seq)
+				if last.Seq == seq {
+					ci.LastCommitted = last
+				} else {
+					ci.LastCommitted = ref(seq)
+				}
 			}
 			for _, p := range probes {
 				p.OnCycle(ci)
 			}
-			// Recycle committed µops once their commit cycle's record
-			// has been delivered; only the most recent committed µop
-			// stays referenceable (Flushed cycles point at it).
-			for _, u := range recentCommitted {
-				if u != lastCommitted {
-					delete(live, u.Seq())
-				}
+			// Slide the window past entries whose commit cycle has now
+			// been delivered; nothing references them again (Flushed
+			// cycles use last).
+			for len(win) > 0 && win[0].committed {
+				win = win[1:]
+				base++
 			}
-			recentCommitted = recentCommitted[:0]
 		case recDone:
 			totalCycles, err = u64()
 			if err != nil {

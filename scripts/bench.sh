@@ -1,0 +1,22 @@
+#!/bin/sh
+# Run the full benchmark harness (one testing.B per table/figure of the
+# paper, with -benchmem) and emit machine-readable results as
+# BENCH_<date>.json in the repository root.
+#
+#   ./scripts/bench.sh                 full run (default -benchtime)
+#   BENCHTIME=1x ./scripts/bench.sh    one iteration per benchmark (smoke)
+#   LABEL=after ./scripts/bench.sh     tag the JSON with a label
+set -eu
+
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-1x}"
+label="${LABEL:-}"
+date="$(date +%Y-%m-%d)"
+out="BENCH_${date}${label:+_$label}.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -bench=. -benchmem -benchtime="$benchtime" -timeout 60m . | tee "$raw"
+go run ./cmd/teabench -label "$label" -date "$date" -o "$out" < "$raw"
+echo "wrote $out"

@@ -12,3 +12,7 @@ go test -race ./...
 go build -o bin/tealint ./cmd/tealint
 ./bin/tealint ./...
 go vet -vettool="$PWD/bin/tealint" ./...
+
+# Benchmark smoke: one iteration of every figure/table benchmark keeps
+# the harness compiling and running (full runs: make bench).
+go test -bench=. -benchtime=1x -timeout 30m .
