@@ -2,7 +2,7 @@ GO      ?= go
 BINDIR  := bin
 TEALINT := $(BINDIR)/tealint
 
-.PHONY: all build test race vet lint check bench clean
+.PHONY: all build test race vet lint check chaos fuzz bench clean
 
 all: build
 
@@ -32,6 +32,20 @@ lint: $(TEALINT)
 
 check:
 	./scripts/check.sh
+
+# chaos runs the fault-injection sweep: every mutated trace and
+# pathological program must yield byte-identical profiles or a typed
+# error — never a crash, hang, or silently wrong result. Fixed seed,
+# so a failure reproduces exactly.
+chaos:
+	$(GO) build -o $(BINDIR)/teachaos ./cmd/teachaos
+	$(BINDIR)/teachaos -seed 1 -workload all -scale 0.05
+
+# fuzz gives each robustness fuzz target a short budget (CI smoke; run
+# longer locally with go test -fuzz).
+fuzz:
+	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzReplay -fuzztime=10s
+	$(GO) test ./internal/pics -run='^$$' -fuzz=FuzzProfileJSON -fuzztime=10s
 
 # bench runs the figure/table benchmark harness with -benchmem and
 # writes BENCH_<date>.json (see scripts/bench.sh for BENCHTIME/LABEL).

@@ -1,0 +1,66 @@
+// Command teachaos runs the fault-injection chaos suite against the
+// capture/replay pipeline and reports every mutant's disposition. The
+// contract it enforces: every fault yields either byte-identical
+// profiles or a typed error — never a crash, a hang, or a silently
+// wrong profile.
+//
+//	teachaos [-seed n] [-workload name|all] [-scale f] [-v]
+//
+// The sweep is fully determined by the seed, so a reported violation
+// reproduces from the printed (seed, workload) pair. Exits nonzero if
+// any scenario violates the contract.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/faultinject"
+	"repro/internal/workloads"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "chaos seed (drives every mutation)")
+	workload := flag.String("workload", "bwaves", "workload to capture, or 'all'")
+	scale := flag.Float64("scale", 0.05, "workload size multiplier")
+	verbose := flag.Bool("v", false, "print every scenario, not just violations")
+	flag.Parse()
+
+	rc := analysis.DefaultRunConfig()
+	rc.Scale = *scale
+
+	var targets []workloads.Workload
+	if *workload == "all" {
+		targets = workloads.All()
+	} else {
+		w, err := workloads.ByName(*workload)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "teachaos:", err)
+			os.Exit(2)
+		}
+		targets = []workloads.Workload{w}
+	}
+
+	violations := 0
+	for _, w := range targets {
+		rep, err := faultinject.Sweep(w, rc, faultinject.DefaultConfig(*seed))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "teachaos: %s: %v\n", w.Name, err)
+			os.Exit(1)
+		}
+		for _, o := range rep.Outcomes {
+			if *verbose || !o.OK {
+				fmt.Printf("%-10s %-24s %s\n", w.Name, o.Fault, o.Detail)
+			}
+		}
+		fmt.Printf("%s: %d scenarios, %d violations (seed %d)\n",
+			w.Name, len(rep.Outcomes), rep.Violations, rep.Seed)
+		violations += rep.Violations
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "teachaos: %d contract violations\n", violations)
+		os.Exit(1)
+	}
+}

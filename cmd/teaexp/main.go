@@ -165,7 +165,8 @@ func run(id string, rc analysis.RunConfig) error {
 func quickstartExample(out *os.File, rc analysis.RunConfig) {
 	w, err := workloads.ByName("bwaves")
 	if err != nil {
-		panic(err)
+		fmt.Fprintln(os.Stderr, "teaexp:", err)
+		os.Exit(1)
 	}
 	small := rc
 	small.Scale = 0.05

@@ -21,6 +21,7 @@ import (
 	"repro/internal/lint/checker"
 	"repro/internal/lint/detiter"
 	"repro/internal/lint/eventswitch"
+	"repro/internal/lint/nakedpanic"
 	"repro/internal/lint/proberetain"
 	"repro/internal/lint/psvwidth"
 	"repro/internal/lint/randsource"
@@ -34,6 +35,7 @@ var all = []*analysis.Analyzer{
 	detiter.Analyzer,
 	randsource.Analyzer,
 	proberetain.Analyzer,
+	nakedpanic.Analyzer,
 }
 
 func main() {

@@ -7,6 +7,7 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
@@ -20,7 +21,7 @@ func main() {
 	// 1. Run the core once, with only the trace writer attached.
 	w, err := workloads.ByName("bwaves")
 	if err != nil {
-		panic(err)
+		fail(err)
 	}
 	prog := w.Build(2000)
 	c := cpu.New(cpu.DefaultConfig(), prog)
@@ -29,7 +30,7 @@ func main() {
 	c.Attach(tw)
 	stats := c.Run()
 	if tw.Err() != nil {
-		panic(tw.Err())
+		fail(tw.Err())
 	}
 	fmt.Printf("captured %s: %d cycles -> %d trace bytes (%.1f B/cycle, %d records)\n\n",
 		w.Name, stats.Cycles, buf.Len(), float64(buf.Len())/float64(stats.Cycles), tw.Records)
@@ -42,7 +43,7 @@ func main() {
 	tea := core.NewTEA(nil, teaCfg)
 	ibs := profilers.NewIBS(256, 16, 9)
 	if _, err := trace.Replay(bytes.NewReader(buf.Bytes()), golden, tea, ibs); err != nil {
-		panic(err)
+		fail(err)
 	}
 
 	fmt.Println("offline profiles from the trace:")
@@ -55,10 +56,17 @@ func main() {
 	tea2 := core.NewTEA(nil, core.Config{IntervalCycles: 1024, JitterCycles: 64, Seed: 3,
 		Set: teaCfg.Set})
 	if _, err := trace.Replay(bytes.NewReader(buf.Bytes()), tea2); err != nil {
-		panic(err)
+		fail(err)
 	}
 	fmt.Printf("  TEA at 4x sparser sampling: %5.1f%% error\n",
 		100*pics.Error(tea2.Profile(), golden.Profile()))
 	fmt.Println("\nOne capture, many analyses: techniques sample the exact same cycles,")
 	fmt.Println("so accuracy comparisons are apples to apples.")
+}
+
+// fail reports a diagnostic error and exits nonzero — examples fail
+// loudly, they never crash with a stack trace.
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tracereplay:", err)
+	os.Exit(1)
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/pics"
 	"repro/internal/profilers"
+	"repro/internal/simerr"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 	"repro/internal/xiter"
@@ -426,7 +427,9 @@ type OverheadStudy struct {
 func MeasureOverhead(rc RunConfig, benchmark string, sampleCost uint64) OverheadStudy {
 	w, err := workloads.ByName(benchmark)
 	if err != nil {
-		panic(err)
+		// Reachable from CLI flags; typed for boundary recovery.
+		panic(simerr.Wrap(simerr.ErrInvalidProgram, simerr.Snapshot{Workload: benchmark},
+			err, "overhead study"))
 	}
 	iters := rc.iters(w)
 

@@ -8,7 +8,8 @@ package analysis
 
 import (
 	"bytes"
-	"fmt"
+	"context"
+	"errors"
 	"runtime"
 	"sync"
 
@@ -18,6 +19,7 @@ import (
 	"repro/internal/pics"
 	"repro/internal/profilers"
 	"repro/internal/program"
+	"repro/internal/simerr"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -83,9 +85,22 @@ type BenchRun struct {
 	Events   *profilers.EventStats
 	Stalls   *profilers.StallProbe
 
+	// Errors records techniques whose probe failed during replay,
+	// keyed by technique name. A failed technique's profile is nil;
+	// the remaining techniques are complete and trustworthy. The
+	// fault-free path always leaves the map empty.
+	Errors map[string]error
+
 	// finish materializes the technique profiles once attribution is
-	// complete (dense accumulators flush lazily).
+	// complete (dense accumulators flush lazily), skipping any
+	// technique recorded in Errors.
 	finish func()
+}
+
+// techniqueNames labels suiteProbes' probes, in construction order.
+// The names key BenchRun.Errors and the chaos harness's reports.
+var techniqueNames = []string{
+	"golden", "tea", "nci-tea", "ibs", "spe", "ris", "counters", "events", "stalls",
 }
 
 // Techniques returns the sampled techniques' profiles in evaluation
@@ -119,71 +134,269 @@ func suiteProbes(c *cpu.CPU, p *program.Program, rc RunConfig) (probes []cpu.Pro
 	eventStats := profilers.NewEventStats()
 	stalls := profilers.NewStallProbe()
 
-	br = &BenchRun{Program: p, Counters: counters, Events: eventStats, Stalls: stalls}
+	br = &BenchRun{
+		Program: p, Counters: counters, Events: eventStats, Stalls: stalls,
+		Errors: map[string]error{},
+	}
 	probes = []cpu.Probe{golden, tea, nci, ibs, spe, ris, counters, eventStats, stalls}
 	br.finish = func() {
-		br.Golden = golden.Profile()
-		br.TEA = tea.Profile()
-		br.NCITEA = nci.Profile()
-		br.IBS = ibs.Profile()
-		br.SPE = spe.Profile()
-		br.RIS = ris.Profile()
+		failed := func(name string) bool { _, bad := br.Errors[name]; return bad }
+		if !failed("golden") {
+			br.Golden = golden.Profile()
+		}
+		if !failed("tea") {
+			br.TEA = tea.Profile()
+		}
+		if !failed("nci-tea") {
+			br.NCITEA = nci.Profile()
+		}
+		if !failed("ibs") {
+			br.IBS = ibs.Profile()
+		}
+		if !failed("spe") {
+			br.SPE = spe.Profile()
+		}
+		if !failed("ris") {
+			br.RIS = ris.Profile()
+		}
+		if failed("counters") {
+			br.Counters = nil
+		}
+		if failed("events") {
+			br.Events = nil
+		}
+		if failed("stalls") {
+			br.Stalls = nil
+		}
 	}
 	return probes, br
 }
 
-// RunProgram is RunBenchmark for an explicitly built program (used by
-// the case studies, which vary prefetch distance or fast-math). It
-// follows the paper's capture-once, analyze-many methodology (Section
-// 4): the core runs exactly once with only a trace-capture probe, and
-// the recorded stream is then replayed to the techniques out-of-band,
-// partitioned across goroutines. Replay is bit-identical to live
-// attachment (see RunProgramLive and the equivalence test), so the
-// profiles do not depend on the grouping.
-func RunProgram(w workloads.Workload, p *program.Program, rc RunConfig) *BenchRun {
+// guardedProbe isolates one technique's probe: a panic in any hook
+// latches a typed error on the guard and disables the probe's
+// remaining hooks, so one broken technique cannot take down the replay
+// goroutine it shares with others — let alone the process.
+type guardedProbe struct {
+	name     string
+	workload string
+	inner    cpu.Probe
+	err      *simerr.Error
+}
+
+func (g *guardedProbe) catch() {
+	if v := recover(); v != nil {
+		g.err = simerr.FromPanic(v, simerr.Snapshot{Workload: g.workload, Technique: g.name})
+	}
+}
+
+func (g *guardedProbe) OnCycle(ci *cpu.CycleInfo) {
+	if g.err != nil {
+		return
+	}
+	defer g.catch()
+	g.inner.OnCycle(ci)
+}
+
+func (g *guardedProbe) OnFetch(r cpu.Ref, cycle uint64) {
+	if g.err != nil {
+		return
+	}
+	defer g.catch()
+	g.inner.OnFetch(r, cycle)
+}
+
+func (g *guardedProbe) OnDispatch(r cpu.Ref, cycle uint64) {
+	if g.err != nil {
+		return
+	}
+	defer g.catch()
+	g.inner.OnDispatch(r, cycle)
+}
+
+func (g *guardedProbe) OnCommit(r cpu.Ref, cycle uint64) {
+	if g.err != nil {
+		return
+	}
+	defer g.catch()
+	g.inner.OnCommit(r, cycle)
+}
+
+func (g *guardedProbe) OnSquash(r cpu.Ref, cycle uint64) {
+	if g.err != nil {
+		return
+	}
+	defer g.catch()
+	g.inner.OnSquash(r, cycle)
+}
+
+func (g *guardedProbe) OnDone(totalCycles uint64) {
+	if g.err != nil {
+		return
+	}
+	defer g.catch()
+	g.inner.OnDone(totalCycles)
+}
+
+// testExtraProbe, when non-nil, injects one extra named probe into the
+// replay partition. The panic-containment regression test uses it to
+// prove a misbehaving probe cannot crash the process or void the other
+// techniques' profiles.
+var testExtraProbe func() (string, cpu.Probe)
+
+// CaptureTrace runs the core exactly once with only the trace-capture
+// probe attached and returns the encoded stream — the "simulate once"
+// half of the paper's capture/replay methodology. The chaos harness
+// mutates the returned bytes; ReplayCaptured consumes them.
+func CaptureTrace(ctx context.Context, p *program.Program, rc RunConfig) ([]byte, *cpu.Stats, error) {
 	c := cpu.New(rc.Core, p)
 	var buf bytes.Buffer
 	tw := trace.NewWriter(&buf)
 	c.Attach(tw)
-	stats := c.Run()
-	if err := tw.Err(); err != nil {
-		panic(fmt.Sprintf("analysis: in-memory trace capture failed: %v", err))
+	stats, err := c.RunContext(ctx)
+	if err != nil {
+		return nil, nil, err
 	}
+	if err := tw.Err(); err != nil {
+		return nil, nil, simerr.Wrap(simerr.ErrInternal,
+			simerr.Snapshot{Program: p.Name}, err, "in-memory trace capture failed")
+	}
+	return buf.Bytes(), stats, nil
+}
 
+// ReplayCaptured replays an encoded trace to the full technique suite,
+// partitioned across up to GOMAXPROCS goroutines; each group decodes
+// the stream independently, so a single-threaded environment pays
+// exactly one decode pass while parallel ones overlap the techniques.
+// Replay is bit-identical to live attachment (see RunProgramLive and
+// the equivalence test), so the profiles do not depend on grouping.
+//
+// Stream-level failures — corruption, truncation, cancellation — abort
+// the whole replay with a typed error and no BenchRun. A failure inside
+// one technique's probe only voids that technique (BenchRun.Errors);
+// the remaining techniques still produce complete profiles.
+func ReplayCaptured(ctx context.Context, w workloads.Workload, p *program.Program, rc RunConfig, data []byte) (*BenchRun, error) {
 	probes, br := suiteProbes(nil, p, rc)
 	br.Workload = w
-	br.Stats = stats
 
-	// Partition the probes across up to GOMAXPROCS replay goroutines.
-	// Each group decodes the stream independently, so a single-threaded
-	// environment pays exactly one decode pass while parallel ones
-	// overlap the techniques.
-	par := runtime.GOMAXPROCS(0)
-	if par > len(probes) {
-		par = len(probes)
+	names := append([]string(nil), techniqueNames...)
+	if testExtraProbe != nil {
+		name, pr := testExtraProbe()
+		names = append(names, name)
+		probes = append(probes, pr)
 	}
-	data := buf.Bytes()
-	errs := make([]error, par)
+	guards := make([]*guardedProbe, len(probes))
+	for i, pr := range probes {
+		guards[i] = &guardedProbe{name: names[i], workload: w.Name, inner: pr}
+	}
+
+	par := runtime.GOMAXPROCS(0)
+	if par > len(guards) {
+		par = len(guards)
+	}
+	streamErrs := make([]error, par)
+	panicErrs := make([]error, par)
 	var wg sync.WaitGroup
 	for g := 0; g < par; g++ {
-		group := make([]cpu.Probe, 0, (len(probes)+par-1)/par)
-		for i := g; i < len(probes); i += par {
-			group = append(group, probes[i])
+		group := make([]cpu.Probe, 0, (len(guards)+par-1)/par)
+		for i := g; i < len(guards); i += par {
+			group = append(group, guards[i])
 		}
 		wg.Add(1)
 		go func(g int, ps []cpu.Probe) {
 			defer wg.Done()
-			_, errs[g] = trace.Replay(bytes.NewReader(data), ps...)
+			// Last-resort containment. The guards already catch probe
+			// panics, so anything surfacing here is an infrastructure
+			// bug — record it instead of letting a bare-goroutine
+			// panic kill the whole process.
+			defer func() {
+				if v := recover(); v != nil {
+					panicErrs[g] = simerr.FromPanic(v, simerr.Snapshot{Workload: w.Name})
+				}
+			}()
+			_, streamErrs[g] = trace.ReplayContext(ctx, bytes.NewReader(data), ps...)
 		}(g, group)
 	}
 	wg.Wait()
-	for _, err := range errs {
+	// Every group decodes the same bytes, so a decode failure (or a
+	// cancellation) in any group condemns the stream for all of them.
+	for _, err := range streamErrs {
 		if err != nil {
-			panic(fmt.Sprintf("analysis: replaying captured trace: %v", err))
+			return nil, err
+		}
+	}
+	// A recovered worker panic voids only that group's techniques.
+	for g, perr := range panicErrs {
+		if perr == nil {
+			continue
+		}
+		for i := g; i < len(guards); i += par {
+			if guards[i].err == nil {
+				br.Errors[names[i]] = perr
+			}
+		}
+	}
+	for _, g := range guards {
+		if g.err != nil {
+			br.Errors[g.name] = g.err
 		}
 	}
 	br.finish()
+	return br, nil
+}
+
+// RunProgramContext is the panic-free, cancellable entry point: it
+// captures the program's trace once and replays it to every technique
+// out-of-band (the paper's single-trace methodology, Section 4),
+// honoring ctx in both halves. Every failure mode — runaway programs,
+// watchdog-detected deadlock, invalid programs, corrupt streams,
+// cancellation — comes back as a typed *simerr.Error; a cancelled or
+// failed run returns a nil BenchRun, never a partial profile.
+func RunProgramContext(ctx context.Context, w workloads.Workload, p *program.Program, rc RunConfig) (br *BenchRun, err error) {
+	defer func() {
+		if err != nil {
+			br = nil
+		}
+	}()
+	defer simerr.Recover(&err, simerr.Snapshot{Workload: w.Name, Program: p.Name})
+	data, stats, err := CaptureTrace(ctx, p, rc)
+	if err != nil {
+		return nil, err
+	}
+	br, err = ReplayCaptured(ctx, w, p, rc, data)
+	if err != nil {
+		return nil, err
+	}
+	br.Stats = stats
+	return br, nil
+}
+
+// RunProgram is RunBenchmark for an explicitly built program (used by
+// the case studies, which vary prefetch distance or fast-math). It is
+// the crash-loudly convenience wrapper over RunProgramContext for the
+// experiment harness, where any failure is a bug in the repo itself:
+// it panics with the typed error, including when a single technique
+// failed during replay.
+func RunProgram(w workloads.Workload, p *program.Program, rc RunConfig) *BenchRun {
+	br, err := RunProgramContext(context.Background(), w, p, rc)
+	if err != nil {
+		panic(asSimErr(err, w.Name))
+	}
+	for _, name := range techniqueNames {
+		if terr := br.Errors[name]; terr != nil {
+			panic(asSimErr(terr, w.Name))
+		}
+	}
 	return br
+}
+
+// asSimErr surfaces the typed error inside err, wrapping foreign errors
+// so boundary recovery always sees a *simerr.Error.
+func asSimErr(err error, workload string) *simerr.Error {
+	var se *simerr.Error
+	if errors.As(err, &se) {
+		return se
+	}
+	return simerr.Wrap(simerr.ErrInternal, simerr.Snapshot{Workload: workload}, err, "run failed")
 }
 
 // RunProgramLive attaches every technique directly to the core — the

@@ -16,6 +16,7 @@ import (
 	"repro/internal/events"
 	"repro/internal/pics"
 	"repro/internal/program"
+	"repro/internal/simerr"
 )
 
 // SampledInst is one (instruction pointer, PSV) pair within a sample.
@@ -60,10 +61,14 @@ func SamplerSource(seed uint64) *rand.Rand {
 // allowed only when jitter is 0.
 func NewSampler(interval, jitter uint64, rng *rand.Rand) *Sampler {
 	if interval == 0 {
-		panic("core: sampling interval must be positive")
+		// User-reachable through configuration; typed for boundary
+		// recovery (simerr.ErrInvalidConfig).
+		panic(simerr.New(simerr.ErrInvalidConfig, simerr.Snapshot{},
+			"core: sampling interval must be positive"))
 	}
 	if rng == nil && jitter > 0 {
-		panic("core: jittered sampler needs an explicit rand source")
+		panic(simerr.New(simerr.ErrInvalidConfig, simerr.Snapshot{},
+			"core: jittered sampler needs an explicit rand source"))
 	}
 	s := &Sampler{
 		interval: interval,

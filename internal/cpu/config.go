@@ -51,6 +51,18 @@ type Config struct {
 	LQEntries     int
 	SQEntries     int
 
+	// Robustness guards (DESIGN.md §7). Zero selects the package
+	// defaults; both guards end the run with a typed error
+	// (simerr.ErrRunaway / simerr.ErrDeadlock) instead of panicking or
+	// looping forever.
+	//
+	// MaxCycles bounds total simulated cycles (runaway programs).
+	MaxCycles uint64
+	// WatchdogCommitCycles is the forward-progress watchdog: the run
+	// fails if no instruction commits for this many consecutive cycles
+	// while the program has not finished.
+	WatchdogCommitCycles uint64
+
 	// Functional-unit latencies (cycles from issue to completion).
 	ALULatency    uint64
 	MulLatency    uint64

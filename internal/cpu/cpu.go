@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/branch"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/program"
+	"repro/internal/simerr"
 )
 
 const invalidLine = ^uint64(0)
@@ -89,8 +91,17 @@ type CPU struct {
 	info  CycleInfo
 	Stats Stats
 
-	// MaxCycles aborts runaway simulations.
+	// MaxCycles aborts runaway simulations with simerr.ErrRunaway.
 	MaxCycles uint64
+	// WatchdogCommitCycles aborts runs that stop committing with
+	// simerr.ErrDeadlock (the forward-progress watchdog).
+	WatchdogCommitCycles uint64
+	// lastCommitCycle is the watchdog anchor: the most recent cycle an
+	// instruction committed (0 before the first commit).
+	lastCommitCycle uint64
+	// err latches the typed failure that stopped the run; Step returns
+	// false forever once it is set.
+	err *simerr.Error
 	// SampleOverheadCycles, when nonzero, stalls the whole pipeline for
 	// that many cycles each time a probe requests an interrupt — the
 	// mechanism behind the sampling performance-overhead measurement.
@@ -107,17 +118,34 @@ func New(cfg Config, p *program.Program) *CPU {
 // multi-core systems pass per-core hierarchies that share an LLC and
 // DRAM (mem.NewHierarchyShared).
 func NewWithHierarchy(cfg Config, p *program.Program, h *mem.Hierarchy) *CPU {
-	return &CPU{
-		cfg:       cfg,
-		prog:      p,
-		stream:    emu.NewStream(p),
-		hier:      h,
-		bp:        branch.New(cfg.BP),
-		rob:       newROB(cfg.ROBEntries),
-		lastLine:  invalidLine,
-		MaxCycles: 2_000_000_000,
+	c := &CPU{
+		cfg:                  cfg,
+		prog:                 p,
+		stream:               emu.NewStream(p),
+		hier:                 h,
+		bp:                   branch.New(cfg.BP),
+		rob:                  newROB(cfg.ROBEntries),
+		lastLine:             invalidLine,
+		MaxCycles:            cfg.MaxCycles,
+		WatchdogCommitCycles: cfg.WatchdogCommitCycles,
 	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = DefaultMaxCycles
+	}
+	if c.WatchdogCommitCycles == 0 {
+		c.WatchdogCommitCycles = DefaultWatchdogCommitCycles
+	}
+	return c
 }
+
+// Default guard thresholds. The longest legitimate commit gap on the
+// Table 2 core is a few hundred cycles (a DRAM-latency stall plus queue
+// drain); the watchdog default leaves three orders of magnitude of
+// headroom, so it only trips on genuine livelock.
+const (
+	DefaultMaxCycles            = 2_000_000_000
+	DefaultWatchdogCommitCycles = 1_000_000
+)
 
 // Attach registers a probe. All probes observe the same execution.
 func (c *CPU) Attach(p Probe) { c.probes = append(c.probes, p) }
@@ -146,14 +174,23 @@ func (c *CPU) RequestSampleOverhead() {
 
 // Step advances the core by one cycle and reports whether it is still
 // running. Multi-core systems interleave Step calls across cores that
-// share a memory system; single-core callers use Run.
+// share a memory system; single-core callers use Run or RunContext.
+// When a guard trips (runaway cycle budget, commit watchdog), Step
+// latches a typed error — visible via Failure/Err — and returns false.
 func (c *CPU) Step() bool {
-	if c.done() {
+	if c.err != nil || c.done() {
 		return false
 	}
 	c.cycle++
 	if c.cycle > c.MaxCycles {
-		panic(fmt.Sprintf("cpu: program %q exceeded %d cycles", c.prog.Name, c.MaxCycles))
+		c.err = simerr.New(simerr.ErrRunaway, c.snapshot(),
+			"program %q exceeded %d cycles", c.prog.Name, c.MaxCycles)
+		return false
+	}
+	if c.cycle-c.lastCommitCycle > c.WatchdogCommitCycles {
+		c.err = simerr.New(simerr.ErrDeadlock, c.snapshot(),
+			"program %q committed nothing for %d cycles", c.prog.Name, c.WatchdogCommitCycles)
+		return false
 	}
 	if c.pendingOverhead > 0 {
 		// The sampling interrupt handler occupies the core; the
@@ -180,11 +217,89 @@ func (c *CPU) Finish() {
 }
 
 // Run simulates the program to completion and returns the statistics.
+// A guard failure (runaway, deadlock) panics with the typed
+// *simerr.Error; public API boundaries (analysis.RunProgramContext,
+// the CLIs) recover it. Callers that want the error instead use
+// RunContext.
 func (c *CPU) Run() *Stats {
-	for c.Step() {
+	stats, err := c.RunContext(context.Background())
+	if err != nil {
+		//tealint:ignore nakedpanic panic value is the typed *simerr.Error, recovered at API boundaries
+		panic(err)
+	}
+	return stats
+}
+
+// RunContext simulates the program to completion, honoring ctx
+// cancellation and deadlines, and returns the statistics. On failure —
+// cancellation (simerr.ErrCanceled wrapping ctx.Err()), a runaway
+// program (simerr.ErrRunaway), or a commit-stage deadlock
+// (simerr.ErrDeadlock with a pipeline-state dump) — the probes'
+// completion hooks never fire, so no partial profile can be observed
+// downstream.
+func (c *CPU) RunContext(ctx context.Context) (*Stats, error) {
+	// The context is polled every ctxCheckInterval cycles: rarely enough
+	// to stay off the hot path, often enough (microseconds of wall
+	// clock) that cancellation is prompt.
+	const ctxCheckInterval = 4096
+	for {
+		if c.cycle%ctxCheckInterval == 0 {
+			if cause := context.Cause(ctx); cause != nil {
+				c.err = simerr.Wrap(simerr.ErrCanceled, c.snapshot(), cause, "run canceled")
+				return &c.Stats, c.err
+			}
+		}
+		if !c.Step() {
+			break
+		}
+	}
+	if c.err != nil {
+		return &c.Stats, c.err
 	}
 	c.Finish()
-	return &c.Stats
+	return &c.Stats, nil
+}
+
+// Failure returns the typed error that stopped the run, or nil. (A
+// typed accessor rather than error so callers can panic with it at
+// invariant boundaries without losing the type.)
+func (c *CPU) Failure() *simerr.Error { return c.err }
+
+// Err returns the failure as a plain error (nil when the run is
+// healthy), for errors.Is/errors.As call sites.
+func (c *CPU) Err() error {
+	if c.err == nil {
+		return nil
+	}
+	return c.err
+}
+
+// snapshot captures the diagnostic state attached to guard failures.
+func (c *CPU) snapshot() simerr.Snapshot {
+	s := simerr.Snapshot{Program: c.prog.Name, Cycle: c.cycle}
+	if c.haveLast {
+		s.PC = c.lastRef.PC
+		s.Seq = c.lastRef.Seq
+	}
+	s.Detail = c.pipelineDump()
+	return s
+}
+
+// pipelineDump renders the pipeline state for deadlock/runaway
+// diagnostics: where every in-flight structure stood when the guard
+// tripped.
+func (c *CPU) pipelineDump() string {
+	d := fmt.Sprintf("rob %d/%d", c.rob.len(), c.cfg.ROBEntries)
+	if !c.rob.empty() {
+		h := c.rob.headUOp()
+		d += fmt.Sprintf(" head{seq %d pc %#x op %v dispatched %v issued %v completed %v}",
+			h.Seq(), h.PC(), h.Op(), h.dispatched, h.issued, h.completed)
+	}
+	d += fmt.Sprintf("; iq int/mem/fp %d/%d/%d; lq %d sq %d drain %d; fetchBuf %d",
+		len(c.iqInt), len(c.iqMem), len(c.iqFP), len(c.lq), len(c.sq), len(c.drainQ), len(c.fetchBuf))
+	d += fmt.Sprintf("; fetchResume %d streamDry %v awaitBranch %v blockDispatch %v lastCommit cycle %d",
+		c.fetchResume, c.streamDry, c.awaitBranch != nil, c.blockDispatch != nil, c.lastCommitCycle)
+	return d
 }
 
 func (c *CPU) done() bool {
@@ -253,6 +368,7 @@ func (c *CPU) commitStage() {
 func (c *CPU) commitUOp(u *UOp) {
 	u.committed = true
 	u.CommitCycle = c.cycle
+	c.lastCommitCycle = c.cycle
 	c.lastRef = u.Ref()
 	c.haveLast = true
 	c.Stats.Committed++

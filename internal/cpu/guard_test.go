@@ -1,0 +1,137 @@
+package cpu
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/simerr"
+)
+
+// selfLoop builds a program that branches to itself forever — the
+// canonical runaway input.
+func selfLoop() *program.Program {
+	b := program.NewBuilder("self-loop")
+	b.Func("main")
+	b.Label("spin")
+	b.Addi(isa.X(1), isa.X(1), 1)
+	b.Jmp("spin")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func countdown() *program.Program {
+	b := program.NewBuilder("countdown")
+	b.Func("main")
+	b.Movi(isa.X(1), 64)
+	b.Label("loop")
+	b.Addi(isa.X(1), isa.X(1), -1)
+	b.Bne(isa.X(1), isa.X(0), "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestRunawayReturnsTypedError(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 10_000
+	c := New(cfg, selfLoop())
+	_, err := c.RunContext(context.Background())
+	if !errors.Is(err, simerr.ErrRunaway) {
+		t.Fatalf("RunContext on a self-loop: err = %v, want ErrRunaway", err)
+	}
+	var se *simerr.Error
+	if !errors.As(err, &se) {
+		t.Fatalf("error is not a *simerr.Error: %v", err)
+	}
+	if se.Snap.Program != "self-loop" || se.Snap.Cycle == 0 {
+		t.Errorf("snapshot missing program/cycle: %+v", se.Snap)
+	}
+	if se.Snap.Detail == "" || !strings.Contains(se.Snap.Detail, "rob") {
+		t.Errorf("snapshot missing pipeline dump: %q", se.Snap.Detail)
+	}
+	// A failed run latches: Step never resumes.
+	if c.Step() {
+		t.Errorf("Step returned true after a guard failure")
+	}
+	if !errors.Is(c.Err(), simerr.ErrRunaway) {
+		t.Errorf("Err() = %v", c.Err())
+	}
+}
+
+func TestRunPanicsTypedOnRunaway(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 10_000
+	c := New(cfg, selfLoop())
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("Run did not panic on a runaway program")
+		}
+		se, ok := r.(*simerr.Error)
+		if !ok || !errors.Is(se, simerr.ErrRunaway) {
+			t.Fatalf("Run panicked with %v, want typed ErrRunaway", r)
+		}
+	}()
+	c.Run()
+}
+
+// TestWatchdogDetectsCommitStall pins the forward-progress watchdog:
+// with a threshold below a legitimate stall's length, the run ends in
+// ErrDeadlock with a pipeline-state dump instead of spinning until
+// MaxCycles. (There is no reachable true deadlock on valid programs, so
+// the test shrinks the threshold under a normal run's startup gap.)
+func TestWatchdogDetectsCommitStall(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WatchdogCommitCycles = 2 // below fetch-to-commit latency
+	c := New(cfg, countdown())
+	_, err := c.RunContext(context.Background())
+	if !errors.Is(err, simerr.ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	var se *simerr.Error
+	if !errors.As(err, &se) || !strings.Contains(se.Snap.Detail, "fetchBuf") {
+		t.Errorf("deadlock error missing pipeline dump: %v", err)
+	}
+}
+
+func TestWatchdogQuietOnHealthyRun(t *testing.T) {
+	c := New(DefaultConfig(), countdown())
+	stats, err := c.RunContext(context.Background())
+	if err != nil {
+		t.Fatalf("healthy run failed: %v", err)
+	}
+	if stats.Committed == 0 {
+		t.Errorf("no instructions committed")
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := New(DefaultConfig(), selfLoop())
+	_, err := c.RunContext(ctx)
+	if !errors.Is(err, simerr.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 1 << 62 // let the deadline, not the budget, fire
+	cfg.WatchdogCommitCycles = 1 << 62
+	c := New(cfg, selfLoop())
+	start := time.Now()
+	_, err := c.RunContext(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded in the chain", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation not prompt: took %v", elapsed)
+	}
+}

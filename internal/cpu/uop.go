@@ -106,6 +106,7 @@ func (r *rob) len() int    { return r.count }
 
 func (r *rob) push(u *UOp) {
 	if r.full() {
+		//tealint:ignore nakedpanic dispatch checks rob.full() first; overflow is a simulator bug, recovered at API boundaries
 		panic("cpu: ROB overflow")
 	}
 	r.buf[(r.head+r.count)%len(r.buf)] = u
@@ -114,6 +115,7 @@ func (r *rob) push(u *UOp) {
 
 func (r *rob) headUOp() *UOp {
 	if r.empty() {
+		//tealint:ignore nakedpanic commit checks rob.empty() first; underflow is a simulator bug, recovered at API boundaries
 		panic("cpu: ROB underflow")
 	}
 	return r.buf[r.head]

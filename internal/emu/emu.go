@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/program"
+	"repro/internal/simerr"
 )
 
 // Inst is one dynamic (committed-path) instruction.
@@ -130,6 +131,7 @@ func (s *Stream) Next() *Inst {
 // lower sequence numbers must not have been released yet.
 func (s *Stream) Rewind(seq uint64) {
 	if seq < s.bufBase || seq > s.bufBase+uint64(len(s.buf)) {
+		//tealint:ignore nakedpanic caller (the core) controls rewind targets; out-of-range is a simulator bug, recovered at API boundaries
 		panic(fmt.Sprintf("emu: rewind to seq %d outside buffer [%d,%d]",
 			seq, s.bufBase, s.bufBase+uint64(len(s.buf))))
 	}
@@ -144,6 +146,7 @@ func (s *Stream) Release(seq uint64) {
 	}
 	n := int(seq - s.bufBase)
 	if n > s.cursor {
+		//tealint:ignore nakedpanic commit order guarantees released seqs were delivered; violation is a simulator bug, recovered at API boundaries
 		panic(fmt.Sprintf("emu: releasing undelivered instructions (seq %d, cursor at %d)",
 			seq, s.bufBase+uint64(s.cursor)))
 	}
@@ -175,7 +178,12 @@ func (s *Stream) step() *Inst {
 		return nil
 	}
 	if s.seq >= s.MaxInsts {
-		panic(fmt.Sprintf("emu: program %q exceeded %d instructions", s.prog.Name, s.MaxInsts))
+		// Reachable from user input (a program that never halts), so the
+		// panic carries a typed error; run APIs recover it at the
+		// boundary and return simerr.ErrRunaway.
+		panic(simerr.New(simerr.ErrRunaway,
+			simerr.Snapshot{Program: s.prog.Name, Seq: s.seq, PC: isa.PCOf(s.pcIndex)},
+			"program %q exceeded %d instructions", s.prog.Name, s.MaxInsts))
 	}
 	in := &s.prog.Insts[s.pcIndex]
 	var d *Inst
@@ -289,7 +297,11 @@ func (s *Stream) step() *Inst {
 	case isa.OpHalt:
 		s.done = true
 	default:
-		panic(fmt.Sprintf("emu: unimplemented opcode %v", in.Op))
+		// Reachable from user-built programs (a corrupt or future-version
+		// opcode); typed so API boundaries convert it to an error.
+		panic(simerr.New(simerr.ErrInvalidProgram,
+			simerr.Snapshot{Program: s.prog.Name, Seq: s.seq, PC: d.PC},
+			"unimplemented opcode %v", in.Op))
 	}
 
 	if d.Taken && isa.IsBranch(in.Op) {

@@ -29,6 +29,7 @@ const (
 // X returns the n'th integer register.
 func X(n int) Reg {
 	if n < 0 || n >= NumIntRegs {
+		//tealint:ignore nakedpanic compile-time-style misuse of the assembler DSL; recovered at API boundaries
 		panic(fmt.Sprintf("isa: integer register X%d out of range", n))
 	}
 	return Reg(n)
@@ -37,6 +38,7 @@ func X(n int) Reg {
 // F returns the n'th floating-point register.
 func F(n int) Reg {
 	if n < 0 || n >= NumFPRegs {
+		//tealint:ignore nakedpanic compile-time-style misuse of the assembler DSL; recovered at API boundaries
 		panic(fmt.Sprintf("isa: fp register F%d out of range", n))
 	}
 	return Reg(NumIntRegs + n)

@@ -1,0 +1,81 @@
+// Package nakedpanic defines a tealint analyzer that forbids calling
+// panic with anything but a typed *simerr.Error in production code.
+//
+// The simulator's robustness contract is "fail loudly, never crash":
+// every user-reachable failure surfaces as a typed error that the API
+// boundary (simerr.Recover) can convert, carrying a diagnostic
+// snapshot of where the simulation stood. A panic with a bare string
+// or fmt.Sprintf value defeats that — it crosses RunProgramContext
+// unclassified and reaches the user as a stack trace instead of an
+// error. Genuine invariant violations (ROB overflow, assembler-DSL
+// misuse) may keep panicking, but each site must say why with a
+// tealint:ignore directive, which doubles as the audited allowlist.
+// Test files are exempt.
+package nakedpanic
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags panic calls whose argument is not a *simerr.Error.
+var Analyzer = &analysis.Analyzer{
+	Name: "nakedpanic",
+	Doc: "forbid panic with non-typed values in production code\n\n" +
+		"panic a *simerr.Error (simerr.New/Wrap) so API boundaries recover a classified,\n" +
+		"snapshot-carrying error; suppress true invariant violations with tealint:ignore.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			// The builtin only — a shadowing function named panic is
+			// someone else's problem.
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			if len(call.Args) == 1 && isSimErr(pass.TypesInfo.Types[call.Args[0]].Type) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"naked panic: crosses API boundaries unclassified — panic a *simerr.Error (simerr.New/Wrap) or add a tealint:ignore nakedpanic directive stating the invariant")
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isSimErr reports whether t is the typed error pointer *simerr.Error.
+// It matches both the real package (path suffix internal/simerr) and
+// the golden-suite stand-in (import path "simerr").
+func isSimErr(t types.Type) bool {
+	ptr, ok := types.Unalias(t).(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := types.Unalias(ptr.Elem()).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Error" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "simerr" || strings.HasSuffix(path, "internal/simerr")
+}

@@ -1,0 +1,12 @@
+package nakedpanic_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/nakedpanic"
+)
+
+func TestNakedPanic(t *testing.T) {
+	analysistest.Run(t, ".", nakedpanic.Analyzer, "a")
+}

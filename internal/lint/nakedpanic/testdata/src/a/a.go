@@ -1,0 +1,69 @@
+// Package a is the nakedpanic golden suite.
+package a
+
+import (
+	"fmt"
+
+	"simerr"
+)
+
+// A bare string panic: flagged.
+func bareString() {
+	panic("something went wrong") // want "naked panic"
+}
+
+// A formatted string is still untyped: flagged.
+func formatted(n int) {
+	panic(fmt.Sprintf("bad value %d", n)) // want "naked panic"
+}
+
+// Re-panicking a plain error value is unclassified: flagged.
+func plainError(err error) {
+	if err != nil {
+		panic(err) // want "naked panic"
+	}
+}
+
+// panic() with no argument never happens in valid Go, but a weird
+// arity must not crash the analyzer; zero or many args are flagged.
+func values() {
+	panic(42) // want "naked panic"
+}
+
+// The typed error, constructed inline: allowed.
+func typedInline() {
+	panic(simerr.New(simerr.ErrInternal, simerr.Snapshot{}, "rob overflow"))
+}
+
+// The typed error through a variable keeps its static type: allowed.
+func typedVar(snap simerr.Snapshot) {
+	e := simerr.New(simerr.ErrInternal, snap, "deadlock")
+	panic(e)
+}
+
+// A function returning the typed pointer: allowed.
+func failure() *simerr.Error { return nil }
+
+func typedCall() {
+	if f := failure(); f != nil {
+		panic(f)
+	}
+}
+
+// An audited invariant keeps its naked panic via the directive.
+func audited(ok bool) {
+	if !ok {
+		//tealint:ignore nakedpanic golden-suite invariant; recovered at the boundary
+		panic("invariant violated")
+	}
+}
+
+// recover-based helpers do not confuse the analyzer.
+func boundary() (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("recovered: %v", v)
+		}
+	}()
+	return nil
+}

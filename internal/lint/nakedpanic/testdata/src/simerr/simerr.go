@@ -1,0 +1,25 @@
+// Package simerr is the golden-suite stand-in for the real typed-error
+// package: just enough surface for the nakedpanic analyzer to resolve
+// *simerr.Error and its constructors.
+package simerr
+
+import "errors"
+
+var ErrInternal = errors.New("internal invariant violated")
+
+type Snapshot struct {
+	Workload string
+	Cycle    uint64
+}
+
+type Error struct {
+	Kind error
+	Snap Snapshot
+	Msg  string
+}
+
+func (e *Error) Error() string { return e.Msg }
+
+func New(kind error, snap Snapshot, msg string) *Error {
+	return &Error{Kind: kind, Snap: snap, Msg: msg}
+}

@@ -5,6 +5,8 @@
 // configuration follows Table 2 of the paper.
 package mem
 
+import "repro/internal/simerr"
+
 // CacheConfig describes one cache level.
 type CacheConfig struct {
 	Name       string
@@ -56,7 +58,11 @@ type Cache struct {
 func NewCache(cfg CacheConfig) *Cache {
 	sets := cfg.Sets()
 	if sets <= 0 || sets&(sets-1) != 0 {
-		panic("mem: cache set count must be a positive power of two: " + cfg.Name)
+		// User-reachable through configuration; typed so run APIs
+		// convert it to simerr.ErrInvalidConfig at the boundary.
+		panic(simerr.New(simerr.ErrInvalidConfig, simerr.Snapshot{},
+			"mem: cache %q set count must be a positive power of two (size %d, ways %d, line %d)",
+			cfg.Name, cfg.SizeBytes, cfg.Ways, cfg.LineBytes))
 	}
 	c := &Cache{cfg: cfg, sets: make([][]line, sets), setMsk: uint64(sets - 1)}
 	for i := range c.sets {

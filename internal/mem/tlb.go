@@ -1,5 +1,7 @@
 package mem
 
+import "repro/internal/simerr"
+
 // PageBits is log2 of the page size (4 KiB pages).
 const PageBits = 12
 
@@ -44,7 +46,11 @@ func NewTLB(cfg TLBConfig) *TLB {
 	}
 	nsets := cfg.Entries / ways
 	if nsets <= 0 || nsets&(nsets-1) != 0 {
-		panic("mem: TLB set count must be a positive power of two: " + cfg.Name)
+		// User-reachable through configuration; typed so run APIs
+		// convert it to simerr.ErrInvalidConfig at the boundary.
+		panic(simerr.New(simerr.ErrInvalidConfig, simerr.Snapshot{},
+			"mem: TLB %q set count must be a positive power of two (entries %d, ways %d)",
+			cfg.Name, cfg.Entries, ways))
 	}
 	t := &TLB{cfg: cfg, ways: ways, sets: make([][]tlbEntry, nsets)}
 	for i := range t.sets {

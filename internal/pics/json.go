@@ -3,9 +3,11 @@ package pics
 import (
 	"encoding/json"
 	"io"
+	"math"
 	"sort"
 
 	"repro/internal/events"
+	"repro/internal/simerr"
 	"repro/internal/xiter"
 )
 
@@ -53,6 +55,77 @@ func (p *Profile) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(jp)
+}
+
+// ReadJSON parses a profile previously serialized with WriteJSON —
+// the ingest half of the external-tooling contract (dashboards, diff
+// pipelines). Every malformed document yields a typed
+// simerr.ErrDecode error, never a panic and never a silently skewed
+// profile: unknown event names, signatures inconsistent with their
+// event lists, negative or non-finite cycle values, and duplicate
+// instructions are all rejected (FuzzProfileJSON pins this).
+func ReadJSON(r io.Reader) (*Profile, error) {
+	fail := func(format string, args ...any) (*Profile, error) {
+		return nil, simerr.New(simerr.ErrDecode, simerr.Snapshot{}, format, args...)
+	}
+	var jp jsonProfile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&jp); err != nil {
+		return nil, simerr.Wrap(simerr.ErrDecode, simerr.Snapshot{}, err, "pics: parsing profile JSON")
+	}
+
+	byName := map[string]events.Event{}
+	for _, e := range events.AllEvents() {
+		byName[e.String()] = e
+	}
+	set := events.Set(0)
+	for _, name := range jp.Events {
+		e, ok := byName[name]
+		if !ok {
+			return fail("pics: unknown event %q in profile event set", name)
+		}
+		set |= events.NewSet(e)
+	}
+
+	p := NewProfile(jp.Name, set)
+	p.Seed = jp.Seed
+	for _, ji := range jp.Insts {
+		if _, dup := p.Insts[ji.PC]; dup {
+			return fail("pics: duplicate instruction pc %#x", ji.PC)
+		}
+		// Materialize the stack even for instructions whose components
+		// all turn out empty, so round-tripping preserves presence.
+		if p.Insts[ji.PC] == nil {
+			p.Insts[ji.PC] = make(Stack)
+		}
+		for _, jc := range ji.Components {
+			var sig events.PSV
+			for _, name := range jc.Events {
+				e, ok := byName[name]
+				if !ok {
+					return fail("pics: unknown event %q at pc %#x", name, ji.PC)
+				}
+				sig = sig.Set(e)
+			}
+			if sig.String() != jc.Signature {
+				return fail("pics: signature %q does not match its event list %v at pc %#x",
+					jc.Signature, jc.Events, ji.PC)
+			}
+			if sig.Mask(set) != sig {
+				return fail("pics: signature %q outside the profile's event set at pc %#x",
+					jc.Signature, ji.PC)
+			}
+			if math.IsNaN(jc.Cycles) || math.IsInf(jc.Cycles, 0) || jc.Cycles < 0 {
+				return fail("pics: invalid cycle count %v at pc %#x", jc.Cycles, ji.PC)
+			}
+			st := p.Insts[ji.PC]
+			if _, dup := st[sig]; dup {
+				return fail("pics: duplicate component %q at pc %#x", jc.Signature, ji.PC)
+			}
+			st[sig] = jc.Cycles
+		}
+	}
+	return p, nil
 }
 
 // Diff compares two profiles of the same program (e.g. before and after

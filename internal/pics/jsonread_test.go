@@ -1,0 +1,108 @@
+package pics
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/events"
+	"repro/internal/simerr"
+)
+
+// readTestProfile builds a small but representative profile: base and
+// combined signatures, several instructions, a seed.
+func readTestProfile() *Profile {
+	p := NewProfile("tea", events.TEASet)
+	p.Seed = 7
+	p.Add(0x40, 0, 10.5)
+	p.Add(0x40, sig(events.STL1), 3.25)
+	p.Add(0x44, sig(events.STL1, events.STLLC), 1)
+	p.Add(0x48, sig(events.DRSQ), 0.125)
+	return p
+}
+
+// TestJSONRoundTrip pins WriteJSON/ReadJSON as exact inverses: decode
+// then re-encode reproduces the original document byte for byte.
+func TestJSONRoundTrip(t *testing.T) {
+	p := readTestProfile()
+	var first bytes.Buffer
+	if err := p.WriteJSON(&first); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadJSON(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if q.Name != p.Name || q.Seed != p.Seed || q.Set != p.Set {
+		t.Fatalf("metadata changed in round trip: %+v vs %+v", q, p)
+	}
+	var second bytes.Buffer
+	if err := q.WriteJSON(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("round trip not byte-identical:\n%s\nvs\n%s", first.String(), second.String())
+	}
+}
+
+// TestReadJSONRejects spells out malformed documents ReadJSON must
+// refuse with a typed decode error.
+func TestReadJSONRejects(t *testing.T) {
+	var buf bytes.Buffer
+	if err := readTestProfile().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.String()
+	for name, doc := range map[string]string{
+		"empty":         "",
+		"not-json":      "TEAT\x03",
+		"unknown-event": strings.Replace(valid, events.STL1.String(), "NoSuchEvent", 1),
+		"bad-signature": strings.Replace(valid, `"signature": "Base"`, `"signature": "Bogus"`, 1),
+		"neg-cycles":    strings.Replace(valid, `"cycles": 10.5`, `"cycles": -10.5`, 1),
+	} {
+		_, err := ReadJSON(strings.NewReader(doc))
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !errors.Is(err, simerr.ErrDecode) {
+			t.Errorf("%s: error not ErrDecode: %v", name, err)
+		}
+	}
+}
+
+// FuzzProfileJSON feeds arbitrary bytes to the profile reader: it must
+// reject or cleanly error on malformed documents, never panic, and any
+// document it accepts must re-encode without failing.
+func FuzzProfileJSON(f *testing.F) {
+	var buf bytes.Buffer
+	if err := readTestProfile().WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	for _, cut := range []int{0, 1, len(valid) / 2, len(valid) - 2} {
+		f.Add(valid[:cut])
+	}
+	for _, pos := range []int{2, len(valid) / 3, len(valid) / 2} {
+		mut := append([]byte(nil), valid...)
+		mut[pos] ^= 0x20
+		f.Add(mut)
+	}
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"instructions":[{"pc":1,"components":[{"cycles":1e308}]}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, simerr.ErrDecode) {
+				t.Fatalf("non-decode error from ReadJSON: %v", err)
+			}
+			return
+		}
+		if err := p.WriteJSON(io.Discard); err != nil {
+			t.Fatalf("accepted profile failed to re-encode: %v", err)
+		}
+	})
+}

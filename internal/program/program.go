@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"repro/internal/isa"
+	"repro/internal/simerr"
 )
 
 // DataBase is the lowest virtual address used for program data. Code
@@ -376,7 +377,10 @@ func (b *Builder) Build() (*Program, error) {
 func (b *Builder) MustBuild() *Program {
 	p, err := b.Build()
 	if err != nil {
-		panic(err)
+		// Typed so run APIs recover it as simerr.ErrInvalidProgram; the
+		// built-in workloads never hit this.
+		panic(simerr.Wrap(simerr.ErrInvalidProgram,
+			simerr.Snapshot{Program: b.name}, err, "building program"))
 	}
 	return p
 }

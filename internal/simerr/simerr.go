@@ -1,0 +1,197 @@
+// Package simerr defines the simulator's typed error vocabulary.
+//
+// TEA's value is trustworthy attribution: a profiler that crashes or
+// silently hangs on an adversarial input is worse than one that reports
+// a diagnostic error. Every failure that can be provoked from user
+// input — a runaway program, a corrupt trace, a stalled pipeline, an
+// invalid configuration — surfaces as an *Error carrying one of the
+// Err* kinds plus a Snapshot of where the simulation stood when it
+// failed. Internal invariant violations may still panic (annotated
+// with tealint:ignore nakedpanic directives and policed by the
+// nakedpanic analyzer), but every public run API recovers them at the
+// boundary and converts them to ErrInternal, so a library caller never
+// sees a crash.
+//
+// Callers match kinds with errors.Is and extract diagnostics with
+// errors.As:
+//
+//	var se *simerr.Error
+//	if errors.As(err, &se) {
+//		fmt.Println(se.Snap.Cycle, se.Snap.Detail)
+//	}
+//	if errors.Is(err, simerr.ErrRunaway) { ... }
+//
+// Errors built with Wrap also satisfy errors.Is against their cause,
+// so a cancelled run matches both ErrCanceled and context.Canceled.
+package simerr
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// Error kinds. Each is a sentinel matched via errors.Is.
+var (
+	// ErrRunaway marks a simulation that exceeded its cycle or
+	// instruction budget (e.g. a program that never halts).
+	ErrRunaway = errors.New("runaway execution")
+	// ErrDeadlock marks a pipeline that stopped making forward progress:
+	// the commit-stage watchdog saw no instruction commit for a full
+	// watchdog interval while the program had not finished.
+	ErrDeadlock = errors.New("pipeline deadlock")
+	// ErrDecode marks a trace stream that could not be decoded: bad
+	// magic, truncation, implausible operands, or an integrity-digest
+	// mismatch (corrupted or reordered records).
+	ErrDecode = errors.New("trace decode failure")
+	// ErrInvalidProgram marks a program the simulator cannot execute
+	// (unimplemented opcode, unresolved label, unknown benchmark).
+	ErrInvalidProgram = errors.New("invalid program")
+	// ErrInvalidConfig marks an unusable configuration (non-power-of-two
+	// cache sets, zero sampling interval, empty system).
+	ErrInvalidConfig = errors.New("invalid configuration")
+	// ErrCanceled marks a run stopped by context cancellation or
+	// deadline; the wrapped cause is the context's error, so errors.Is
+	// against context.Canceled / context.DeadlineExceeded also matches.
+	ErrCanceled = errors.New("run canceled")
+	// ErrInternal marks a recovered internal invariant violation — a
+	// bug in the simulator, not in the input.
+	ErrInternal = errors.New("internal invariant violation")
+)
+
+// Snapshot captures where the simulation stood when it failed. Fields
+// that do not apply to a failure are zero.
+type Snapshot struct {
+	// Workload is the benchmark name, when the failure occurred inside
+	// the experiment harness.
+	Workload string
+	// Program is the name of the program under execution.
+	Program string
+	// Cycle is the simulated cycle (or, for trace decoding, the last
+	// decoded cycle).
+	Cycle uint64
+	// PC is the code address of the last committed instruction (or the
+	// instruction implicated in the failure).
+	PC uint64
+	// Seq is the dynamic sequence number matching PC.
+	Seq uint64
+	// Technique names the profiling technique, for failures confined to
+	// one replay consumer.
+	Technique string
+	// Detail is a free-form diagnostic dump: pipeline state for
+	// watchdog trips, record offsets for decode failures, the stack for
+	// recovered panics.
+	Detail string
+}
+
+func (s Snapshot) String() string {
+	var parts []string
+	if s.Workload != "" {
+		parts = append(parts, "workload "+s.Workload)
+	}
+	if s.Program != "" && s.Program != s.Workload {
+		parts = append(parts, "program "+s.Program)
+	}
+	if s.Technique != "" {
+		parts = append(parts, "technique "+s.Technique)
+	}
+	if s.Cycle != 0 {
+		parts = append(parts, fmt.Sprintf("cycle %d", s.Cycle))
+	}
+	if s.PC != 0 {
+		parts = append(parts, fmt.Sprintf("pc %#x", s.PC))
+	}
+	if s.Seq != 0 {
+		parts = append(parts, fmt.Sprintf("seq %d", s.Seq))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Error is a typed simulator failure: a kind, a human-readable message,
+// a diagnostic snapshot, and an optional wrapped cause.
+type Error struct {
+	// Kind is one of the Err* sentinels.
+	Kind error
+	// Snap locates the failure.
+	Snap Snapshot
+	// Msg is the specific failure description.
+	Msg string
+	// Cause is the underlying error, if any (returned by Unwrap).
+	Cause error
+}
+
+// New builds a typed error.
+func New(kind error, snap Snapshot, format string, args ...any) *Error {
+	return &Error{Kind: kind, Snap: snap, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Wrap builds a typed error around a cause; errors.Is matches both the
+// kind and the cause chain.
+func Wrap(kind error, snap Snapshot, cause error, format string, args ...any) *Error {
+	return &Error{Kind: kind, Snap: snap, Msg: fmt.Sprintf(format, args...), Cause: cause}
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	var b strings.Builder
+	b.WriteString(e.Kind.Error())
+	if e.Msg != "" {
+		b.WriteString(": ")
+		b.WriteString(e.Msg)
+	}
+	if loc := e.Snap.String(); loc != "" {
+		b.WriteString(" [")
+		b.WriteString(loc)
+		b.WriteString("]")
+	}
+	if e.Cause != nil {
+		b.WriteString(": ")
+		b.WriteString(e.Cause.Error())
+	}
+	return b.String()
+}
+
+// Is reports kind identity, so errors.Is(err, simerr.ErrRunaway) works
+// without the kind being in the Unwrap chain.
+func (e *Error) Is(target error) bool { return target == e.Kind }
+
+// Unwrap exposes the cause chain to errors.Is / errors.As.
+func (e *Error) Unwrap() error { return e.Cause }
+
+// FromPanic converts a recovered panic value into a typed error. A
+// panicking *Error passes through (its snapshot is the more precise
+// one); anything else becomes ErrInternal with the stack attached.
+func FromPanic(v any, snap Snapshot) *Error {
+	if se, ok := v.(*Error); ok {
+		if se.Snap.Workload == "" {
+			se.Snap.Workload = snap.Workload
+		}
+		if se.Snap.Technique == "" {
+			se.Snap.Technique = snap.Technique
+		}
+		return se
+	}
+	if snap.Detail == "" {
+		snap.Detail = string(debug.Stack())
+	}
+	if err, ok := v.(error); ok {
+		return Wrap(ErrInternal, snap, err, "recovered panic")
+	}
+	return New(ErrInternal, snap, "recovered panic: %v", v)
+}
+
+// Recover converts an in-flight panic into a typed error stored in
+// *errp. Use it deferred at public API boundaries:
+//
+//	func Run(...) (err error) {
+//		defer simerr.Recover(&err, simerr.Snapshot{Workload: w.Name})
+//		...
+//	}
+//
+// A nil *errp slot is overwritten only when a panic actually occurred.
+func Recover(errp *error, snap Snapshot) {
+	if r := recover(); r != nil {
+		*errp = FromPanic(r, snap)
+	}
+}

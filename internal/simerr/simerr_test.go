@@ -1,0 +1,102 @@
+package simerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestKindMatching(t *testing.T) {
+	err := New(ErrRunaway, Snapshot{Program: "loop", Cycle: 42}, "exceeded %d cycles", 10)
+	if !errors.Is(err, ErrRunaway) {
+		t.Errorf("errors.Is(err, ErrRunaway) = false")
+	}
+	if errors.Is(err, ErrDeadlock) {
+		t.Errorf("errors.Is(err, ErrDeadlock) = true for a runaway error")
+	}
+	var se *Error
+	if !errors.As(err, &se) {
+		t.Fatalf("errors.As(*Error) = false")
+	}
+	if se.Snap.Cycle != 42 || se.Snap.Program != "loop" {
+		t.Errorf("snapshot = %+v", se.Snap)
+	}
+}
+
+func TestWrapMatchesCause(t *testing.T) {
+	cause := context.Canceled
+	err := Wrap(ErrCanceled, Snapshot{}, cause, "run canceled")
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("kind not matched")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cause not matched through Unwrap")
+	}
+}
+
+func TestWrappedThroughFmt(t *testing.T) {
+	inner := New(ErrDecode, Snapshot{Cycle: 7}, "bad record")
+	outer := fmt.Errorf("replaying group 2: %w", inner)
+	if !errors.Is(outer, ErrDecode) {
+		t.Errorf("kind lost through fmt.Errorf wrapping")
+	}
+	var se *Error
+	if !errors.As(outer, &se) || se.Snap.Cycle != 7 {
+		t.Errorf("snapshot lost through fmt.Errorf wrapping")
+	}
+}
+
+func TestFromPanicPassthrough(t *testing.T) {
+	orig := New(ErrDeadlock, Snapshot{Cycle: 9}, "stuck")
+	got := FromPanic(orig, Snapshot{Workload: "mcf", Technique: "tea"})
+	if got != orig {
+		t.Errorf("typed panic did not pass through")
+	}
+	if got.Snap.Workload != "mcf" || got.Snap.Technique != "tea" {
+		t.Errorf("snapshot context not filled in: %+v", got.Snap)
+	}
+}
+
+func TestFromPanicInternal(t *testing.T) {
+	got := FromPanic("rob overflow", Snapshot{Program: "x"})
+	if !errors.Is(got, ErrInternal) {
+		t.Errorf("untyped panic should map to ErrInternal, got %v", got)
+	}
+	if got.Snap.Detail == "" {
+		t.Errorf("expected a stack trace in the snapshot detail")
+	}
+	if !strings.Contains(got.Error(), "rob overflow") {
+		t.Errorf("panic value missing from message: %s", got.Error())
+	}
+}
+
+func TestRecover(t *testing.T) {
+	f := func() (err error) {
+		defer Recover(&err, Snapshot{Workload: "w"})
+		//tealint:ignore nakedpanic test exercises the boundary recovery itself
+		panic(New(ErrRunaway, Snapshot{}, "boom"))
+	}
+	err := f()
+	if !errors.Is(err, ErrRunaway) {
+		t.Errorf("Recover lost the typed panic: %v", err)
+	}
+	ok := func() (err error) {
+		defer Recover(&err, Snapshot{})
+		return nil
+	}
+	if err := ok(); err != nil {
+		t.Errorf("Recover fabricated an error: %v", err)
+	}
+}
+
+func TestErrorString(t *testing.T) {
+	err := New(ErrRunaway, Snapshot{Program: "loop", Cycle: 10, PC: 0x40}, "exceeded budget")
+	s := err.Error()
+	for _, want := range []string{"runaway", "exceeded budget", "program loop", "cycle 10", "0x40"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Error() = %q, missing %q", s, want)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/mem"
 	"repro/internal/program"
+	"repro/internal/simerr"
 )
 
 // System is a multi-core chip with a shared LLC and DRAM.
@@ -29,7 +30,9 @@ type System struct {
 // once and shared.
 func New(cfg cpu.Config, progs []*program.Program) *System {
 	if len(progs) == 0 {
-		panic("system: need at least one program")
+		// User-reachable input validation; typed for boundary recovery.
+		panic(simerr.New(simerr.ErrInvalidConfig, simerr.Snapshot{},
+			"system: need at least one program"))
 	}
 	llc := mem.NewCache(cfg.Mem.LLC)
 	dram := mem.NewDRAM(cfg.Mem.DRAM)
@@ -72,6 +75,12 @@ func (s *System) Run() []*cpu.Stats {
 				continue
 			}
 			if !c.Step() {
+				if f := c.Failure(); f != nil {
+					// A guard trip (runaway, deadlock) on any core fails
+					// the whole lockstep run loudly; the panic value is
+					// typed and recovered at API boundaries.
+					panic(f)
+				}
 				alive[i] = false
 				running--
 			}

@@ -2,31 +2,74 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/simerr"
+	"repro/internal/workloads"
 )
 
-// FuzzReplay feeds arbitrary bytes to the trace reader: it must reject
-// or cleanly error on malformed input, never panic.
-func FuzzReplay(f *testing.F) {
-	// Seed with a valid trace prefix and some mutations.
-	p := testProgram()
-	c := cpu.New(cpu.DefaultConfig(), p)
+// fuzzCapture records one real workload run — the corpus mutations
+// start from a stream with genuine squashes, stalls, and flushes, not
+// a synthetic minimum.
+func fuzzCapture(f *testing.F) []byte {
+	f.Helper()
+	w, err := workloads.ByName("bwaves")
+	if err != nil {
+		f.Fatal(err)
+	}
+	c := cpu.New(cpu.DefaultConfig(), w.Build(2))
 	var buf bytes.Buffer
 	tw := NewWriter(&buf)
 	c.Attach(tw)
 	c.Run()
-	valid := buf.Bytes()
+	return buf.Bytes()
+}
+
+// FuzzReplay feeds arbitrary bytes to the trace reader: it must reject
+// or cleanly error on malformed input — always a typed decode or
+// cancellation error, never a panic.
+func FuzzReplay(f *testing.F) {
+	valid := fuzzCapture(f)
+	f.Add(valid)
+
+	// Truncations at every record boundary (sampled down to keep the
+	// corpus manageable) — the exact cuts a dying writer produces.
+	offsets, err := RecordOffsets(valid)
+	if err != nil {
+		f.Fatal(err)
+	}
+	const maxCuts = 64
+	stride := 1
+	if len(offsets) > maxCuts {
+		stride = len(offsets) / maxCuts
+	}
+	for i := 0; i < len(offsets); i += stride {
+		f.Add(valid[:offsets[i]])
+	}
+
+	// Single-bit flips spread across the stream, header included.
+	for i := 0; i < 64; i++ {
+		pos := (i*2654435761 + 17) % len(valid)
+		mut := append([]byte(nil), valid...)
+		mut[pos] ^= 1 << uint(i%8)
+		f.Add(mut)
+	}
+
+	// Hand-written degenerate streams.
 	f.Add(valid[:min(len(valid), 4096)])
-	f.Add([]byte("TEAT\x02"))
-	f.Add([]byte("TEAT\x02\x05\x01\x00"))
+	f.Add([]byte("TEAT\x03"))
+	f.Add([]byte("TEAT\x03\x05\x01\x00"))
 	f.Add([]byte{})
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		g := core.NewGolden(nil)
-		// Errors are fine; panics are not.
-		_, _ = Replay(bytes.NewReader(data), g)
+		_, err := Replay(bytes.NewReader(data), g)
+		if err != nil && !errors.Is(err, simerr.ErrDecode) {
+			t.Fatalf("replay error is not a typed decode error: %v", err)
+		}
 	})
 }
 

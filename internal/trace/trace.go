@@ -10,13 +10,14 @@ package trace
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
 
 	"repro/internal/cpu"
 	"repro/internal/events"
+	"repro/internal/simerr"
 )
 
 // Record kinds.
@@ -32,8 +33,35 @@ const (
 // magic identifies a trace stream.
 var magic = [4]byte{'T', 'E', 'A', 'T'}
 
-// version is the trace format version.
-const version = 2
+// version is the trace format version. Version 3 added the integrity
+// digest carried by the done record: an FNV-style hash over every
+// record's decoded logical values, letting the reader detect
+// bit-flipped, reordered, or otherwise corrupted streams that still
+// happen to decode — corruption yields a typed simerr.ErrDecode, never
+// a silently wrong profile.
+const version = 3
+
+// Digest parameters (FNV-1a's 64-bit constants, mixed per value rather
+// than per byte; both sides hash decoded logical values, so the delta
+// encoding does not affect the digest).
+const (
+	digestOffset = 14695981039346656037
+	digestPrime  = 1099511628211
+)
+
+func mix(h, v uint64) uint64 { return (h ^ v) * digestPrime }
+
+// Decode guards: bounds on operands a well-formed core can emit.
+// Values beyond them mean a corrupt stream, rejected as ErrDecode
+// before they can drive unbounded allocation.
+const (
+	// maxCommitPerCycle bounds a Compute cycle's commit list (real
+	// commit widths are single digits).
+	maxCommitPerCycle = 1024
+	// maxWindow bounds the replay's in-flight sliding window (real
+	// occupancy is bounded by ROB + fetch buffer, a few hundred).
+	maxWindow = 1 << 20
+)
 
 // Writer is a cpu.Probe that serializes the probe event stream.
 type Writer struct {
@@ -50,6 +78,10 @@ type Writer struct {
 	lastSeq   uint64
 	lastPC    uint64
 
+	// digest accumulates the integrity hash over each record's logical
+	// values; the done record carries it for the reader to verify.
+	digest uint64
+
 	// Records counts serialized records (for statistics).
 	Records uint64
 }
@@ -57,7 +89,7 @@ type Writer struct {
 // NewWriter returns a trace writer targeting w. Attach it to a core
 // like any other probe; the stream is complete after OnDone fires.
 func NewWriter(w io.Writer) *Writer {
-	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16), digest: digestOffset}
 }
 
 // Err returns the first write error, if any.
@@ -118,6 +150,7 @@ func (t *Writer) OnFetch(r cpu.Ref, cycle uint64) {
 	t.seqDelta(r.Seq)
 	t.pcDelta(r.PC)
 	t.cycleDelta(cycle)
+	t.digest = mix(mix(mix(mix(t.digest, recFetch), r.Seq), r.PC), cycle)
 	t.Records++
 }
 
@@ -127,6 +160,7 @@ func (t *Writer) OnDispatch(r cpu.Ref, cycle uint64) {
 	t.byteOut(recDispatch)
 	t.seqDelta(r.Seq)
 	t.cycleDelta(cycle)
+	t.digest = mix(mix(mix(t.digest, recDispatch), r.Seq), cycle)
 	t.Records++
 }
 
@@ -137,6 +171,7 @@ func (t *Writer) OnCommit(r cpu.Ref, cycle uint64) {
 	t.seqDelta(r.Seq)
 	t.varint(uint64(r.PSV))
 	t.cycleDelta(cycle)
+	t.digest = mix(mix(mix(mix(t.digest, recCommit), r.Seq), uint64(r.PSV)), cycle)
 	t.Records++
 }
 
@@ -146,6 +181,7 @@ func (t *Writer) OnSquash(r cpu.Ref, cycle uint64) {
 	t.byteOut(recSquash)
 	t.seqDelta(r.Seq)
 	t.cycleDelta(cycle)
+	t.digest = mix(mix(mix(t.digest, recSquash), r.Seq), cycle)
 	t.Records++
 }
 
@@ -158,27 +194,37 @@ func (t *Writer) OnCycle(ci *cpu.CycleInfo) {
 	t.byteOut(recCycle)
 	t.cycleDelta(ci.Cycle)
 	t.byteOut(byte(ci.State))
+	h := mix(mix(mix(t.digest, recCycle), ci.Cycle), uint64(ci.State))
 	switch ci.State {
 	case events.Compute:
 		t.varint(uint64(len(ci.Committed)))
+		h = mix(h, uint64(len(ci.Committed)))
 		for _, r := range ci.Committed {
 			t.seqDelta(r.Seq)
+			h = mix(h, r.Seq)
 		}
 	case events.Stalled:
 		t.seqDelta(ci.Head.Seq)
+		h = mix(h, ci.Head.Seq)
 	case events.Flushed:
 		t.seqDelta(ci.LastCommitted.Seq)
+		h = mix(h, ci.LastCommitted.Seq)
 	case events.Drained:
 		// No operand: the next commit resolves the attribution.
 	}
+	t.digest = h
 	t.Records++
 }
 
-// OnDone implements cpu.Probe and finalizes the stream.
+// OnDone implements cpu.Probe and finalizes the stream: the done
+// record carries the total cycle count and the integrity digest over
+// everything recorded before it.
 func (t *Writer) OnDone(totalCycles uint64) {
 	t.header()
 	t.byteOut(recDone)
 	t.varint(totalCycles)
+	t.digest = mix(mix(t.digest, recDone), totalCycles)
+	t.varint(t.digest)
 	t.Records++
 	if t.err == nil {
 		t.err = t.w.Flush()
@@ -206,17 +252,46 @@ type winEnt struct {
 // referenceable (Flushed cycles point at it). Squashed entries stay in
 // place — the same sequence number is re-fetched later, which resets
 // the entry, mirroring the fresh µop the live core allocates.
+//
+// Every failure — truncation, implausible operands, an integrity-digest
+// mismatch — returns a typed *simerr.Error of kind simerr.ErrDecode
+// with the failing record's position in its snapshot. Replay never
+// panics on malformed input (FuzzReplay pins this).
 func Replay(r io.Reader, probes ...cpu.Probe) (totalCycles uint64, err error) {
+	return ReplayContext(context.Background(), r, probes...)
+}
+
+// ReplayContext is Replay honoring cancellation: the context is polled
+// periodically and a cancelled replay returns simerr.ErrCanceled
+// wrapping ctx.Err() before the probes' completion hooks fire, so no
+// partial profile can be observed downstream.
+func ReplayContext(ctx context.Context, r io.Reader, probes ...cpu.Probe) (totalCycles uint64, err error) {
 	br := bufio.NewReaderSize(r, 1<<16)
+
+	// Decode state shared with the error-snapshot helper.
+	var (
+		lastCycle, lastSeq, lastPC uint64
+		records                    uint64
+		digest                     = uint64(digestOffset)
+	)
+	decodeErr := func(cause error, format string, args ...any) error {
+		snap := simerr.Snapshot{Cycle: lastCycle, Seq: lastSeq}
+		snap.Detail = fmt.Sprintf("record %d", records)
+		if cause != nil {
+			return simerr.Wrap(simerr.ErrDecode, snap, cause, format, args...)
+		}
+		return simerr.New(simerr.ErrDecode, snap, format, args...)
+	}
+
 	var hdr [5]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return 0, fmt.Errorf("trace: reading header: %w", err)
+		return 0, decodeErr(err, "trace: reading header")
 	}
 	if [4]byte(hdr[:4]) != magic {
-		return 0, errors.New("trace: bad magic")
+		return 0, decodeErr(nil, "trace: bad magic")
 	}
 	if hdr[4] != version {
-		return 0, fmt.Errorf("trace: unsupported version %d", hdr[4])
+		return 0, decodeErr(nil, "trace: unsupported version %d", hdr[4])
 	}
 
 	var (
@@ -224,7 +299,8 @@ func Replay(r io.Reader, probes ...cpu.Probe) (totalCycles uint64, err error) {
 		base uint64 // seq of win[0]
 		last cpu.Ref
 	)
-	// ensure grows the window to cover seq and returns its entry.
+	// ensure grows the window to cover seq and returns its entry. The
+	// caller checks the maxWindow guard first.
 	ensure := func(seq uint64) *winEnt {
 		for uint64(len(win)) <= seq-base {
 			win = append(win, winEnt{})
@@ -244,8 +320,7 @@ func Replay(r io.Reader, probes ...cpu.Probe) (totalCycles uint64, err error) {
 	ci := &cpu.CycleInfo{}
 
 	u64 := func() (uint64, error) { return binary.ReadUvarint(br) }
-	// Delta-decoding state mirroring the writer.
-	var lastCycle, lastSeq, lastPC uint64
+	// Delta-decoding mirroring the writer.
 	readCycle := func() (uint64, error) {
 		d, err := u64()
 		if err != nil {
@@ -271,26 +346,40 @@ func Replay(r io.Reader, probes ...cpu.Probe) (totalCycles uint64, err error) {
 		return lastPC, nil
 	}
 	for {
+		// Poll cancellation every 64 Ki records — far off the hot path,
+		// still prompt in wall-clock terms.
+		if records&0xFFFF == 0 {
+			if cause := context.Cause(ctx); cause != nil {
+				return totalCycles, simerr.Wrap(simerr.ErrCanceled,
+					simerr.Snapshot{Cycle: lastCycle, Seq: lastSeq}, cause, "replay canceled")
+			}
+		}
 		kind, err := br.ReadByte()
 		if err == io.EOF {
-			return totalCycles, errors.New("trace: truncated stream (no done record)")
+			return totalCycles, decodeErr(nil, "trace: truncated stream (no done record)")
 		}
 		if err != nil {
-			return totalCycles, err
+			return totalCycles, decodeErr(err, "trace: reading record kind")
 		}
+		records++
 		switch kind {
 		case recFetch:
 			seq, err1 := readSeq()
 			pc, err2 := readPC()
 			cycle, err3 := readCycle()
 			if err := firstErr(err1, err2, err3); err != nil {
-				return totalCycles, err
+				return totalCycles, decodeErr(err, "trace: fetch record")
 			}
 			if seq >= base {
+				if seq-base >= maxWindow {
+					return totalCycles, decodeErr(nil,
+						"trace: implausible sequence jump to %d (window base %d)", seq, base)
+				}
 				// A re-fetch after a squash reuses the entry; the fresh
 				// µop starts with an empty signature.
 				*ensure(seq) = winEnt{pc: pc}
 			}
+			digest = mix(mix(mix(mix(digest, recFetch), seq), pc), cycle)
 			r := cpu.Ref{Seq: seq, PC: pc}
 			for _, p := range probes {
 				p.OnFetch(r, cycle)
@@ -299,8 +388,9 @@ func Replay(r io.Reader, probes ...cpu.Probe) (totalCycles uint64, err error) {
 			seq, err1 := readSeq()
 			cycle, err2 := readCycle()
 			if err := firstErr(err1, err2); err != nil {
-				return totalCycles, err
+				return totalCycles, decodeErr(err, "trace: dispatch record")
 			}
+			digest = mix(mix(mix(digest, recDispatch), seq), cycle)
 			r := ref(seq)
 			for _, p := range probes {
 				p.OnDispatch(r, cycle)
@@ -310,10 +400,14 @@ func Replay(r io.Reader, probes ...cpu.Probe) (totalCycles uint64, err error) {
 			psv, err2 := u64()
 			cycle, err3 := readCycle()
 			if err := firstErr(err1, err2, err3); err != nil {
-				return totalCycles, err
+				return totalCycles, decodeErr(err, "trace: commit record")
 			}
 			var r cpu.Ref
 			if seq >= base {
+				if seq-base >= maxWindow {
+					return totalCycles, decodeErr(nil,
+						"trace: implausible sequence jump to %d (window base %d)", seq, base)
+				}
 				e := ensure(seq)
 				e.psv = events.PSV(psv)
 				e.committed = true
@@ -321,6 +415,7 @@ func Replay(r io.Reader, probes ...cpu.Probe) (totalCycles uint64, err error) {
 			} else {
 				r = cpu.Ref{Seq: seq, PSV: events.PSV(psv)}
 			}
+			digest = mix(mix(mix(mix(digest, recCommit), seq), psv), cycle)
 			for _, p := range probes {
 				p.OnCommit(r, cycle)
 			}
@@ -329,8 +424,9 @@ func Replay(r io.Reader, probes ...cpu.Probe) (totalCycles uint64, err error) {
 			seq, err1 := readSeq()
 			cycle, err2 := readCycle()
 			if err := firstErr(err1, err2); err != nil {
-				return totalCycles, err
+				return totalCycles, decodeErr(err, "trace: squash record")
 			}
+			digest = mix(mix(mix(digest, recSquash), seq), cycle)
 			r := ref(seq)
 			for _, p := range probes {
 				p.OnSquash(r, cycle)
@@ -339,43 +435,57 @@ func Replay(r io.Reader, probes ...cpu.Probe) (totalCycles uint64, err error) {
 			cycle, err1 := readCycle()
 			stateByte, err2 := br.ReadByte()
 			if err := firstErr(err1, err2); err != nil {
-				return totalCycles, err
+				return totalCycles, decodeErr(err, "trace: cycle record")
 			}
 			ci.Cycle = cycle
 			ci.State = events.CommitState(stateByte)
 			ci.Committed = ci.Committed[:0]
 			ci.Head = cpu.Ref{}
 			ci.LastCommitted = cpu.Ref{}
+			h := mix(mix(mix(digest, recCycle), cycle), uint64(stateByte))
 			switch ci.State {
 			case events.Compute:
 				n, err := u64()
 				if err != nil {
-					return totalCycles, err
+					return totalCycles, decodeErr(err, "trace: cycle commit count")
 				}
+				if n > maxCommitPerCycle {
+					return totalCycles, decodeErr(nil,
+						"trace: implausible commit count %d in one cycle", n)
+				}
+				h = mix(h, n)
 				for i := uint64(0); i < n; i++ {
 					seq, err := readSeq()
 					if err != nil {
-						return totalCycles, err
+						return totalCycles, decodeErr(err, "trace: cycle commit seq")
 					}
+					h = mix(h, seq)
 					ci.Committed = append(ci.Committed, ref(seq))
 				}
 			case events.Stalled:
 				seq, err := readSeq()
 				if err != nil {
-					return totalCycles, err
+					return totalCycles, decodeErr(err, "trace: stalled head seq")
 				}
+				h = mix(h, seq)
 				ci.Head = ref(seq)
 			case events.Flushed:
 				seq, err := readSeq()
 				if err != nil {
-					return totalCycles, err
+					return totalCycles, decodeErr(err, "trace: flushed seq")
 				}
+				h = mix(h, seq)
 				if last.Seq == seq {
 					ci.LastCommitted = last
 				} else {
 					ci.LastCommitted = ref(seq)
 				}
+			case events.Drained:
+				// No operand.
+			default:
+				return totalCycles, decodeErr(nil, "trace: unknown commit state %d", stateByte)
 			}
+			digest = h
 			for _, p := range probes {
 				p.OnCycle(ci)
 			}
@@ -389,14 +499,25 @@ func Replay(r io.Reader, probes ...cpu.Probe) (totalCycles uint64, err error) {
 		case recDone:
 			totalCycles, err = u64()
 			if err != nil {
-				return totalCycles, err
+				return totalCycles, decodeErr(err, "trace: done record")
 			}
+			digest = mix(mix(digest, recDone), totalCycles)
+			want, err := u64()
+			if err != nil {
+				return totalCycles, decodeErr(err, "trace: integrity digest")
+			}
+			if want != digest {
+				return totalCycles, decodeErr(nil,
+					"trace: integrity digest mismatch (stream corrupted or records reordered)")
+			}
+			// Only a verified stream reaches the completion hooks, so a
+			// corrupt trace can never materialize as a profile.
 			for _, p := range probes {
 				p.OnDone(totalCycles)
 			}
 			return totalCycles, nil
 		default:
-			return totalCycles, fmt.Errorf("trace: unknown record kind %#x", kind)
+			return totalCycles, decodeErr(nil, "trace: unknown record kind %#x", kind)
 		}
 	}
 }
@@ -408,4 +529,73 @@ func firstErr(errs ...error) error {
 		}
 	}
 	return nil
+}
+
+// RecordOffsets scans a complete in-memory trace and returns the byte
+// offset of every record start (the first offset is the header length).
+// The fault-injection harness uses it to truncate or splice captures at
+// exact record boundaries; the fuzz seed corpus is built the same way.
+func RecordOffsets(data []byte) ([]int, error) {
+	if len(data) < 5 || [4]byte(data[:4]) != magic || data[4] != version {
+		return nil, simerr.New(simerr.ErrDecode, simerr.Snapshot{}, "trace: bad header")
+	}
+	pos := 5
+	var offsets []int
+	uv := func() (uint64, bool) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, false
+		}
+		pos += n
+		return v, true
+	}
+	skip := func(n int) bool {
+		ok := true
+		for i := 0; i < n && ok; i++ {
+			_, ok = uv()
+		}
+		return ok
+	}
+	for pos < len(data) {
+		offsets = append(offsets, pos)
+		kind := data[pos]
+		pos++
+		ok := true
+		switch kind {
+		case recFetch:
+			ok = skip(3)
+		case recDispatch, recSquash:
+			ok = skip(2)
+		case recCommit:
+			ok = skip(3)
+		case recCycle:
+			ok = skip(1)
+			if ok && pos < len(data) {
+				state := events.CommitState(data[pos])
+				pos++
+				switch state {
+				case events.Compute:
+					n, got := uv()
+					ok = got && n <= maxCommitPerCycle && skip(int(n))
+				case events.Stalled, events.Flushed:
+					ok = skip(1)
+				}
+			} else {
+				ok = false
+			}
+		case recDone:
+			if !skip(2) {
+				return nil, simerr.New(simerr.ErrDecode, simerr.Snapshot{},
+					"trace: truncated done record at offset %d", offsets[len(offsets)-1])
+			}
+			return offsets, nil
+		default:
+			ok = false
+		}
+		if !ok {
+			return nil, simerr.New(simerr.ErrDecode, simerr.Snapshot{},
+				"trace: malformed record at offset %d", offsets[len(offsets)-1])
+		}
+	}
+	return nil, simerr.New(simerr.ErrDecode, simerr.Snapshot{}, "trace: no done record")
 }

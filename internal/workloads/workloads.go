@@ -446,6 +446,7 @@ func GCC(iters int) *program.Program {
 // the base address.
 func chaseList(b *program.Builder, nodes int, nodeStride uint64, seed uint64) uint64 {
 	if nodeStride%8 != 0 {
+		//tealint:ignore nakedpanic static workload construction invariant; strides are compile-time constants
 		panic("workloads: chase-list stride must be 8-byte aligned")
 	}
 	base := b.Alloc(uint64(nodes)*nodeStride+4096, 4096)

@@ -13,6 +13,17 @@ go build -o bin/tealint ./cmd/tealint
 ./bin/tealint ./...
 go vet -vettool="$PWD/bin/tealint" ./...
 
+# Robustness fuzz smoke: a short budget per target keeps the malformed-
+# input contract (typed errors, no panics) exercised on every gate.
+go test ./internal/trace -run='^$' -fuzz=FuzzReplay -fuzztime=10s
+go test ./internal/pics -run='^$' -fuzz=FuzzProfileJSON -fuzztime=10s
+
+# Chaos smoke: the fault-injection sweep with a fixed seed — every
+# fault kind against every technique; exits nonzero on any contract
+# violation (crash, hang, or silently wrong profile).
+go build -o bin/teachaos ./cmd/teachaos
+./bin/teachaos -seed 1 -workload bwaves -scale 0.05
+
 # Benchmark smoke: one iteration of every figure/table benchmark keeps
 # the harness compiling and running (full runs: make bench).
 go test -bench=. -benchtime=1x -timeout 30m .
