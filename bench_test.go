@@ -9,6 +9,7 @@ package repro_test
 import (
 	"bytes"
 	"io"
+	"os"
 	"testing"
 
 	"repro/internal/analysis"
@@ -20,6 +21,15 @@ import (
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
+
+// init honors TEA_TRACE_CACHE for the whole harness, mirroring
+// cmd/teaexp's -tracecache flag: with it set, a second bench run
+// replays the first run's persisted captures instead of re-simulating.
+func init() {
+	if dir := os.Getenv("TEA_TRACE_CACHE"); dir != "" {
+		analysis.SetTraceStore(analysis.NewTraceStore(analysis.DefaultStoreBudget, dir))
+	}
+}
 
 // benchConfig returns the scaled configuration used by the harness.
 func benchConfig() analysis.RunConfig {
@@ -130,9 +140,19 @@ func BenchmarkFig7Correlation(b *testing.B) {
 func BenchmarkFig8FrequencySweep(b *testing.B) {
 	rc := benchConfig()
 	rc.Scale = 0.1
+	// A fresh, memory-only store isolates the capture accounting from
+	// the other benchmarks' shared-store traffic so the tentpole
+	// invariant is checkable: sweeping N intervals over b.N iterations
+	// must capture each workload exactly once, everything else replays.
+	prev := analysis.SetTraceStore(analysis.NewTraceStore(analysis.DefaultStoreBudget, ""))
+	defer analysis.SetTraceStore(prev)
+	start := analysis.CaptureCount()
 	var pts []analysis.FrequencyPoint
 	for i := 0; i < b.N; i++ {
 		pts = analysis.FrequencySweep(rc, []uint64{96, 192, 384, 768})
+	}
+	if got, want := analysis.CaptureCount()-start, uint64(len(workloads.All())); got != want {
+		b.Fatalf("frequency sweep performed %d captures, want exactly %d (one per workload, shared across intervals and iterations)", got, want)
 	}
 	b.ReportMetric(100*pts[0].Average[profilers.NameTEA], "tea_err_fast_%")
 	b.ReportMetric(100*pts[len(pts)-1].Average[profilers.NameTEA], "tea_err_slow_%")

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// benchResult / benchFile mirror cmd/teabench's JSON documents (that
+// command is package main, so the types are re-declared here).
+type benchResult struct {
+	Name        string             `json:"name"`
+	Runs        int64              `json:"runs"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type benchFile struct {
+	Date       string        `json:"date"`
+	Label      string        `json:"label,omitempty"`
+	GoVersion  string        `json:"go_version"`
+	GOARCH     string        `json:"goarch"`
+	GOOS       string        `json:"goos"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func readBenchFile(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// diffBench is the bench-regression gate: every benchmark in the
+// baseline must exist in the current run with bit-identical custom
+// metrics. The simulator is deterministic, so the accuracy metrics
+// (tea_err_%, coverage ratios, ...) have exactly one correct value —
+// any drift means behavior changed, and the gate fails. Timing columns
+// (ns_per_op and friends) are machine- and load-dependent; they are
+// reported for eyeballing but never gated.
+func diffBench(baselinePath, currentPath string) int {
+	baseline, err := readBenchFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "teadiff: reading baseline: %v\n", err)
+		return 2
+	}
+	current, err := readBenchFile(currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "teadiff: reading current: %v\n", err)
+		return 2
+	}
+	cur := make(map[string]benchResult, len(current.Benchmarks))
+	for _, b := range current.Benchmarks {
+		cur[b.Name] = b
+	}
+
+	fmt.Printf("bench gate: %s (%s) vs %s (%s)\n",
+		baselinePath, baseline.Date, currentPath, current.Date)
+	fmt.Printf("%-36s %14s %14s %8s\n", "benchmark", "base ns/op", "cur ns/op", "ratio")
+
+	drift := 0
+	for _, base := range baseline.Benchmarks {
+		c, ok := cur[base.Name]
+		if !ok {
+			fmt.Printf("%-36s MISSING from current run\n", base.Name)
+			drift++
+			continue
+		}
+		ratio := 0.0
+		if base.NsPerOp > 0 {
+			ratio = c.NsPerOp / base.NsPerOp
+		}
+		fmt.Printf("%-36s %14.0f %14.0f %7.2fx\n", base.Name, base.NsPerOp, c.NsPerOp, ratio)
+		for _, msg := range metricDrift(base.Metrics, c.Metrics) {
+			fmt.Printf("    DRIFT %s\n", msg)
+			drift++
+		}
+	}
+	if drift > 0 {
+		fmt.Printf("\nFAIL: %d accuracy-metric drift(s) — deterministic metrics changed\n", drift)
+		return 1
+	}
+	fmt.Printf("\nok: all accuracy metrics bit-identical (ns_per_op is informational)\n")
+	return 0
+}
+
+// metricDrift describes every way cur's metric map differs from base's:
+// a changed value, a metric that vanished, or a new metric the baseline
+// has never seen (new metrics require a new committed baseline, not a
+// silent pass).
+func metricDrift(base, cur map[string]float64) []string {
+	var msgs []string
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		cv, ok := cur[k]
+		if !ok {
+			msgs = append(msgs, fmt.Sprintf("%s: missing (baseline %v)", k, base[k]))
+			continue
+		}
+		if cv != base[k] {
+			msgs = append(msgs, fmt.Sprintf("%s: %v -> %v", k, base[k], cv))
+		}
+	}
+	extras := make([]string, 0)
+	for k := range cur {
+		if _, ok := base[k]; !ok {
+			extras = append(extras, k)
+		}
+	}
+	sort.Strings(extras)
+	for _, k := range extras {
+		msgs = append(msgs, fmt.Sprintf("%s: %v (not in baseline)", k, cur[k]))
+	}
+	return msgs
+}

@@ -23,7 +23,9 @@
 //	teaexp all        everything above
 //
 // Flags: -scale trades evaluation size for runtime; -interval sets the
-// sampling period in cycles.
+// sampling period in cycles; -tracecache points the content-addressed
+// trace store at a directory (default $TEA_TRACE_CACHE), so repeated
+// invocations replay persisted captures instead of re-simulating.
 package main
 
 import (
@@ -41,6 +43,8 @@ func main() {
 	interval := flag.Uint64("interval", 256, "sampling interval in cycles")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	tracecache := flag.String("tracecache", os.Getenv("TEA_TRACE_CACHE"),
+		"directory for the persistent trace cache (\"\" disables the disk tier)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: teaexp [-scale f] [-interval n] <experiment-id|all>")
@@ -51,6 +55,9 @@ func main() {
 	rc.Scale = *scale
 	rc.Interval = *interval
 	rc.Jitter = *interval / 16
+	if *tracecache != "" {
+		analysis.SetTraceStore(analysis.NewTraceStore(analysis.DefaultStoreBudget, *tracecache))
+	}
 
 	id := flag.Arg(0)
 	err := profio.Profiled(*cpuprofile, *memprofile, func() error {

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/cachekey"
 	"repro/internal/lint/checker"
 	"repro/internal/lint/detiter"
 	"repro/internal/lint/eventswitch"
@@ -36,6 +37,7 @@ var all = []*analysis.Analyzer{
 	randsource.Analyzer,
 	proberetain.Analyzer,
 	nakedpanic.Analyzer,
+	cachekey.Analyzer,
 }
 
 func main() {

@@ -1,7 +1,10 @@
 package analysis
 
 import (
+	"context"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
@@ -176,18 +179,54 @@ type FrequencyPoint struct {
 	Average  map[string]float64
 }
 
-// FrequencySweep computes Figure 8: the suite is re-run at each
+// FrequencySweep computes Figure 8: the suite is re-evaluated at each
 // sampling interval. The paper sweeps the sampling frequency (kHz);
 // with scaled simulations the interval in cycles is the equivalent
 // knob — smaller intervals mean higher frequency.
+//
+// Sampling happens at replay time, so every sweep point shares one
+// capture per workload: the scheduler captures the suite once, then
+// fans (interval, workload) replays out from the shared bytes, each
+// under its own SweepConfig (per-interval jitter and derived seed).
 func FrequencySweep(rc RunConfig, intervals []uint64) []FrequencyPoint {
+	jobs := suiteJobs(rc)
+	if err := scheduleCaptures(context.Background(), jobs); err != nil {
+		panic(asSimErr(err, ""))
+	}
+	type cell struct{ iv, job int }
+	cells := make([]cell, 0, len(intervals)*len(jobs))
+	runs := make([][]*BenchRun, len(intervals))
+	for i := range intervals {
+		runs[i] = make([]*BenchRun, len(jobs))
+		for j := range jobs {
+			cells = append(cells, cell{iv: i, job: j})
+		}
+	}
+	par := runtime.GOMAXPROCS(0)
+	if par > len(cells) {
+		par = len(cells)
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for p := 0; p < par; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				c := cells[i]
+				cfg := SweepConfig(rc, intervals[c.iv])
+				runs[c.iv][c.job] = RunProgram(jobs[c.job].w, jobs[c.job].p, cfg)
+			}
+		}()
+	}
+	for i := range cells {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
 	out := make([]FrequencyPoint, 0, len(intervals))
-	for _, iv := range intervals {
-		cfg := rc
-		cfg.Interval = iv
-		cfg.Jitter = iv / 16
-		runs := RunSuite(cfg)
-		rows := AccuracyStudy(runs)
+	for i, iv := range intervals {
+		rows := AccuracyStudy(runs[i])
 		out = append(out, FrequencyPoint{Interval: iv, Average: rows[len(rows)-1].Errors})
 	}
 	return out

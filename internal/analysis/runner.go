@@ -313,7 +313,7 @@ func ReplayCaptured(ctx context.Context, w workloads.Workload, p *program.Progra
 					panicErrs[g] = simerr.FromPanic(v, simerr.Snapshot{Workload: w.Name})
 				}
 			}()
-			_, streamErrs[g] = trace.ReplayContext(ctx, bytes.NewReader(data), ps...)
+			_, streamErrs[g] = trace.ReplayBytes(ctx, data, ps...)
 		}(g, group)
 	}
 	wg.Wait()
@@ -345,9 +345,10 @@ func ReplayCaptured(ctx context.Context, w workloads.Workload, p *program.Progra
 }
 
 // RunProgramContext is the panic-free, cancellable entry point: it
-// captures the program's trace once and replays it to every technique
-// out-of-band (the paper's single-trace methodology, Section 4),
-// honoring ctx in both halves. Every failure mode — runaway programs,
+// captures the program's trace once — served from the content-addressed
+// trace store when any prior run already captured this (program, core)
+// pair — and replays it to every technique out-of-band (the paper's
+// single-trace methodology, Section 4), honoring ctx in both halves. Every failure mode — runaway programs,
 // watchdog-detected deadlock, invalid programs, corrupt streams,
 // cancellation — comes back as a typed *simerr.Error; a cancelled or
 // failed run returns a nil BenchRun, never a partial profile.
@@ -358,7 +359,7 @@ func RunProgramContext(ctx context.Context, w workloads.Workload, p *program.Pro
 		}
 	}()
 	defer simerr.Recover(&err, simerr.Snapshot{Workload: w.Name, Program: p.Name})
-	data, stats, err := CaptureTrace(ctx, p, rc)
+	data, stats, err := capturedTrace(ctx, p, rc)
 	if err != nil {
 		return nil, err
 	}
@@ -415,16 +416,20 @@ func RunProgramLive(w workloads.Workload, p *program.Program, rc RunConfig) *Ben
 	return br
 }
 
-// RunSuite runs the whole benchmark suite. Benchmarks are independent
-// simulations, so they run in parallel across the available CPUs; each
-// simulation is single-threaded and seeded, so results are identical to
-// a serial run.
+// RunSuite runs the whole benchmark suite in two scheduled phases:
+// every distinct capture first (parallel across workloads, deduplicated
+// through the trace store), then every replay from the shared bytes.
+// Each simulation is single-threaded and seeded, so results are
+// identical to a serial run — and to a run that hit the cache.
 func RunSuite(rc RunConfig) []*BenchRun {
-	all := workloads.All()
-	runs := make([]*BenchRun, len(all))
+	jobs := suiteJobs(rc)
+	if err := scheduleCaptures(context.Background(), jobs); err != nil {
+		panic(asSimErr(err, ""))
+	}
+	runs := make([]*BenchRun, len(jobs))
 	par := runtime.GOMAXPROCS(0)
-	if par > len(all) {
-		par = len(all)
+	if par > len(jobs) {
+		par = len(jobs)
 	}
 	var wg sync.WaitGroup
 	work := make(chan int)
@@ -433,11 +438,11 @@ func RunSuite(rc RunConfig) []*BenchRun {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				runs[i] = RunBenchmark(all[i], rc)
+				runs[i] = RunProgram(jobs[i].w, jobs[i].p, rc)
 			}
 		}()
 	}
-	for i := range all {
+	for i := range jobs {
 		work <- i
 	}
 	close(work)

@@ -1,0 +1,118 @@
+// Suite scheduling: the experiments above this layer ask for whole
+// grids of (workload, configuration) runs — Figure 5/6/7/9 share one
+// suite pass, Figure 8 sweeps the sampling interval across the suite.
+// The scheduler enumerates every capture such a grid needs, collapses
+// duplicates by cache key, performs each distinct capture exactly once
+// (in parallel across workloads), and then fans the cheap replays out
+// from the shared bytes. Captures are interval-independent (sampling
+// happens at replay), so an N-point frequency sweep costs one capture
+// per workload plus N replays instead of N full suite simulations.
+package analysis
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"repro/internal/program"
+	"repro/internal/tracestore"
+	"repro/internal/workloads"
+)
+
+// captureJob is one (workload, program, config) cell of an experiment
+// grid.
+type captureJob struct {
+	w  workloads.Workload
+	p  *program.Program
+	rc RunConfig
+}
+
+// suiteJobs builds the one-job-per-workload grid for rc.
+func suiteJobs(rc RunConfig) []captureJob {
+	all := workloads.All()
+	jobs := make([]captureJob, len(all))
+	for i, w := range all {
+		jobs[i] = captureJob{w: w, p: w.Build(rc.iters(w)), rc: rc}
+	}
+	return jobs
+}
+
+// scheduleCaptures captures each distinct (program, core) pair of the
+// grid exactly once, in parallel across the available CPUs. Jobs that
+// share a capture key — identical programs, or configs differing only
+// in sampling knobs — are collapsed before any simulation starts, so
+// parallelism is spent on distinct work (the per-key singleflight in
+// the store is only a backstop for concurrent unrelated callers).
+// After it returns, every job's capture is in the store and replays
+// are pure cache hits.
+func scheduleCaptures(ctx context.Context, jobs []captureJob) error {
+	seen := make(map[tracestore.Key]bool, len(jobs))
+	distinct := make([]captureJob, 0, len(jobs))
+	for _, j := range jobs {
+		k := captureKey(j.p, captureConfig(j.rc))
+		if !seen[k] {
+			seen[k] = true
+			distinct = append(distinct, j)
+		}
+	}
+	par := runtime.GOMAXPROCS(0)
+	if par > len(distinct) {
+		par = len(distinct)
+	}
+	errs := make([]error, len(distinct))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for p := 0; p < par; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				_, _, errs[i] = capturedTrace(ctx, distinct[i].p, distinct[i].rc)
+			}
+		}()
+	}
+	for i := range distinct {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	// Deterministic error selection: the first failing job in grid
+	// order, regardless of which goroutine hit it.
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SweepSeed derives the sampler seed for one frequency-sweep point
+// from the base seed and the interval (a splitmix64-style mix). Every
+// (workload, interval) replay gets its own deterministic stream: sweep
+// points share capture bytes, so seeding them identically would
+// correlate their samplers and turn shared aliasing artifacts into
+// systematic sweep-wide bias.
+func SweepSeed(base, interval uint64) uint64 {
+	z := base + 0x9e3779b97f4a7c15*(interval+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return z
+}
+
+// SweepConfig is the run configuration of one FrequencySweep point:
+// the interval is swept, the jitter scales with it (same 1/16 ratio as
+// the defaults), and the seed is re-derived per interval via
+// SweepSeed. The recorded Profile.Seed of each sweep run exposes the
+// derived seed for verification.
+func SweepConfig(rc RunConfig, interval uint64) RunConfig {
+	rc.Interval = interval
+	rc.Jitter = interval / 16
+	rc.Seed = SweepSeed(rc.Seed, interval)
+	return rc
+}

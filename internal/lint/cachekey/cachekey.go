@@ -1,0 +1,209 @@
+// Package cachekey defines a tealint analyzer that keeps trace-cache
+// key derivation complete.
+//
+// The trace store content-addresses captures: a digest function folds
+// every field of the program and run configuration into a SHA-256 key.
+// The failure mode is silent and nasty — add a configuration knob,
+// forget to hash it, and two different captures now share a key, so an
+// experiment can replay a trace recorded under a different machine
+// configuration and report wrong numbers with full confidence.
+//
+// Functions marked with a `//tealint:cachekey` doc-comment directive
+// are digest functions. For each such function, every field of each
+// struct-typed parameter must be consumed by the function body:
+// mentioned through a selector chain rooted at the parameter, or
+// delegated wholesale (the parameter, or one of its struct fields,
+// passed as a value somewhere — typically to another digest helper).
+// Struct fields that are neither mentioned nor delegated are reported
+// field by field, recursing into nested all-exported structs so the
+// diagnostic names the exact missing leaf.
+package cachekey
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags //tealint:cachekey digest functions that fail to
+// consume every field of their struct parameters.
+var Analyzer = &analysis.Analyzer{
+	Name: "cachekey",
+	Doc: "require //tealint:cachekey digest functions to consume every struct parameter field\n\n" +
+		"A config field missing from the trace-cache key silently aliases distinct captures.",
+	Run: run,
+}
+
+var directiveRE = regexp.MustCompile(`^//\s*tealint:cachekey\s*$`)
+
+// maxDepth bounds recursion through nested struct fields (cyclic or
+// pathologically deep config types degrade to whole-subtree checks).
+const maxDepth = 8
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isDigestFunc(fd) {
+				continue
+			}
+			checkDigestFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func isDigestFunc(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if directiveRE.MatchString(c.Text) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkDigestFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			st := structUnder(obj.Type())
+			if st == nil {
+				continue // non-struct parameter: nothing to enforce
+			}
+			consumed := consumedPaths(pass, fd.Body, obj)
+			var missing []string
+			collectMissing(pass, st, "", consumed, maxDepth, &missing)
+			for _, path := range missing {
+				pass.Reportf(fd.Name.Pos(),
+					"cachekey digest %s does not consume %s.%s (every field must be folded into the key or the omission carries a tealint:ignore)",
+					fd.Name.Name, name.Name, path)
+			}
+		}
+	}
+}
+
+// structUnder unwraps pointers and aliases down to a struct type, or
+// nil if the type is not (a pointer to) a struct.
+func structUnder(t types.Type) *types.Struct {
+	u := t.Underlying()
+	if p, ok := u.(*types.Pointer); ok {
+		u = p.Elem().Underlying()
+	}
+	st, _ := u.(*types.Struct)
+	return st
+}
+
+// consumedPaths collects every selector path rooted at param that the
+// body consumes, as dotted strings ("Core.Mem"). A bare use of the
+// parameter itself — passed to a helper, taken by address — records ""
+// (the whole value is delegated). A recorded path covers its entire
+// subtree: passing rc.Core to a digest helper consumes every field
+// under Core (the helper is itself checked if marked).
+func consumedPaths(pass *analysis.Pass, body *ast.BlockStmt, param *types.Var) map[string]bool {
+	consumed := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.SelectorExpr:
+			if path, ok := flatten(pass, e, param); ok {
+				consumed[path] = true
+				// The chain's prefixes are traversed, not consumed:
+				// rc.Core.FetchWidth alone must not mark Core covered.
+				return false
+			}
+		case *ast.Ident:
+			if pass.TypesInfo.Uses[e] == param {
+				consumed[""] = true
+			}
+		}
+		return true
+	})
+	return consumed
+}
+
+// flatten resolves a pure ident.Sel.Sel... chain rooted at param into
+// its dotted field path.
+func flatten(pass *analysis.Pass, e *ast.SelectorExpr, param *types.Var) (string, bool) {
+	var parts []string
+	cur := ast.Expr(e)
+	for {
+		sel, ok := cur.(*ast.SelectorExpr)
+		if !ok {
+			break
+		}
+		parts = append(parts, sel.Sel.Name)
+		cur = sel.X
+	}
+	id, ok := cur.(*ast.Ident)
+	if !ok || pass.TypesInfo.Uses[id] != param {
+		return "", false
+	}
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return strings.Join(parts, "."), true
+}
+
+// collectMissing appends the dotted path of every field under st (at
+// prefix) that no consumed path covers. A field is covered when its
+// path or any prefix of it is consumed. An uncovered struct field is
+// recursed into only if the body already reaches under it — otherwise
+// the whole field is reported once, at the shallowest missing node.
+func collectMissing(pass *analysis.Pass, st *types.Struct, prefix string, consumed map[string]bool, depth int, missing *[]string) {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() && f.Pkg() != pass.Pkg {
+			continue // inaccessible from the digest function anyway
+		}
+		path := f.Name()
+		if prefix != "" {
+			path = prefix + "." + f.Name()
+		}
+		if covered(path, consumed) {
+			continue
+		}
+		if sub := structUnder(f.Type()); sub != nil && depth > 0 && reachesUnder(path, consumed) {
+			collectMissing(pass, sub, path, consumed, depth-1, missing)
+			continue
+		}
+		*missing = append(*missing, path)
+	}
+}
+
+// covered reports whether path or any dotted prefix of it is consumed.
+func covered(path string, consumed map[string]bool) bool {
+	if consumed[""] {
+		return true
+	}
+	for {
+		if consumed[path] {
+			return true
+		}
+		i := strings.LastIndexByte(path, '.')
+		if i < 0 {
+			return false
+		}
+		path = path[:i]
+	}
+}
+
+// reachesUnder reports whether some consumed path lies strictly below
+// path (the body touches part of the subtree, so missing siblings are
+// reported individually).
+func reachesUnder(path string, consumed map[string]bool) bool {
+	p := path + "."
+	for c := range consumed {
+		if strings.HasPrefix(c, p) {
+			return true
+		}
+	}
+	return false
+}

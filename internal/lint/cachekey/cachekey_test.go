@@ -1,0 +1,12 @@
+package cachekey_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/cachekey"
+)
+
+func TestCacheKey(t *testing.T) {
+	analysistest.Run(t, ".", cachekey.Analyzer, "a")
+}

@@ -1,0 +1,91 @@
+package a
+
+type Hasher struct{}
+
+func (h *Hasher) Uint(v uint64)   {}
+func (h *Hasher) String(s string) {}
+
+type Inner struct {
+	A uint64
+	B uint64
+}
+
+type Cfg struct {
+	X  uint64
+	Y  string
+	In Inner
+}
+
+// Good consumes every field: scalars directly, the nested struct via a
+// digest helper.
+//
+//tealint:cachekey
+func Good(h *Hasher, c Cfg) {
+	h.Uint(c.X)
+	h.String(c.Y)
+	HashInner(h, c.In)
+}
+
+// HashInner is a complete nested-struct digest helper.
+//
+//tealint:cachekey
+func HashInner(h *Hasher, in Inner) {
+	h.Uint(in.A)
+	h.Uint(in.B)
+}
+
+// MissingLeaf forgets a scalar field.
+//
+//tealint:cachekey
+func MissingLeaf(h *Hasher, c Cfg) { // want "does not consume c\\.Y"
+	h.Uint(c.X)
+	HashInner(h, c.In)
+}
+
+// MissingNested reaches into the nested struct but forgets one of its
+// fields: the diagnostic names the exact leaf.
+//
+//tealint:cachekey
+func MissingNested(h *Hasher, c Cfg) { // want "does not consume c\\.In\\.B"
+	h.Uint(c.X)
+	h.String(c.Y)
+	h.Uint(c.In.A)
+}
+
+// MissingStruct never touches the nested struct: one diagnostic at the
+// shallowest missing node, not one per leaf.
+//
+//tealint:cachekey
+func MissingStruct(h *Hasher, c Cfg) { // want "does not consume c\\.In \\("
+	h.Uint(c.X)
+	h.String(c.Y)
+}
+
+// MissingTwo reports each missing field.
+//
+//tealint:cachekey
+func MissingTwo(h *Hasher, c Cfg) { // want "does not consume c\\.X" "does not consume c\\.Y"
+	HashInner(h, c.In)
+}
+
+// Delegated passes the whole parameter on: full delegation, nothing to
+// report here (the callee is only checked if it is itself marked).
+//
+//tealint:cachekey
+func Delegated(h *Hasher, c Cfg) {
+	hashCfgPartially(h, c)
+}
+
+// hashCfgPartially is unmarked, so its incompleteness is not this
+// analyzer's business.
+func hashCfgPartially(h *Hasher, c Cfg) {
+	h.Uint(c.X)
+}
+
+// PointerParam is checked through the pointer.
+//
+//tealint:cachekey
+func PointerParam(h *Hasher, c *Cfg) { // want "does not consume c\\.X"
+	h.String(c.Y)
+	HashInner(h, c.In)
+}

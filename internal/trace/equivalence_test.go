@@ -17,6 +17,11 @@ import (
 // every technique to the live core (analysis.RunProgramLive). Identical
 // bytes mean identical float summation order, not just numerical
 // closeness: the parallel replay must be undetectable downstream.
+//
+// With the content-addressed trace store in the path, "replay" now has
+// three flavors, and all must be equally undetectable: a fresh capture
+// (store miss), a memory-tier hit, and a disk-tier hit in a later
+// process (modeled as a fresh store over the same directory).
 func TestSuiteReplayEquivalence(t *testing.T) {
 	rc := analysis.DefaultRunConfig()
 	rc.Scale = 0.05
@@ -30,45 +35,106 @@ func TestSuiteReplayEquivalence(t *testing.T) {
 				iters = 2
 			}
 			p := w.Build(iters)
-			live := analysis.RunProgramLive(w, p, rc)
-			replayed := analysis.RunProgram(w, p, rc)
 
-			if live.Stats.Cycles != replayed.Stats.Cycles {
-				t.Errorf("cycle counts differ: live %d, replay %d",
-					live.Stats.Cycles, replayed.Stats.Cycles)
-			}
-			pairs := []struct {
-				name string
-				a, b *pics.Profile
+			dir := t.TempDir()
+			prev := analysis.SetTraceStore(analysis.NewTraceStore(analysis.DefaultStoreBudget, dir))
+			defer analysis.SetTraceStore(prev)
+
+			live := analysis.RunProgramLive(w, p, rc)
+			fresh := analysis.RunProgram(w, p, rc) // store miss: captures + persists
+			memHit := analysis.RunProgram(w, p, rc)
+			analysis.SetTraceStore(analysis.NewTraceStore(analysis.DefaultStoreBudget, dir))
+			diskHit := analysis.RunProgram(w, p, rc)
+
+			for _, variant := range []struct {
+				kind     string
+				replayed *analysis.BenchRun
 			}{
-				{"golden", live.Golden, replayed.Golden},
-				{"TEA", live.TEA, replayed.TEA},
-				{"NCI-TEA", live.NCITEA, replayed.NCITEA},
-				{"IBS", live.IBS, replayed.IBS},
-				{"SPE", live.SPE, replayed.SPE},
-				{"RIS", live.RIS, replayed.RIS},
-			}
-			for _, pr := range pairs {
-				la, err := marshal(pr.a)
-				if err != nil {
-					t.Fatalf("%s: live marshal: %v", pr.name, err)
+				{"fresh-capture", fresh},
+				{"memory-cache-hit", memHit},
+				{"disk-cache-hit", diskHit},
+			} {
+				replayed := variant.replayed
+				if live.Stats.Cycles != replayed.Stats.Cycles {
+					t.Errorf("%s: cycle counts differ: live %d, replay %d",
+						variant.kind, live.Stats.Cycles, replayed.Stats.Cycles)
 				}
-				rb, err := marshal(pr.b)
-				if err != nil {
-					t.Fatalf("%s: replay marshal: %v", pr.name, err)
+				pairs := []struct {
+					name string
+					a, b *pics.Profile
+				}{
+					{"golden", live.Golden, replayed.Golden},
+					{"TEA", live.TEA, replayed.TEA},
+					{"NCI-TEA", live.NCITEA, replayed.NCITEA},
+					{"IBS", live.IBS, replayed.IBS},
+					{"SPE", live.SPE, replayed.SPE},
+					{"RIS", live.RIS, replayed.RIS},
 				}
-				if !bytes.Equal(la, rb) {
-					t.Errorf("%s: replayed profile JSON differs from live (%d vs %d bytes)",
-						pr.name, len(la), len(rb))
+				for _, pr := range pairs {
+					la, err := marshal(pr.a)
+					if err != nil {
+						t.Fatalf("%s/%s: live marshal: %v", variant.kind, pr.name, err)
+					}
+					rb, err := marshal(pr.b)
+					if err != nil {
+						t.Fatalf("%s/%s: replay marshal: %v", variant.kind, pr.name, err)
+					}
+					if !bytes.Equal(la, rb) {
+						t.Errorf("%s/%s: replayed profile JSON differs from live (%d vs %d bytes)",
+							variant.kind, pr.name, len(la), len(rb))
+					}
 				}
-			}
-			if live.Events.Total != replayed.Events.Total ||
-				live.Events.WithEvent != replayed.Events.WithEvent ||
-				live.Events.Combined != replayed.Events.Combined {
-				t.Errorf("event stats differ: live %+v, replay %+v",
-					*live.Events, *replayed.Events)
+				if live.Events.Total != replayed.Events.Total ||
+					live.Events.WithEvent != replayed.Events.WithEvent ||
+					live.Events.Combined != replayed.Events.Combined {
+					t.Errorf("%s: event stats differ: live %+v, replay %+v",
+						variant.kind, *live.Events, *replayed.Events)
+				}
 			}
 		})
+	}
+}
+
+// TestFrequencySweepSharedCaptureEquivalence pins the suite-scheduler
+// half of the dedup tentpole: FrequencySweep captures each workload
+// once and replays it per interval, and its results must be exactly —
+// float-for-float — what per-interval full re-simulation (live
+// attachment, no cache anywhere) produces under the same SweepConfig.
+func TestFrequencySweepSharedCaptureEquivalence(t *testing.T) {
+	rc := analysis.DefaultRunConfig()
+	rc.Scale = 0.05
+	intervals := []uint64{64, 192}
+
+	prev := analysis.SetTraceStore(analysis.NewTraceStore(analysis.DefaultStoreBudget, ""))
+	defer analysis.SetTraceStore(prev)
+	start := analysis.CaptureCount()
+	pts := analysis.FrequencySweep(rc, intervals)
+	if got, want := analysis.CaptureCount()-start, uint64(len(workloads.All())); got != want {
+		t.Fatalf("sweep performed %d captures; want %d (one per workload)", got, want)
+	}
+
+	for i, iv := range intervals {
+		cfg := analysis.SweepConfig(rc, iv)
+		var runs []*analysis.BenchRun
+		for _, w := range workloads.All() {
+			iters := int(float64(w.DefaultIters) * cfg.Scale)
+			if iters < 2 {
+				iters = 2
+			}
+			runs = append(runs, analysis.RunProgramLive(w, w.Build(iters), cfg))
+		}
+		rows := analysis.AccuracyStudy(runs)
+		want := rows[len(rows)-1].Errors
+		got := pts[i].Average
+		if len(got) != len(want) {
+			t.Fatalf("interval %d: %d techniques from sweep, %d from re-simulation", iv, len(got), len(want))
+		}
+		for tech, wv := range want {
+			if gv, ok := got[tech]; !ok || gv != wv {
+				t.Errorf("interval %d, %s: shared-capture sweep %v, per-interval re-simulation %v",
+					iv, tech, gv, wv)
+			}
+		}
 	}
 }
 

@@ -9,11 +9,12 @@
 package trace
 
 import (
-	"bufio"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/cpu"
 	"repro/internal/events"
@@ -33,13 +34,17 @@ const (
 // magic identifies a trace stream.
 var magic = [4]byte{'T', 'E', 'A', 'T'}
 
-// version is the trace format version. Version 3 added the integrity
-// digest carried by the done record: an FNV-style hash over every
-// record's decoded logical values, letting the reader detect
+// FormatVersion is the trace format version. Version 3 added the
+// integrity digest carried by the done record: an FNV-style hash over
+// every record's decoded logical values, letting the reader detect
 // bit-flipped, reordered, or otherwise corrupted streams that still
 // happen to decode — corruption yields a typed simerr.ErrDecode, never
 // a silently wrong profile.
-const version = 3
+//
+// The version is exported because it is part of the trace cache key
+// (internal/tracestore): bumping the format invalidates every cached
+// capture, in memory and on disk, without any explicit flush.
+const FormatVersion = 3
 
 // Digest parameters (FNV-1a's 64-bit constants, mixed per value rather
 // than per byte; both sides hash decoded logical values, so the delta
@@ -63,13 +68,23 @@ const (
 	maxWindow = 1 << 20
 )
 
+// writerBlock is the Writer's block-buffer flush threshold. Records
+// append into one slice with binary.AppendUvarint and the buffer is
+// handed to the underlying io.Writer only once it crosses the
+// threshold, checked at record boundaries — so the encode hot path is
+// pure appends (no per-byte bufio accounting) and a record is never
+// split across two underlying writes.
+const writerBlock = 1 << 16
+
 // Writer is a cpu.Probe that serializes the probe event stream.
 type Writer struct {
 	cpu.BaseProbe
-	w       *bufio.Writer
+	w       io.Writer
 	err     error
 	started bool
-	buf     [binary.MaxVarintLen64]byte
+
+	// buf is the block buffer (see writerBlock).
+	buf []byte
 
 	// Delta-encoding state: cycles are monotonically non-decreasing;
 	// sequence numbers and PCs are locally close, so signed deltas
@@ -89,36 +104,44 @@ type Writer struct {
 // NewWriter returns a trace writer targeting w. Attach it to a core
 // like any other probe; the stream is complete after OnDone fires.
 func NewWriter(w io.Writer) *Writer {
-	return &Writer{w: bufio.NewWriterSize(w, 1<<16), digest: digestOffset}
+	return &Writer{w: w, buf: make([]byte, 0, writerBlock+64), digest: digestOffset}
 }
 
 // Err returns the first write error, if any.
 func (t *Writer) Err() error { return t.err }
 
 func (t *Writer) header() {
-	if t.started || t.err != nil {
+	if t.started {
 		return
 	}
 	t.started = true
-	if _, err := t.w.Write(magic[:]); err != nil {
-		t.err = err
-		return
-	}
-	t.err = t.w.WriteByte(version)
+	t.buf = append(t.buf, magic[:]...)
+	t.buf = append(t.buf, FormatVersion)
 }
 
 func (t *Writer) byteOut(b byte) {
-	if t.err == nil {
-		t.err = t.w.WriteByte(b)
-	}
+	t.buf = append(t.buf, b)
 }
 
 func (t *Writer) varint(v uint64) {
-	if t.err != nil {
-		return
+	t.buf = binary.AppendUvarint(t.buf, v)
+}
+
+// endRecord closes one record: the block buffer drains to the
+// underlying writer only here, so flushes always land on record
+// boundaries.
+func (t *Writer) endRecord() {
+	t.Records++
+	if len(t.buf) >= writerBlock {
+		t.flush()
 	}
-	n := binary.PutUvarint(t.buf[:], v)
-	_, t.err = t.w.Write(t.buf[:n])
+}
+
+func (t *Writer) flush() {
+	if t.err == nil && len(t.buf) > 0 {
+		_, t.err = t.w.Write(t.buf)
+	}
+	t.buf = t.buf[:0]
 }
 
 // cycleDelta emits the non-negative delta from the previous cycle.
@@ -151,7 +174,7 @@ func (t *Writer) OnFetch(r cpu.Ref, cycle uint64) {
 	t.pcDelta(r.PC)
 	t.cycleDelta(cycle)
 	t.digest = mix(mix(mix(mix(t.digest, recFetch), r.Seq), r.PC), cycle)
-	t.Records++
+	t.endRecord()
 }
 
 // OnDispatch implements cpu.Probe.
@@ -161,7 +184,7 @@ func (t *Writer) OnDispatch(r cpu.Ref, cycle uint64) {
 	t.seqDelta(r.Seq)
 	t.cycleDelta(cycle)
 	t.digest = mix(mix(mix(t.digest, recDispatch), r.Seq), cycle)
-	t.Records++
+	t.endRecord()
 }
 
 // OnCommit implements cpu.Probe. The µop's PSV is final here.
@@ -172,7 +195,7 @@ func (t *Writer) OnCommit(r cpu.Ref, cycle uint64) {
 	t.varint(uint64(r.PSV))
 	t.cycleDelta(cycle)
 	t.digest = mix(mix(mix(mix(t.digest, recCommit), r.Seq), uint64(r.PSV)), cycle)
-	t.Records++
+	t.endRecord()
 }
 
 // OnSquash implements cpu.Probe.
@@ -182,7 +205,7 @@ func (t *Writer) OnSquash(r cpu.Ref, cycle uint64) {
 	t.seqDelta(r.Seq)
 	t.cycleDelta(cycle)
 	t.digest = mix(mix(mix(t.digest, recSquash), r.Seq), cycle)
-	t.Records++
+	t.endRecord()
 }
 
 // OnCycle implements cpu.Probe. Commit records for the cycle precede
@@ -213,7 +236,7 @@ func (t *Writer) OnCycle(ci *cpu.CycleInfo) {
 		// No operand: the next commit resolves the attribution.
 	}
 	t.digest = h
-	t.Records++
+	t.endRecord()
 }
 
 // OnDone implements cpu.Probe and finalizes the stream: the done
@@ -226,9 +249,7 @@ func (t *Writer) OnDone(totalCycles uint64) {
 	t.digest = mix(mix(t.digest, recDone), totalCycles)
 	t.varint(t.digest)
 	t.Records++
-	if t.err == nil {
-		t.err = t.w.Flush()
-	}
+	t.flush()
 }
 
 // winEnt is one in-flight instruction inside the replay's sliding
@@ -264,15 +285,54 @@ func Replay(r io.Reader, probes ...cpu.Probe) (totalCycles uint64, err error) {
 // ReplayContext is Replay honoring cancellation: the context is polled
 // periodically and a cancelled replay returns simerr.ErrCanceled
 // wrapping ctx.Err() before the probes' completion hooks fire, so no
-// partial profile can be observed downstream.
+// partial profile can be observed downstream. The stream is read fully
+// into memory first (captures are in-memory artifacts already), then
+// decoded by ReplayBytes.
 func ReplayContext(ctx context.Context, r io.Reader, probes ...cpu.Probe) (totalCycles uint64, err error) {
-	br := bufio.NewReaderSize(r, 1<<16)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return 0, simerr.Wrap(simerr.ErrDecode, simerr.Snapshot{}, err, "trace: reading stream")
+	}
+	return ReplayBytes(ctx, data, probes...)
+}
 
+// Verify decodes a complete in-memory stream with no probes attached:
+// it returns nil only if the stream is well-formed end to end and its
+// integrity digest matches. The trace cache (internal/tracestore via
+// internal/analysis) validates disk-tier entries with it before
+// serving them, so a corrupt cache file is a miss, never an ErrDecode
+// surfaced to an experiment.
+func Verify(data []byte) error {
+	_, err := ReplayBytes(context.Background(), data)
+	return err
+}
+
+// replayState is the pooled per-replay decode state: the sliding window
+// of in-flight instructions and the CycleInfo delivered to probes. The
+// suite scheduler replays each shared capture many times (per figure,
+// per sweep interval, per probe group), so recycling this state keeps
+// the replay loop allocation-free across replays, not just within one.
+type replayState struct {
+	win []winEnt
+	ci  cpu.CycleInfo
+}
+
+var replayPool = sync.Pool{New: func() any { return new(replayState) }}
+
+var errVarintOverflow = errors.New("varint overflows a 64-bit integer")
+
+// ReplayBytes is ReplayContext for a complete in-memory stream — the
+// replay hot path. Decoding runs on a slice cursor with pooled
+// window/cycle state, so one replay performs no per-record reads and no
+// per-record allocation. The data is only read, never written: callers
+// may replay the same shared bytes from many goroutines concurrently.
+func ReplayBytes(ctx context.Context, data []byte, probes ...cpu.Probe) (totalCycles uint64, err error) {
 	// Decode state shared with the error-snapshot helper.
 	var (
 		lastCycle, lastSeq, lastPC uint64
 		records                    uint64
 		digest                     = uint64(digestOffset)
+		pos                        int
 	)
 	decodeErr := func(cause error, format string, args ...any) error {
 		snap := simerr.Snapshot{Cycle: lastCycle, Seq: lastSeq}
@@ -283,43 +343,62 @@ func ReplayContext(ctx context.Context, r io.Reader, probes ...cpu.Probe) (total
 		return simerr.New(simerr.ErrDecode, snap, format, args...)
 	}
 
-	var hdr [5]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return 0, decodeErr(err, "trace: reading header")
+	if len(data) < 5 {
+		return 0, decodeErr(io.ErrUnexpectedEOF, "trace: reading header")
 	}
-	if [4]byte(hdr[:4]) != magic {
+	if [4]byte(data[:4]) != magic {
 		return 0, decodeErr(nil, "trace: bad magic")
 	}
-	if hdr[4] != version {
-		return 0, decodeErr(nil, "trace: unsupported version %d", hdr[4])
+	if data[4] != FormatVersion {
+		return 0, decodeErr(nil, "trace: unsupported version %d", data[4])
 	}
+	pos = 5
 
+	st := replayPool.Get().(*replayState)
 	var (
-		win  []winEnt
-		base uint64 // seq of win[0]
+		win  = st.win[:0]
+		head int    // index of the window's first live entry
+		base uint64 // seq of win[head]
 		last cpu.Ref
 	)
+	ci := &st.ci
+	defer func() {
+		st.win = win[:0]
+		ci.Committed = ci.Committed[:0]
+		ci.Head, ci.LastCommitted = cpu.Ref{}, cpu.Ref{}
+		replayPool.Put(st)
+	}()
+
 	// ensure grows the window to cover seq and returns its entry. The
 	// caller checks the maxWindow guard first.
 	ensure := func(seq uint64) *winEnt {
-		for uint64(len(win)) <= seq-base {
+		for uint64(len(win)-head) <= seq-base {
 			win = append(win, winEnt{})
 		}
-		return &win[seq-base]
+		return &win[head+int(seq-base)]
 	}
 	// ref builds the value-typed view of seq; sequence numbers outside
 	// the window (malformed traces) synthesize a zero entry, as the old
 	// map-based replay did.
 	ref := func(seq uint64) cpu.Ref {
-		if seq >= base && seq-base < uint64(len(win)) {
-			e := &win[seq-base]
+		if seq >= base && seq-base < uint64(len(win)-head) {
+			e := &win[head+int(seq-base)]
 			return cpu.Ref{Seq: seq, PC: e.pc, PSV: e.psv}
 		}
 		return cpu.Ref{Seq: seq}
 	}
-	ci := &cpu.CycleInfo{}
 
-	u64 := func() (uint64, error) { return binary.ReadUvarint(br) }
+	u64 := func() (uint64, error) {
+		v, n := binary.Uvarint(data[pos:])
+		if n == 0 {
+			return 0, io.ErrUnexpectedEOF
+		}
+		if n < 0 {
+			return 0, errVarintOverflow
+		}
+		pos += n
+		return v, nil
+	}
 	// Delta-decoding mirroring the writer.
 	readCycle := func() (uint64, error) {
 		d, err := u64()
@@ -354,13 +433,11 @@ func ReplayContext(ctx context.Context, r io.Reader, probes ...cpu.Probe) (total
 					simerr.Snapshot{Cycle: lastCycle, Seq: lastSeq}, cause, "replay canceled")
 			}
 		}
-		kind, err := br.ReadByte()
-		if err == io.EOF {
+		if pos >= len(data) {
 			return totalCycles, decodeErr(nil, "trace: truncated stream (no done record)")
 		}
-		if err != nil {
-			return totalCycles, decodeErr(err, "trace: reading record kind")
-		}
+		kind := data[pos]
+		pos++
 		records++
 		switch kind {
 		case recFetch:
@@ -433,10 +510,14 @@ func ReplayContext(ctx context.Context, r io.Reader, probes ...cpu.Probe) (total
 			}
 		case recCycle:
 			cycle, err1 := readCycle()
-			stateByte, err2 := br.ReadByte()
-			if err := firstErr(err1, err2); err != nil {
-				return totalCycles, decodeErr(err, "trace: cycle record")
+			if err1 == nil && pos >= len(data) {
+				err1 = io.ErrUnexpectedEOF
 			}
+			if err1 != nil {
+				return totalCycles, decodeErr(err1, "trace: cycle record")
+			}
+			stateByte := data[pos]
+			pos++
 			ci.Cycle = cycle
 			ci.State = events.CommitState(stateByte)
 			ci.Committed = ci.Committed[:0]
@@ -491,10 +572,17 @@ func ReplayContext(ctx context.Context, r io.Reader, probes ...cpu.Probe) (total
 			}
 			// Slide the window past entries whose commit cycle has now
 			// been delivered; nothing references them again (Flushed
-			// cycles use last).
-			for len(win) > 0 && win[0].committed {
-				win = win[1:]
+			// cycles use last). The slide advances an index instead of
+			// re-slicing so the pooled backing array survives; the dead
+			// prefix is compacted once it dominates the buffer.
+			for head < len(win) && win[head].committed {
+				head++
 				base++
+			}
+			if head > 1024 && head*2 > len(win) {
+				n := copy(win, win[head:])
+				win = win[:n]
+				head = 0
 			}
 		case recDone:
 			totalCycles, err = u64()
@@ -536,7 +624,7 @@ func firstErr(errs ...error) error {
 // The fault-injection harness uses it to truncate or splice captures at
 // exact record boundaries; the fuzz seed corpus is built the same way.
 func RecordOffsets(data []byte) ([]int, error) {
-	if len(data) < 5 || [4]byte(data[:4]) != magic || data[4] != version {
+	if len(data) < 5 || [4]byte(data[:4]) != magic || data[4] != FormatVersion {
 		return nil, simerr.New(simerr.ErrDecode, simerr.Snapshot{}, "trace: bad header")
 	}
 	pos := 5

@@ -1,0 +1,267 @@
+package tracestore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func testKey(b byte) Key {
+	var k Key
+	k[0] = b
+	return k
+}
+
+func payload(b byte, n int) []byte {
+	return bytes.Repeat([]byte{b}, n)
+}
+
+func TestGetMissThenHit(t *testing.T) {
+	s := New(0, "", nil)
+	if _, ok := s.Get(testKey(1)); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	s.Put(testKey(1), payload(1, 10))
+	got, ok := s.Get(testKey(1))
+	if !ok || !bytes.Equal(got, payload(1, 10)) {
+		t.Fatalf("Get = %v, %v; want payload, true", got, ok)
+	}
+	st := s.Snapshot()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("stats = %+v; want 1 hit, 1 miss, 1 put", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s := New(100, "", nil)
+	s.Put(testKey(1), payload(1, 40))
+	s.Put(testKey(2), payload(2, 40))
+	// Touch 1 so 2 is the LRU victim.
+	if _, ok := s.Get(testKey(1)); !ok {
+		t.Fatal("key 1 missing before eviction")
+	}
+	s.Put(testKey(3), payload(3, 40))
+	if _, ok := s.Get(testKey(2)); ok {
+		t.Fatal("LRU entry 2 survived over the budget")
+	}
+	if _, ok := s.Get(testKey(1)); !ok {
+		t.Fatal("recently-used entry 1 was evicted")
+	}
+	if _, ok := s.Get(testKey(3)); !ok {
+		t.Fatal("newest entry 3 was evicted")
+	}
+	if ev := s.Snapshot().Evictions; ev != 1 {
+		t.Fatalf("Evictions = %d; want 1", ev)
+	}
+}
+
+func TestOversizedPayloadNotAdmitted(t *testing.T) {
+	s := New(100, "", nil)
+	s.Put(testKey(1), payload(1, 40))
+	s.Put(testKey(2), payload(2, 1000)) // larger than the whole budget
+	if _, ok := s.Get(testKey(2)); ok {
+		t.Fatal("over-budget payload was admitted")
+	}
+	if _, ok := s.Get(testKey(1)); !ok {
+		t.Fatal("admitting an over-budget payload evicted a resident entry")
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	s := New(100, "", nil)
+	s.Put(testKey(1), payload(1, 40))
+	s.Put(testKey(1), payload(9, 60))
+	got, ok := s.Get(testKey(1))
+	if !ok || !bytes.Equal(got, payload(9, 60)) {
+		t.Fatal("re-Put did not replace the payload")
+	}
+	if ev := s.Snapshot().Evictions; ev != 0 {
+		t.Fatalf("re-Put of a resident key evicted %d entries", ev)
+	}
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	validated := 0
+	validate := func(p []byte) error { validated++; return nil }
+
+	s1 := New(0, dir, validate)
+	s1.Put(testKey(7), payload(7, 128))
+
+	// A fresh store on the same directory: memory tier cold, disk hot.
+	s2 := New(0, dir, validate)
+	got, ok := s2.Get(testKey(7))
+	if !ok || !bytes.Equal(got, payload(7, 128)) {
+		t.Fatal("disk tier did not serve the persisted entry")
+	}
+	if validated != 1 {
+		t.Fatalf("validator ran %d times; want 1", validated)
+	}
+	if st := s2.Snapshot(); st.DiskHits != 1 {
+		t.Fatalf("stats = %+v; want 1 disk hit", st)
+	}
+	// The hit promoted the entry: a second Get is a memory hit with no
+	// further validation.
+	if _, ok := s2.Get(testKey(7)); !ok {
+		t.Fatal("promoted entry missing from memory tier")
+	}
+	if validated != 1 {
+		t.Fatalf("validator re-ran on a memory hit (%d times)", validated)
+	}
+}
+
+// TestDiskCorruptionIsAMiss: every flavor of on-disk defect must read
+// as a miss (with the bad file deleted), never as an error — the
+// caller's contract is recapture, not ErrDecode.
+func TestDiskCorruptionIsAMiss(t *testing.T) {
+	key := testKey(5)
+	good := func(dir string) string {
+		s := New(0, dir, nil)
+		s.Put(key, payload(5, 64))
+		return filepath.Join(dir, key.String()+".tea")
+	}
+	cases := []struct {
+		name    string
+		corrupt func(path string) error
+	}{
+		{"truncated header", func(p string) error { return os.WriteFile(p, []byte{'T', 'E'}, 0o644) }},
+		{"bad magic", func(p string) error {
+			raw, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			raw[0] = 'X'
+			return os.WriteFile(p, raw, 0o644)
+		}},
+		{"bad version", func(p string) error {
+			raw, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			raw[4] = 0xFF
+			return os.WriteFile(p, raw, 0o644)
+		}},
+		{"key mismatch", func(p string) error {
+			raw, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			raw[5] ^= 0xFF
+			return os.WriteFile(p, raw, 0o644)
+		}},
+		{"truncated payload", func(p string) error {
+			raw, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(p, raw[:len(raw)-16], 0o644)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := good(dir)
+			if err := tc.corrupt(path); err != nil {
+				t.Fatal(err)
+			}
+			// "truncated payload" cuts into the payload, not the header,
+			// so it only fails if the validator inspects the payload.
+			validate := func(p []byte) error {
+				if len(p) != 64 {
+					return errors.New("payload length changed")
+				}
+				return nil
+			}
+			s := New(0, dir, validate)
+			if _, ok := s.Get(key); ok {
+				t.Fatal("corrupt disk entry served as a hit")
+			}
+			if st := s.Snapshot(); st.DiskRejects != 1 || st.Misses != 1 {
+				t.Fatalf("stats = %+v; want 1 disk reject and 1 miss", st)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatal("corrupt entry file was not deleted")
+			}
+		})
+	}
+}
+
+func TestGetOrPutSingleflight(t *testing.T) {
+	s := New(0, "", nil)
+	var fills atomic.Int32
+	release := make(chan struct{})
+	const callers = 16
+	var wg sync.WaitGroup
+	results := make([][]byte, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _ = s.GetOrPut(testKey(3), func() ([]byte, error) {
+				fills.Add(1)
+				<-release
+				return payload(3, 32), nil
+			})
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+	if n := fills.Load(); n != 1 {
+		t.Fatalf("fill ran %d times; want 1 (singleflight)", n)
+	}
+	for i, r := range results {
+		if !bytes.Equal(r, payload(3, 32)) {
+			t.Fatalf("caller %d got %v", i, r)
+		}
+	}
+}
+
+func TestGetOrPutErrorNotCached(t *testing.T) {
+	s := New(0, "", nil)
+	boom := errors.New("boom")
+	if _, err := s.GetOrPut(testKey(4), func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("fill error not propagated: %v", err)
+	}
+	// The failure must not be cached: the next call fills again.
+	got, err := s.GetOrPut(testKey(4), func() ([]byte, error) { return payload(4, 8), nil })
+	if err != nil || !bytes.Equal(got, payload(4, 8)) {
+		t.Fatalf("retry after failed fill: %v, %v", got, err)
+	}
+}
+
+// TestConcurrentMixedTraffic hammers every entry point from many
+// goroutines; run under -race it pins down the locking discipline.
+func TestConcurrentMixedTraffic(t *testing.T) {
+	s := New(1<<12, t.TempDir(), func([]byte) error { return nil })
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := testKey(byte(i % 13))
+				switch i % 3 {
+				case 0:
+					data, err := s.GetOrPut(k, func() ([]byte, error) {
+						return payload(k[0], 64), nil
+					})
+					if err != nil || len(data) != 64 {
+						panic(fmt.Sprintf("GetOrPut: %v %d", err, len(data)))
+					}
+				case 1:
+					if data, ok := s.Get(k); ok && len(data) != 64 {
+						panic("short payload from Get")
+					}
+				case 2:
+					s.Put(k, payload(k[0], 64))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

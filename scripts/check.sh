@@ -24,6 +24,14 @@ go test ./internal/pics -run='^$' -fuzz=FuzzProfileJSON -fuzztime=10s
 go build -o bin/teachaos ./cmd/teachaos
 ./bin/teachaos -seed 1 -workload bwaves -scale 0.05
 
-# Benchmark smoke: one iteration of every figure/table benchmark keeps
-# the harness compiling and running (full runs: make bench).
-go test -bench=. -benchtime=1x -timeout 30m .
+# Benchmark smoke + regression gate: one iteration of every figure/table
+# benchmark keeps the harness compiling and running (full runs: make
+# bench), and teadiff compares its deterministic accuracy metrics
+# against the committed baseline — bit-identical or the gate fails.
+# Timing columns are reported by teadiff but never gated.
+bench_out=$(mktemp)
+bench_json=$(mktemp)
+go test -bench=. -benchtime=1x -timeout 30m . >"$bench_out"
+go run ./cmd/teabench -label gate <"$bench_out" >"$bench_json"
+go run ./cmd/teadiff -mode bench -baseline BENCH_2026-08-06_tracestore.json -current "$bench_json"
+rm -f "$bench_out" "$bench_json"
