@@ -24,11 +24,14 @@ $(TEALINT): FORCE
 .PHONY: FORCE
 FORCE:
 
-# lint runs the TEA invariant suite in both modes: standalone over the
-# non-test source, and through `go vet -vettool` to cover test files.
+# lint runs the TEA invariant suite in both modes — standalone over the
+# non-test source and through `go vet -vettool` to cover test files —
+# then smokes the machine-readable mode: `tealint -json` output must
+# parse back into the checker's wire type and be empty.
 lint: $(TEALINT)
 	$(TEALINT) ./...
 	$(GO) vet -vettool=$(CURDIR)/$(TEALINT) ./...
+	$(TEALINT) -json ./... | $(GO) run ./scripts/jsonsmoke
 
 check:
 	./scripts/check.sh

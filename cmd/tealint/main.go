@@ -2,12 +2,16 @@
 // invariants. It runs in two modes:
 //
 //	tealint [packages]          standalone: load, type-check, and lint the
-//	                            named packages (default ./...)
+//	                            named packages (default ./...) in
+//	                            dependency order, sharing cross-package
+//	                            facts
 //	go vet -vettool=tealint ... vet mode: cmd/go invokes tealint with a
 //	                            *.cfg JSON file per package (unitchecker
-//	                            protocol), which also covers test files
+//	                            protocol), which also covers test files;
+//	                            facts travel through the vetx files
 //
-// Individual analyzers can be disabled with -<name>=false.
+// Individual analyzers can be disabled with -<name>=false; -json
+// switches standalone output to a machine-readable diagnostic array.
 package main
 
 import (
@@ -20,15 +24,21 @@ import (
 	"repro/internal/lint/analysis"
 	"repro/internal/lint/cachekey"
 	"repro/internal/lint/checker"
+	"repro/internal/lint/ctxflow"
 	"repro/internal/lint/detiter"
+	"repro/internal/lint/detreach"
+	"repro/internal/lint/errbound"
 	"repro/internal/lint/eventswitch"
+	"repro/internal/lint/gojoin"
 	"repro/internal/lint/nakedpanic"
 	"repro/internal/lint/proberetain"
 	"repro/internal/lint/psvwidth"
 	"repro/internal/lint/randsource"
 )
 
-const version = "v0.1.0"
+// version is also cmd/go's vet cache key: bump it whenever analyzer or
+// fact semantics change, so stale vetx files are regenerated.
+const version = "v0.2.0"
 
 var all = []*analysis.Analyzer{
 	eventswitch.Analyzer,
@@ -38,6 +48,10 @@ var all = []*analysis.Analyzer{
 	proberetain.Analyzer,
 	nakedpanic.Analyzer,
 	cachekey.Analyzer,
+	detreach.Analyzer,
+	ctxflow.Analyzer,
+	gojoin.Analyzer,
+	errbound.Analyzer,
 }
 
 func main() {
@@ -65,6 +79,7 @@ func run(args []string) int {
 		}
 		enabled[a.Name] = fs.Bool(a.Name, true, doc)
 	}
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array (standalone mode)")
 	flagsJSON := fs.Bool("flags", false, "print analyzer flags in JSON (vet protocol)")
 	if err := fs.Parse(args); err != nil {
 		return 1
@@ -79,7 +94,7 @@ func run(args []string) int {
 		}
 		var out []jsonFlag
 		fs.VisitAll(func(f *flag.Flag) {
-			if f.Name == "flags" {
+			if f.Name == "flags" || f.Name == "json" {
 				return
 			}
 			out = append(out, jsonFlag{f.Name, true, f.Usage})
@@ -94,22 +109,30 @@ func run(args []string) int {
 	}
 
 	var analyzers []*analysis.Analyzer
+	known := make([]string, 0, len(all))
 	for _, a := range all {
+		known = append(known, a.Name)
 		if *enabled[a.Name] {
 			analyzers = append(analyzers, a)
 		}
 	}
+	r := &checker.Runner{
+		Analyzers:      analyzers,
+		KnownAnalyzers: known,
+		DirectiveCheck: true,
+		JSON:           *jsonOut,
+	}
 
 	rest := fs.Args()
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
-		code, err := checker.Vet(os.Stdout, rest[0], analyzers)
+		code, err := r.Vet(os.Stdout, rest[0])
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tealint:", err)
 		}
 		return code
 	}
 
-	n, err := checker.Standalone(os.Stdout, ".", rest, analyzers)
+	n, err := r.Standalone(os.Stdout, ".", rest)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tealint:", err)
 		return 1

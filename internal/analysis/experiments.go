@@ -188,6 +188,8 @@ type FrequencyPoint struct {
 // capture per workload: the scheduler captures the suite once, then
 // fans (interval, workload) replays out from the shared bytes, each
 // under its own SweepConfig (per-interval jitter and derived seed).
+//
+//tealint:ctxroot figure entry point invoked by the experiment CLIs, which have no context to thread
 func FrequencySweep(rc RunConfig, intervals []uint64) []FrequencyPoint {
 	jobs := suiteJobs(rc)
 	if err := scheduleCaptures(context.Background(), jobs); err != nil {

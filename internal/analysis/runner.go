@@ -377,6 +377,8 @@ func RunProgramContext(ctx context.Context, w workloads.Workload, p *program.Pro
 // experiment harness, where any failure is a bug in the repo itself:
 // it panics with the typed error, including when a single technique
 // failed during replay.
+//
+//tealint:ctxroot crash-loudly harness entry point with no caller context; cancellable callers use RunProgramContext
 func RunProgram(w workloads.Workload, p *program.Program, rc RunConfig) *BenchRun {
 	br, err := RunProgramContext(context.Background(), w, p, rc)
 	if err != nil {
@@ -421,6 +423,8 @@ func RunProgramLive(w workloads.Workload, p *program.Program, rc RunConfig) *Ben
 // through the trace store), then every replay from the shared bytes.
 // Each simulation is single-threaded and seeded, so results are
 // identical to a serial run — and to a run that hit the cache.
+//
+//tealint:ctxroot suite entry point invoked by the experiment CLIs, which have no context to thread
 func RunSuite(rc RunConfig) []*BenchRun {
 	jobs := suiteJobs(rc)
 	if err := scheduleCaptures(context.Background(), jobs); err != nil {

@@ -2,10 +2,10 @@ package core
 
 import (
 	"encoding/binary"
-	"fmt"
 	"io"
 
 	"repro/internal/events"
+	"repro/internal/simerr"
 )
 
 // CSRImage is the 88-byte sample a TEA-enabled core exposes through its
@@ -52,7 +52,8 @@ const maxSampleInsts = 4
 func PackSample(s Sample, coreID uint64) (CSRImage, error) {
 	var img CSRImage
 	if len(s.Insts) > maxSampleInsts {
-		return img, fmt.Errorf("core: sample with %d instructions exceeds the %d-slot CSR image",
+		return img, simerr.New(simerr.ErrInternal, simerr.Snapshot{Cycle: s.Cycle},
+			"core: sample with %d instructions exceeds the %d-slot CSR image",
 			len(s.Insts), maxSampleInsts)
 	}
 	img[csrTimestamp] = s.Cycle
@@ -104,7 +105,8 @@ func WriteSamples(w io.Writer, samples []Sample, coreID uint64) error {
 			binary.LittleEndian.PutUint64(buf[i*8:], word)
 		}
 		if _, err := w.Write(buf[:]); err != nil {
-			return err
+			return simerr.Wrap(simerr.ErrInternal, simerr.Snapshot{Cycle: s.Cycle}, err,
+				"core: writing sample file")
 		}
 	}
 	return nil
@@ -120,10 +122,12 @@ func ReadSamples(r io.Reader, weight float64) (samples []Sample, coreID uint64, 
 			return samples, coreID, nil
 		}
 		if err == io.ErrUnexpectedEOF {
-			return samples, coreID, fmt.Errorf("core: truncated sample file")
+			return samples, coreID, simerr.New(simerr.ErrDecode, simerr.Snapshot{},
+				"core: truncated sample file")
 		}
 		if err != nil {
-			return samples, coreID, err
+			return samples, coreID, simerr.Wrap(simerr.ErrDecode, simerr.Snapshot{}, err,
+				"core: reading sample file")
 		}
 		var img CSRImage
 		for i := range img {

@@ -221,6 +221,8 @@ func (c *CPU) Finish() {
 // *simerr.Error; public API boundaries (analysis.RunProgramContext,
 // the CLIs) recover it. Callers that want the error instead use
 // RunContext.
+//
+//tealint:ctxroot uncancellable convenience entry point: callers with a context use RunContext
 func (c *CPU) Run() *Stats {
 	stats, err := c.RunContext(context.Background())
 	if err != nil {

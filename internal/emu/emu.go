@@ -46,6 +46,8 @@ type Memory struct {
 }
 
 // NewMemory returns a memory initialized from the program's data image.
+//
+//tealint:detsafe copies init into a fresh map; word insertion order is unobservable, the resulting memory is order-independent
 func NewMemory(init map[uint64]uint64) *Memory {
 	m := &Memory{words: make(map[uint64]uint64, len(init))}
 	for a, v := range init {

@@ -277,6 +277,8 @@ func fingerprint(br *analysis.BenchRun) ([]byte, error) {
 
 // replayMutant replays one mutated stream with panic containment and a
 // hang bound, classifying the result.
+//
+//tealint:ctxroot the harness owns the hang-bound timeout; a mutant replay must not inherit outer deadlines that would misclassify hangs
 func replayMutant(w workloads.Workload, p *program.Program, rc analysis.RunConfig, data []byte, timeout time.Duration, baseline []byte) (ok bool, detail string) {
 	defer func() {
 		if v := recover(); v != nil {
@@ -314,6 +316,8 @@ func replayMutant(w workloads.Workload, p *program.Program, rc analysis.RunConfi
 // returns an error only when the harness itself cannot run (e.g. the
 // baseline capture fails); contract violations are reported in the
 // Report, not as an error.
+//
+//tealint:ctxroot chaos-harness entry point invoked by its CLI, which has no context to thread
 func Sweep(w workloads.Workload, rc analysis.RunConfig, cfg Config) (*Report, error) {
 	rep := &Report{Workload: w.Name, Seed: cfg.Seed}
 	if cfg.Timeout <= 0 {
@@ -360,6 +364,8 @@ func Sweep(w workloads.Workload, rc analysis.RunConfig, cfg Config) (*Report, er
 
 // runPathological executes one guard-stressing program end to end and
 // checks its failure kind against the scenario's expectation.
+//
+//tealint:ctxroot the harness owns the guard timeout; a pathological run must not inherit outer deadlines that would misclassify hangs
 func runPathological(w workloads.Workload, pf ProgramFault, rc analysis.RunConfig, timeout time.Duration) (ok bool, detail string) {
 	defer func() {
 		if v := recover(); v != nil {

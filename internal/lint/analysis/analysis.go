@@ -5,8 +5,10 @@
 // real x/tools module is not available; this package mirrors its
 // Analyzer/Pass/Diagnostic contract closely enough that the tealint
 // analyzers could be ported to the upstream framework by changing one
-// import path. Only the subset tealint uses is implemented: no facts,
-// no sub-analyzer requirements, no suggested fixes.
+// import path. The implemented subset covers analyzers, diagnostics,
+// suppression directives, and object facts (the cross-package
+// mechanism behind detreach/ctxflow/gojoin/errbound); there are no
+// sub-analyzer requirements and no suggested fixes.
 package analysis
 
 import (
@@ -26,14 +28,38 @@ type Analyzer struct {
 	// Doc is the analyzer's documentation; the first line is its
 	// one-sentence summary.
 	Doc string
+	// FactTypes lists one zero value per fact type the analyzer
+	// exports (each must be a pointer to a struct implementing Fact).
+	// The checker uses the list to serialize facts across packages in
+	// vet mode; an analyzer that exports an unregistered fact type
+	// still works standalone but its facts do not survive the vetx
+	// round-trip.
+	FactTypes []Fact
 	// Run applies the analyzer to one package.
 	Run func(*Pass) (any, error)
 }
 
 func (a *Analyzer) String() string { return a.Name }
 
-// A Pass provides one analyzer run with a type-checked package and a
-// sink for diagnostics.
+// A Fact is a typed, analyzer-private statement about a program object
+// (function, variable, type) that the checker carries across package
+// boundaries: a fact exported while analyzing package P is importable
+// by the same analyzer while it analyzes any package that depends on
+// P. Facts must be pointers to gob-serializable structs.
+type Fact interface {
+	// AFact is a marker method (mirrors go/analysis).
+	AFact()
+}
+
+// An ObjectFact is one (object, fact) pair, as returned by
+// Pass.AllObjectFacts.
+type ObjectFact struct {
+	Object types.Object
+	Fact   Fact
+}
+
+// A Pass provides one analyzer run with a type-checked package, a sink
+// for diagnostics, and access to the cross-package fact store.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
@@ -41,11 +67,48 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+
+	// ExportObjectFact associates fact with obj for dependent
+	// packages. Nil when the driver provides no fact store.
+	ExportObjectFact func(obj types.Object, fact Fact)
+	// ImportObjectFact copies the fact of the given type previously
+	// exported for obj (by this package or any dependency) into fact,
+	// reporting whether one existed. Nil when the driver provides no
+	// fact store.
+	ImportObjectFact func(obj types.Object, fact Fact) bool
+	// AllObjectFacts returns this analyzer's facts for objects of the
+	// current package. Nil when the driver provides no fact store.
+	AllObjectFacts func() []ObjectFact
 }
 
 // Reportf reports a formatted diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ExportFact is ExportObjectFact, safe to call under drivers with no
+// fact store (it is then a no-op).
+func (p *Pass) ExportFact(obj types.Object, fact Fact) {
+	if p.ExportObjectFact != nil {
+		p.ExportObjectFact(obj, fact)
+	}
+}
+
+// ImportFact is ImportObjectFact, safe to call under drivers with no
+// fact store (it then reports no facts).
+func (p *Pass) ImportFact(obj types.Object, fact Fact) bool {
+	return p.ImportObjectFact != nil && p.ImportObjectFact(obj, fact)
+}
+
+// PkgPath returns the package's import path with any vet-mode test
+// variant suffix (" [pkg.test]") stripped, so path-scoped analyzers
+// behave identically in standalone and vet modes.
+func PkgPath(pkg *types.Package) string {
+	path := pkg.Path()
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	return path
 }
 
 // A Diagnostic is one finding. Category is filled in by the driver
@@ -69,7 +132,9 @@ func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
 //
 // A directive on the flagged line, or alone on the line above it,
 // suppresses the named analyzers ("all" suppresses every analyzer).
-var ignoreRE = regexp.MustCompile(`^//\s*tealint:ignore\s+([A-Za-z0-9_,]+)`)
+// Like Go's own //go: directives, no space may follow the // — prose
+// mentioning a directive ("a tealint:ignore comment") stays prose.
+var ignoreRE = regexp.MustCompile(`^//tealint:ignore\s+([A-Za-z0-9_,]+)`)
 
 // IgnoredLines returns, per filename, the set of line numbers whose
 // diagnostics from the named analyzer are suppressed by a
@@ -109,6 +174,55 @@ func IgnoredLines(fset *token.FileSet, files []*ast.File, analyzer string) map[s
 		}
 	}
 	return out
+}
+
+// A Directive is one //tealint:<name> comment: the directive name,
+// the raw text following it (the analyzer list for ignore, the
+// justification for detsafe/ctxroot), and its position.
+type Directive struct {
+	Name string
+	Args string
+	Pos  token.Pos
+}
+
+// directiveRE matches any tealint directive comment (//go: style, no
+// space after the //). The name stops at the first space; everything
+// after it is the directive's argument text.
+var directiveRE = regexp.MustCompile(`^//tealint:([A-Za-z0-9_,-]+)(?:[ \t]+(.*))?$`)
+
+// Directives returns every //tealint:<name> comment in the files, in
+// file order. The checker validates them against the known-directive
+// registry (unknowndirective); analyzers look up their own.
+func Directives(files []*ast.File) []Directive {
+	var out []Directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				out = append(out, Directive{Name: m[1], Args: strings.TrimSpace(m[2]), Pos: c.Pos()})
+			}
+		}
+	}
+	return out
+}
+
+// FuncDirective returns the named directive from a function's doc
+// comment (e.g. //tealint:detsafe <justification> above the
+// declaration), reporting whether one was present.
+func FuncDirective(decl *ast.FuncDecl, name string) (Directive, bool) {
+	if decl.Doc == nil {
+		return Directive{}, false
+	}
+	for _, c := range decl.Doc.List {
+		m := directiveRE.FindStringSubmatch(c.Text)
+		if m != nil && m[1] == name {
+			return Directive{Name: m[1], Args: strings.TrimSpace(m[2]), Pos: c.Pos()}, true
+		}
+	}
+	return Directive{}, false
 }
 
 // FilterIgnored drops diagnostics suppressed by tealint:ignore

@@ -4,7 +4,11 @@
 //
 // Test packages live in testdata/src/<importpath>/. Imports between
 // test packages resolve within testdata/src; anything else (the
-// standard library) is loaded from source via the go command. Expected
+// standard library) is loaded from source via the go command. When a
+// requested package imports other testdata packages, the dependencies
+// are analyzed first with a shared fact store, so cross-package facts
+// flow exactly as they do under the real checker — and `want`
+// expectations in dependency files are checked too. Expected
 // diagnostics are declared with trailing comments:
 //
 //	bad() // want "regexp matching the diagnostic"
@@ -31,12 +35,15 @@ import (
 )
 
 // Run applies the analyzer to each named test package under
-// dir/testdata/src and checks reported diagnostics against the `want`
-// comments in its sources.
+// dir/testdata/src — after analyzing any testdata packages they import,
+// dependencies first, against one shared fact store — and checks the
+// reported diagnostics against the `want` comments in the sources of
+// every analyzed testdata package.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
 	srcRoot := filepath.Join(dir, "testdata", "src")
 	golist := load.NewGoListResolver(dir)
+	local := map[string]bool{} // import paths resolved inside testdata/src
 	loader := load.NewLoader(func(path string) (*load.Meta, error) {
 		pkgDir := filepath.Join(srcRoot, filepath.FromSlash(path))
 		if fi, err := os.Stat(pkgDir); err == nil && fi.IsDir() {
@@ -44,24 +51,60 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
 			if err != nil {
 				return nil, err
 			}
+			local[path] = true
 			return &load.Meta{ImportPath: path, Dir: pkgDir, GoFiles: names}, nil
 		}
 		return golist.Resolve(path)
 	})
 
-	for _, pkgPath := range pkgPaths {
-		pkg, err := loader.Load(pkgPath)
-		if err != nil {
-			t.Errorf("loading testdata package %s: %v", pkgPath, err)
-			continue
+	pkgs := map[string]*load.Package{}
+	var loadPkg func(path string) *load.Package
+	loadPkg = func(path string) *load.Package {
+		if pkg, ok := pkgs[path]; ok {
+			return pkg
 		}
-		diags, err := checker.RunPackage(loader.Fset, pkg.Files, pkg.Types, pkg.Info, []*analysis.Analyzer{a})
+		pkg, err := loader.Load(path)
 		if err != nil {
-			t.Errorf("running %s on %s: %v", a.Name, pkgPath, err)
-			continue
+			t.Errorf("loading testdata package %s: %v", path, err)
+			return nil
 		}
-		checkExpectations(t, loader.Fset, pkgPath, pkg.Meta.GoFiles, pkg.Meta.Dir, diags)
+		pkgs[path] = pkg
+		return pkg
 	}
+
+	// Analysis order: depth-first over testdata-local imports, so a
+	// package's facts exist before any dependent consumes them.
+	runner := &checker.Runner{Analyzers: []*analysis.Analyzer{a}}
+	var diags []analysis.Diagnostic
+	var analyzedPkgs []*load.Package
+	analyzed := map[string]bool{}
+	var analyze func(path string)
+	analyze = func(path string) {
+		if analyzed[path] {
+			return
+		}
+		analyzed[path] = true
+		pkg := loadPkg(path)
+		if pkg == nil {
+			return
+		}
+		for _, imp := range pkg.Types.Imports() {
+			if local[imp.Path()] {
+				analyze(imp.Path())
+			}
+		}
+		ds, err := runner.RunPackage(loader.Fset, pkg.Files, pkg.Types, pkg.Info)
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, path, err)
+			return
+		}
+		diags = append(diags, ds...)
+		analyzedPkgs = append(analyzedPkgs, pkg)
+	}
+	for _, pkgPath := range pkgPaths {
+		analyze(pkgPath)
+	}
+	checkExpectations(t, loader.Fset, analyzedPkgs, diags)
 }
 
 func goFilesIn(dir string) ([]string, error) {
@@ -92,34 +135,36 @@ type expectation struct {
 var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
 var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
 
-func checkExpectations(t *testing.T, fset *token.FileSet, pkgPath string, goFiles []string, dir string, diags []analysis.Diagnostic) {
+func checkExpectations(t *testing.T, fset *token.FileSet, pkgs []*load.Package, diags []analysis.Diagnostic) {
 	t.Helper()
 	wants := map[string][]*expectation{} // "file:line" -> expectations
-	for _, name := range goFiles {
-		filename := filepath.Join(dir, name)
-		data, err := os.ReadFile(filename)
-		if err != nil {
-			t.Errorf("%s: %v", filename, err)
-			return
-		}
-		for i, line := range strings.Split(string(data), "\n") {
-			m := wantRE.FindStringSubmatch(line)
-			if m == nil {
-				continue
+	for _, pkg := range pkgs {
+		for _, name := range pkg.Meta.GoFiles {
+			filename := filepath.Join(pkg.Meta.Dir, name)
+			data, err := os.ReadFile(filename)
+			if err != nil {
+				t.Errorf("%s: %v", filename, err)
+				return
 			}
-			key := fmt.Sprintf("%s:%d", filename, i+1)
-			for _, q := range quotedRE.FindAllString(m[1], -1) {
-				pattern, err := strconv.Unquote(q)
-				if err != nil {
-					t.Errorf("%s: bad want pattern %s: %v", key, q, err)
+			for i, line := range strings.Split(string(data), "\n") {
+				m := wantRE.FindStringSubmatch(line)
+				if m == nil {
 					continue
 				}
-				re, err := regexp.Compile(pattern)
-				if err != nil {
-					t.Errorf("%s: bad want regexp %q: %v", key, pattern, err)
-					continue
+				key := fmt.Sprintf("%s:%d", filename, i+1)
+				for _, q := range quotedRE.FindAllString(m[1], -1) {
+					pattern, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %s: %v", key, q, err)
+						continue
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", key, pattern, err)
+						continue
+					}
+					wants[key] = append(wants[key], &expectation{re: re, raw: pattern})
 				}
-				wants[key] = append(wants[key], &expectation{re: re, raw: pattern})
 			}
 		}
 	}
@@ -151,5 +196,4 @@ func checkExpectations(t *testing.T, fset *token.FileSet, pkgPath string, goFile
 			}
 		}
 	}
-	_ = pkgPath
 }

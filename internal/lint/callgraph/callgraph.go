@@ -1,0 +1,130 @@
+// Package callgraph builds a lightweight per-package call graph on top
+// of the tealint loader's type information, for the whole-program
+// analyzers (detreach's taint reachability, gojoin's join evidence).
+//
+// The graph is intentionally conservative and purely static:
+//
+//   - Direct calls (f(), pkg.F(), recv.M()) resolve to their callee's
+//     *types.Func, including interface methods (resolved to the
+//     abstract method object, not its implementations).
+//   - A bare reference to a function that is not the operand of a call
+//     (passing time.Now as a value, storing it in a struct) produces an
+//     edge with IsRef set — the function may be called later, so taint
+//     analyses must follow it.
+//   - Calls inside function literals are attributed to the enclosing
+//     declared function: a goroutine body's callees are edges of the
+//     function that spawned it.
+//
+// Dynamic dispatch through stored function values and reflection is
+// out of scope; the analyzers that consume the graph document this
+// boundary.
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Edge is one caller→callee relation.
+type Edge struct {
+	Callee *types.Func
+	Pos    token.Pos
+	// IsRef marks a non-call reference to the callee (function value
+	// escaping); Go marks the callee as spawned with a go statement.
+	IsRef bool
+	Go    bool
+}
+
+// Node is one function declared in the analyzed package.
+type Node struct {
+	Fn    *types.Func
+	Decl  *ast.FuncDecl
+	Edges []Edge
+}
+
+// Graph holds the package's functions and their outgoing edges.
+type Graph struct {
+	// Nodes maps each declared function (and method) to its node, in
+	// no particular order; Funcs gives deterministic iteration.
+	Nodes map[*types.Func]*Node
+	// Funcs lists the declared functions in file/position order.
+	Funcs []*types.Func
+}
+
+// Build constructs the call graph for the pass's package.
+func Build(pass *analysis.Pass) *Graph {
+	g := &Graph{Nodes: map[*types.Func]*Node{}}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := &Node{Fn: fn, Decl: fd}
+			collectEdges(pass.TypesInfo, fd.Body, node)
+			g.Nodes[fn] = node
+			g.Funcs = append(g.Funcs, fn)
+		}
+	}
+	return g
+}
+
+// collectEdges walks a function body recording call, go, and reference
+// edges. Function literals are walked in place, so their calls belong
+// to the enclosing declaration.
+func collectEdges(info *types.Info, body ast.Node, node *Node) {
+	// callIdents tracks identifiers consumed as direct call operands,
+	// so the reference walk below does not double-count them; goCalls
+	// marks call expressions spawned by a go statement (visited before
+	// their CallExpr child).
+	callIdents := map[*ast.Ident]bool{}
+	goCalls := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			goCalls[n.Call] = true
+		case *ast.CallExpr:
+			id := calleeIdent(n)
+			if id == nil {
+				return true
+			}
+			fn, ok := info.Uses[id].(*types.Func)
+			if !ok {
+				return true
+			}
+			callIdents[id] = true
+			node.Edges = append(node.Edges, Edge{Callee: fn, Pos: n.Pos(), Go: goCalls[n]})
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || callIdents[id] {
+			return true
+		}
+		if fn, ok := info.Uses[id].(*types.Func); ok {
+			node.Edges = append(node.Edges, Edge{Callee: fn, Pos: id.Pos(), IsRef: true})
+		}
+		return true
+	})
+}
+
+// calleeIdent returns the identifier naming a call's static callee
+// (the selector's Sel for method/qualified calls), or nil for dynamic
+// calls through computed function values.
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun
+	case *ast.SelectorExpr:
+		return fun.Sel
+	}
+	return nil
+}

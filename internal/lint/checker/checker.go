@@ -2,26 +2,79 @@
 // modes: standalone (`tealint ./...`, loading from source via
 // internal/lint/load) and vet-tool (`go vet -vettool=tealint`, speaking
 // cmd/go's unitchecker config protocol — see vet.go).
+//
+// In both modes the checker threads a cross-package fact store
+// (internal/lint/facts) through the analyzers: standalone runs analyze
+// the matched packages in dependency order sharing one in-memory
+// store; vet runs round-trip the store through the vetx files cmd/go
+// passes between per-package invocations. It also applies one built-in
+// check of its own, unknowndirective: every //tealint:<name> comment
+// must use a registered directive name, and //tealint:ignore must name
+// known analyzers — a misspelled suppression fails the build instead
+// of silently disabling a lint.
 package checker
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
 	"io"
 	"sort"
+	"strings"
 
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/facts"
 	"repro/internal/lint/load"
 )
 
-// RunPackage applies the analyzers to one type-checked package and
-// returns the surviving (non-suppressed) diagnostics, sorted by
-// position.
-func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+// DirectiveCheckName is the diagnostic category (and suppression name)
+// of the built-in unknown-directive check.
+const DirectiveCheckName = "unknowndirective"
+
+// KnownDirectives are the registered //tealint:<name> directive names.
+var KnownDirectives = []string{"cachekey", "ctxroot", "detsafe", "ignore"}
+
+// A Runner applies a set of analyzers plus the built-in directive
+// check to packages, accumulating cross-package facts as it goes. The
+// zero value is not usable; populate Analyzers first.
+type Runner struct {
+	// Analyzers are the enabled analyzers, run in order.
+	Analyzers []*analysis.Analyzer
+	// KnownAnalyzers is the full analyzer registry (independent of
+	// which are enabled), used to validate //tealint:ignore names.
+	// Empty means "the enabled set".
+	KnownAnalyzers []string
+	// DirectiveCheck enables the built-in unknowndirective check.
+	DirectiveCheck bool
+	// JSON switches Standalone's output from "file:line:col: message
+	// (analyzer)" lines to a JSON array of JSONDiagnostic.
+	JSON bool
+	// Facts is the cross-package fact store; a nil store is created on
+	// first use (registered with the enabled analyzers' fact types).
+	Facts *facts.Store
+}
+
+func (r *Runner) store() *facts.Store {
+	if r.Facts == nil {
+		r.Facts = facts.NewStore(r.Analyzers)
+	}
+	return r.Facts
+}
+
+// RunPackage applies the enabled analyzers (and, if configured, the
+// directive check) to one type-checked package and returns the
+// surviving (non-suppressed) diagnostics, sorted by position.
+func (r *Runner) RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]analysis.Diagnostic, error) {
+	return r.runPackage(fset, files, pkg, info, r.Analyzers, r.DirectiveCheck)
+}
+
+func (r *Runner) runPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*analysis.Analyzer, directives bool) ([]analysis.Diagnostic, error) {
+	st := r.store()
 	var diags []analysis.Diagnostic
 	for _, a := range analyzers {
+		a := a
 		pass := &analysis.Pass{
 			Analyzer:  a,
 			Fset:      fset,
@@ -33,13 +86,64 @@ func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info
 				diags = append(diags, d)
 			},
 		}
+		st.Bind(pass)
 		if _, err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
 	}
+	if directives {
+		diags = append(diags, r.checkDirectives(files)...)
+	}
 	diags = analysis.FilterIgnored(fset, files, diags)
 	sortDiagnostics(fset, diags)
 	return diags, nil
+}
+
+// checkDirectives validates every //tealint: comment: the directive
+// name must be registered, and ignore directives must name known
+// analyzers (or "all"). Category: unknowndirective.
+func (r *Runner) checkDirectives(files []*ast.File) []analysis.Diagnostic {
+	known := map[string]bool{}
+	for _, name := range KnownDirectives {
+		known[name] = true
+	}
+	names := r.KnownAnalyzers
+	if len(names) == 0 {
+		for _, a := range r.Analyzers {
+			names = append(names, a.Name)
+		}
+	}
+	knownAnalyzers := map[string]bool{"all": true, DirectiveCheckName: true}
+	for _, n := range names {
+		knownAnalyzers[n] = true
+	}
+
+	var diags []analysis.Diagnostic
+	for _, d := range analysis.Directives(files) {
+		if !known[d.Name] {
+			diags = append(diags, analysis.Diagnostic{
+				Pos:      d.Pos,
+				Category: DirectiveCheckName,
+				Message: fmt.Sprintf("unknown tealint directive %q (known: %s)",
+					"tealint:"+d.Name, strings.Join(KnownDirectives, ", ")),
+			})
+			continue
+		}
+		if d.Name != "ignore" {
+			continue
+		}
+		list, _, _ := strings.Cut(d.Args, " ")
+		for _, name := range strings.Split(list, ",") {
+			if name != "" && !knownAnalyzers[name] {
+				diags = append(diags, analysis.Diagnostic{
+					Pos:      d.Pos,
+					Category: DirectiveCheckName,
+					Message:  fmt.Sprintf("tealint:ignore names unknown analyzer %q — the suppression would silently do nothing", name),
+				})
+			}
+		}
+	}
+	return diags
 }
 
 func sortDiagnostics(fset *token.FileSet, diags []analysis.Diagnostic) {
@@ -58,11 +162,39 @@ func sortDiagnostics(fset *token.FileSet, diags []analysis.Diagnostic) {
 	})
 }
 
+// JSONDiagnostic is the machine-readable diagnostic form emitted by
+// `tealint -json` (and parsed back by the lint gate's smoke check).
+type JSONDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	Analyzer string `json:"analyzer"`
+}
+
+// ToJSON converts diagnostics to their wire form.
+func ToJSON(fset *token.FileSet, diags []analysis.Diagnostic) []JSONDiagnostic {
+	out := make([]JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		out = append(out, JSONDiagnostic{
+			File:     posn.Filename,
+			Line:     posn.Line,
+			Col:      posn.Column,
+			Message:  d.Message,
+			Analyzer: d.Category,
+		})
+	}
+	return out
+}
+
 // Standalone loads the packages matching patterns (relative to dir)
-// from source, runs the analyzers over each, and prints diagnostics to
-// w as "file:line:col: message (analyzer)". It returns the number of
+// from source, runs the analyzers over each in dependency order (so
+// cross-package facts flow from dependencies to dependents), and
+// prints diagnostics to w — "file:line:col: message (analyzer)" lines,
+// or one JSON array with r.JSON set. It returns the number of
 // diagnostics printed.
-func Standalone(w io.Writer, dir string, patterns []string, analyzers []*analysis.Analyzer) (int, error) {
+func (r *Runner) Standalone(w io.Writer, dir string, patterns []string) (int, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -72,20 +204,89 @@ func Standalone(w io.Writer, dir string, patterns []string, analyzers []*analysi
 		return 0, err
 	}
 	loader := load.NewLoader(resolver.Resolve)
-	count := 0
+	pkgs := make(map[string]*load.Package, len(roots))
 	for _, root := range roots {
 		pkg, err := loader.Load(root)
 		if err != nil {
+			return 0, err
+		}
+		pkgs[root] = pkg
+	}
+
+	perPkg := make(map[string][]analysis.Diagnostic, len(roots))
+	for _, root := range DependencyOrder(roots, pkgs) {
+		pkg := pkgs[root]
+		diags, err := r.RunPackage(loader.Fset, pkg.Files, pkg.Types, pkg.Info)
+		if err != nil {
+			return 0, fmt.Errorf("%s: %w", root, err)
+		}
+		perPkg[root] = diags
+	}
+
+	count := 0
+	if r.JSON {
+		var all []JSONDiagnostic
+		for _, root := range roots {
+			all = append(all, ToJSON(loader.Fset, perPkg[root])...)
+		}
+		count = len(all)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "\t")
+		if all == nil {
+			all = []JSONDiagnostic{}
+		}
+		if err := enc.Encode(all); err != nil {
 			return count, err
 		}
-		diags, err := RunPackage(loader.Fset, pkg.Files, pkg.Types, pkg.Info, analyzers)
-		if err != nil {
-			return count, fmt.Errorf("%s: %w", root, err)
-		}
-		for _, d := range diags {
+		return count, nil
+	}
+	for _, root := range roots {
+		for _, d := range perPkg[root] {
 			fmt.Fprintf(w, "%s: %s (%s)\n", loader.Fset.Position(d.Pos), d.Message, d.Category)
 			count++
 		}
 	}
 	return count, nil
+}
+
+// DependencyOrder returns the roots sorted dependencies-first: a
+// package appears after every root it imports (directly or
+// transitively). Ties keep the lexical order of roots, so the result
+// is deterministic. Exported for the loader/checker tests.
+func DependencyOrder(roots []string, pkgs map[string]*load.Package) []string {
+	inRoots := make(map[string]bool, len(roots))
+	for _, r := range roots {
+		inRoots[r] = true
+	}
+	sorted := append([]string(nil), roots...)
+	sort.Strings(sorted)
+	order := make([]string, 0, len(roots))
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(string)
+	visit = func(path string) {
+		if state[path] != 0 {
+			return
+		}
+		state[path] = 1
+		pkg := pkgs[path]
+		if pkg != nil && pkg.Types != nil {
+			imports := pkg.Types.Imports()
+			deps := make([]string, 0, len(imports))
+			for _, imp := range imports {
+				if inRoots[imp.Path()] {
+					deps = append(deps, imp.Path())
+				}
+			}
+			sort.Strings(deps)
+			for _, dep := range deps {
+				visit(dep)
+			}
+		}
+		state[path] = 2
+		order = append(order, path)
+	}
+	for _, root := range sorted {
+		visit(root)
+	}
+	return order
 }

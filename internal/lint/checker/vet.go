@@ -11,13 +11,15 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 
 	"repro/internal/lint/analysis"
 )
 
 // vetConfig is the JSON configuration cmd/go writes for a vet tool
 // (the unitchecker protocol): one file per package, naming the Go
-// sources to analyze and the export-data files of every dependency.
+// sources to analyze, the export-data files of every dependency, and
+// the vetx (facts) files those dependencies' earlier runs produced.
 type vetConfig struct {
 	ID                        string
 	Compiler                  string
@@ -37,12 +39,15 @@ type vetConfig struct {
 }
 
 // Vet runs the analyzers in `go vet -vettool` mode: cfgFile is the
-// *.cfg path cmd/go passed as the final argument. Diagnostics go to w
-// in the standard "file:line:col: message" form. The returned exit
-// code follows the unitchecker convention: 0 for success, 2 when
+// *.cfg path cmd/go passed as the final argument. Dependency facts are
+// imported from the PackageVetx files and this package's full fact
+// store (its own facts plus re-exported dependency facts, so facts
+// flow transitively) is written to VetxOutput. Diagnostics go to w in
+// the standard "file:line:col: message" form. The returned exit code
+// follows the unitchecker convention: 0 for success, 2 when
 // diagnostics were reported, 1 on operational error (with the error
 // returned for the caller to print).
-func Vet(w io.Writer, cfgFile string, analyzers []*analysis.Analyzer) (int, error) {
+func (r *Runner) Vet(w io.Writer, cfgFile string) (int, error) {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
 		return 1, err
@@ -52,19 +57,57 @@ func Vet(w io.Writer, cfgFile string, analyzers []*analysis.Analyzer) (int, erro
 		return 1, fmt.Errorf("parsing vet config %s: %w", cfgFile, err)
 	}
 
-	// cmd/go caches the vetx (facts) output of every run and requires
-	// the file to exist afterwards. tealint's analyzers are fact-free,
-	// so an empty placeholder satisfies the protocol.
+	st := r.store()
+	for path, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil || len(data) == 0 {
+			continue // facts are an accelerant, a missing file is not fatal
+		}
+		if err := st.Decode(data); err != nil {
+			return 1, fmt.Errorf("decoding facts of %s (%s): %w", path, vetx, err)
+		}
+	}
+
+	// Standard-library dependency runs are facts-only and the
+	// whole-program analyzers do not trace taint through the standard
+	// library (its nondeterminism sources are recognized by name, in
+	// both standalone and vet modes), so std packages skip analysis
+	// entirely — `go vet` stays fast and the two modes agree.
+	exitCode := 0
+	if !cfg.VetxOnly || !cfg.Standard[strip(cfg.ImportPath)] {
+		code, err := r.vetAnalyze(w, &cfg)
+		if err != nil {
+			return code, err
+		}
+		exitCode = code
+	}
+
 	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("tealint: no facts\n"), 0o666); err != nil {
+		data, err := st.Encode()
+		if err != nil {
+			return 1, err
+		}
+		if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
 			return 1, fmt.Errorf("writing vetx output: %w", err)
 		}
 	}
-	if cfg.VetxOnly {
-		// Dependency-only run: cmd/go wants facts, and we have none.
-		return 0, nil
-	}
+	return exitCode, nil
+}
 
+// strip removes a vet test-variant suffix ("pkg [pkg.test]") from an
+// import path.
+func strip(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// vetAnalyze parses and type-checks the package of cfg and runs the
+// analyzers: all of them (plus the directive check) for lint targets,
+// only the fact-exporting subset for VetxOnly dependency runs, whose
+// diagnostics cmd/go would discard anyway.
+func (r *Runner) vetAnalyze(w io.Writer, cfg *vetConfig) (int, error) {
 	fset := token.NewFileSet()
 	files := make([]*ast.File, 0, len(cfg.GoFiles))
 	for _, name := range cfg.GoFiles {
@@ -118,9 +161,18 @@ func Vet(w io.Writer, cfgFile string, analyzers []*analysis.Analyzer) (int, erro
 		return 1, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
 	}
 
-	diags, err := RunPackage(fset, files, tpkg, info, analyzers)
+	analyzers := r.Analyzers
+	directives := r.DirectiveCheck
+	if cfg.VetxOnly {
+		analyzers = factAnalyzers(analyzers)
+		directives = false
+	}
+	diags, err := r.runPackage(fset, files, tpkg, info, analyzers, directives)
 	if err != nil {
 		return 1, err
+	}
+	if cfg.VetxOnly {
+		return 0, nil
 	}
 	for _, d := range diags {
 		fmt.Fprintf(w, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Category)
@@ -129,6 +181,17 @@ func Vet(w io.Writer, cfgFile string, analyzers []*analysis.Analyzer) (int, erro
 		return 2, nil
 	}
 	return 0, nil
+}
+
+// factAnalyzers filters to the analyzers that export facts.
+func factAnalyzers(all []*analysis.Analyzer) []*analysis.Analyzer {
+	var out []*analysis.Analyzer
+	for _, a := range all {
+		if len(a.FactTypes) > 0 {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 func goarch() string {

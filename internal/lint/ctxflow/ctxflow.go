@@ -1,0 +1,285 @@
+// Package ctxflow defines a tealint analyzer enforcing context
+// discipline, the service-readiness half of cancellation correctness.
+//
+// The experiment runners and the trace store take a context.Context so
+// that a deadline or cancellation propagates into the replay loop
+// (ErrCanceled is part of the simerr taxonomy). That chain is only as
+// strong as its weakest link, so ctxflow enforces two invariants on
+// every function that takes a context.Context parameter:
+//
+//  1. Thread it. Every call to a context-aware callee (one whose
+//     signature takes a context.Context, or that a cross-package
+//     CtxAware fact marks as such) must pass a context *derived from
+//     the caller's own parameter* — the parameter itself, or a value
+//     built from it via context.With*, a method on a derived value,
+//     or an intermediate variable. Passing a fresh
+//     context.Background() while holding a live ctx silently detaches
+//     the callee from cancellation.
+//
+//  2. No fresh roots. context.Background() and context.TODO() are
+//     confined to package main, test files, and functions marked
+//
+//     //tealint:ctxroot <justification>
+//
+//     which declares an audited root of a context tree (an entry point
+//     with no caller context). The justification is mandatory.
+//
+// Each function with a context parameter exports the CtxAware fact, so
+// dependent packages recognize context-aware callees even when only
+// facts (not full type information) travel, and the analyzer behaves
+// identically in standalone and vet modes.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// CtxAware is the cross-package fact: the function accepts a
+// context.Context parameter and therefore participates in cancellation.
+type CtxAware struct{}
+
+// AFact marks CtxAware as a fact type.
+func (*CtxAware) AFact() {}
+
+// Analyzer enforces context threading and root confinement.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "require functions holding a context.Context to thread it to every context-aware callee; confine context.Background/TODO to main, tests, and //tealint:ctxroot roots\n\n" +
+		"A fresh Background() inside the call chain detaches replay work from cancellation and deadlines.",
+	FactTypes: []analysis.Fact{new(CtxAware)},
+	Run:       run,
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// ctxBackgroundOrTODO reports whether fn is context.Background or
+// context.TODO.
+func ctxBackgroundOrTODO(fn *types.Func) bool {
+	return fn.Pkg() != nil && fn.Pkg().Path() == "context" &&
+		(fn.Name() == "Background" || fn.Name() == "TODO")
+}
+
+// sigTakesContext reports whether any parameter of fn's signature is a
+// context.Context.
+func sigTakesContext(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	isMain := pass.Pkg.Name() == "main"
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if analysis.IsTestFile(pass.Fset, fd.Pos()) {
+				// Tests are legitimate context roots and routinely build
+				// throwaway contexts; both invariants are off here.
+				continue
+			}
+			if sigTakesContext(fn) {
+				pass.ExportFact(fn, &CtxAware{})
+			}
+
+			root := isMain
+			if d, ok := analysis.FuncDirective(fd, "ctxroot"); ok {
+				if d.Args == "" {
+					pass.Reportf(fd.Name.Pos(), "ctxroot directive on %s requires a justification: //tealint:ctxroot <why this starts a fresh context tree>", fn.Name())
+				} else {
+					root = true
+				}
+			}
+			checkFunc(pass, fd, root)
+		}
+	}
+	return nil, nil
+}
+
+// checkFunc applies both invariants to one declared function: root
+// confinement of Background/TODO, and — when the function holds
+// context parameters — threading to context-aware callees.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, root bool) {
+	// derived is the set of context-typed objects provably derived from
+	// a context parameter: the parameters themselves (including those
+	// of nested function literals, whose contexts arrive from *their*
+	// callers), grown through assignments to a fixed point.
+	derived := map[types.Object]bool{}
+	addParams := func(ft *ast.FuncType) {
+		if ft.Params == nil {
+			return
+		}
+		for _, field := range ft.Params.List {
+			for _, name := range field.Names {
+				obj := pass.TypesInfo.Defs[name]
+				if obj != nil && isContextType(obj.Type()) {
+					derived[obj] = true
+				}
+			}
+		}
+	}
+	addParams(fd.Type)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			addParams(lit.Type)
+		}
+		return true
+	})
+	hasCtxParam := len(derived) > 0
+
+	var derivedExpr func(e ast.Expr) bool
+	derivedExpr = func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return derived[pass.TypesInfo.Uses[e]]
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass, e); fn != nil && ctxBackgroundOrTODO(fn) {
+				return false
+			}
+			for _, arg := range e.Args {
+				if derivedExpr(arg) {
+					return true
+				}
+			}
+			// A method on a derived value yields a derived context
+			// (req.Context(), tree.Ctx()).
+			if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+				return derivedExpr(sel.X)
+			}
+			return false
+		}
+		return false
+	}
+
+	// Grow the derived set through assignments until stable.
+	for changed := true; changed; {
+		changed = false
+		mark := func(lhs ast.Expr, rhsDerived bool) {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || !rhsDerived {
+				return
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj != nil && isContextType(obj.Type()) && !derived[obj] {
+				derived[obj] = true
+				changed = true
+			}
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Rhs) == 1 {
+					d := derivedExpr(n.Rhs[0])
+					for _, lhs := range n.Lhs {
+						mark(lhs, d)
+					}
+				} else {
+					for i, lhs := range n.Lhs {
+						if i < len(n.Rhs) {
+							mark(lhs, derivedExpr(n.Rhs[i]))
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Values) == 1 {
+					d := derivedExpr(n.Values[0])
+					for _, name := range n.Names {
+						mark(name, d)
+					}
+				} else {
+					for i, name := range n.Names {
+						if i < len(n.Values) {
+							mark(name, derivedExpr(n.Values[i]))
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(pass, call)
+		if callee == nil {
+			return true
+		}
+		if ctxBackgroundOrTODO(callee) {
+			if !root {
+				pass.Reportf(call.Pos(), "context.%s outside main, tests, or a //tealint:ctxroot root; thread the caller's context instead of starting a fresh tree", callee.Name())
+			}
+			return true
+		}
+		if !hasCtxParam {
+			return true
+		}
+		// context.With* and friends are how derived contexts are built;
+		// their own arguments are covered by derivedExpr and the
+		// Background/TODO rule.
+		if callee.Pkg() != nil && callee.Pkg().Path() == "context" {
+			return true
+		}
+		aware := sigTakesContext(callee)
+		if !aware {
+			var fact CtxAware
+			aware = pass.ImportFact(callee, &fact)
+		}
+		if !aware {
+			return true
+		}
+		for _, arg := range call.Args {
+			tv, ok := pass.TypesInfo.Types[arg]
+			if !ok || !isContextType(tv.Type) {
+				continue
+			}
+			if !derivedExpr(arg) {
+				pass.Reportf(arg.Pos(), "call to %s does not thread %s's context: argument is not derived from the context parameter", callee.Name(), fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// calleeFunc resolves a call's static callee, or nil.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+// Package store is a context-aware dependency: its Fetch exports the
+// CtxAware fact consumed across the package boundary.
+package store
+
+import "context"
+
+// Fetch blocks until the context is done or the key resolves.
+func Fetch(ctx context.Context, key string) error {
+	<-ctx.Done()
+	_ = key
+	return ctx.Err()
+}

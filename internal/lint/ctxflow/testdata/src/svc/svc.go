@@ -1,0 +1,55 @@
+// Package svc exercises the context-threading and root-confinement
+// rules against a context-aware dependency.
+package svc
+
+import (
+	"context"
+	"time"
+
+	"store"
+)
+
+// Handle threads its context straight through: clean.
+func Handle(ctx context.Context, key string) error {
+	return store.Fetch(ctx, key)
+}
+
+// WithDeadline derives a new context from its parameter: clean.
+func WithDeadline(ctx context.Context, key string) error {
+	c, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return store.Fetch(c, key)
+}
+
+// Detach holds a live context but hands the callee a fresh root.
+func Detach(ctx context.Context, key string) error {
+	return store.Fetch(context.Background(), key) // want "context.Background outside main, tests" "call to Fetch does not thread Detach's context"
+}
+
+// Fresh builds a root with no live context in scope.
+func Fresh(key string) error {
+	return store.Fetch(context.TODO(), key) // want "context.TODO outside main, tests"
+}
+
+// Root is an audited context root: Background is allowed here.
+//
+//tealint:ctxroot scheduler entry point; no caller context exists in its API
+func Root(key string) error {
+	return store.Fetch(context.Background(), key)
+}
+
+// BadRoot carries a ctxroot directive with no justification.
+//
+//tealint:ctxroot
+func BadRoot(key string) error { // want "ctxroot directive on BadRoot requires a justification"
+	return store.Fetch(context.Background(), key) // want "context.Background outside main, tests"
+}
+
+// Callback's nested literal receives its own context from whoever
+// invokes it: clean.
+func Callback(ctx context.Context, key string) func(context.Context) error {
+	_ = store.Fetch(ctx, key)
+	return func(inner context.Context) error {
+		return store.Fetch(inner, key)
+	}
+}

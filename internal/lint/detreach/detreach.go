@@ -1,0 +1,254 @@
+// Package detreach defines a tealint analyzer proving, by whole-program
+// taint reachability, that the capture/replay hot path cannot reach a
+// nondeterminism source.
+//
+// TEA's headline claim is that profiles are time-proportional and
+// *exact*: the equivalence suite diffs serialized profiles byte by
+// byte, so a single call to time.Now, the process-global math/rand, an
+// environment read, or an unordered map range anywhere under the hot
+// path silently breaks the contract — and the per-function analyzers
+// (detiter, randsource) only see the source itself, not the two-calls-
+// away path that makes it reachable. detreach closes that gap: it
+// builds a call graph per package (internal/lint/callgraph), marks
+// functions that can reach a nondeterminism source, propagates the
+// taint through cross-package Taints facts, and reports any *hot-path
+// root* — an exported function or method of internal/core,
+// internal/cpu, internal/trace, or internal/pics — whose taint chain
+// is non-empty, with the full call path in the diagnostic.
+//
+// A function that must touch a nondeterminism source and provably does
+// not let it perturb profiles can be marked as an audited barrier:
+//
+//	//tealint:detsafe <justification>
+//
+// on its declaration. The justification is mandatory; a bare detsafe
+// is itself a diagnostic. Taint does not propagate through a barrier.
+//
+// Limits: dispatch through stored function values and reflection is
+// invisible to the call graph, and taint is not traced through the
+// standard library's own bodies — sources are recognized by name at
+// the call site (the same set in standalone and vet modes).
+package detreach
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/callgraph"
+)
+
+// Taints is the cross-package fact: the function can reach a
+// nondeterminism source.
+type Taints struct {
+	// Source names the nondeterminism source ("time.Now", "map
+	// iteration order", ...).
+	Source string
+	// Path is the call chain from the function (exclusive) down to
+	// the source, shortest-first, capped for diagnostics.
+	Path []string
+}
+
+// AFact marks Taints as a fact type.
+func (*Taints) AFact() {}
+
+const maxPath = 8
+
+// Analyzer reports hot-path roots that can reach nondeterminism
+// sources.
+var Analyzer = &analysis.Analyzer{
+	Name: "detreach",
+	Doc: "forbid the capture/replay hot path from reaching nondeterminism sources (time.Now, global math/rand, os.Getenv, unordered map ranges)\n\n" +
+		"Whole-program taint reachability over cross-package facts: a source two calls below core.Run*/trace.Replay* still flips golden profiles.",
+	FactTypes: []analysis.Fact{new(Taints)},
+	Run:       run,
+}
+
+// hotPackages are the package-path suffixes whose exported functions
+// and methods form the hot-path roots: the cycle core, trace capture
+// and replay, the TEA sampling unit, and PICS accumulation.
+var hotPackages = []string{
+	"internal/core",
+	"internal/cpu",
+	"internal/trace",
+	"internal/pics",
+}
+
+// nondetFuncs maps fully-qualified stdlib functions to the source name
+// reported for them.
+var nondetFuncs = map[string]string{
+	"time.Now":       "time.Now",
+	"time.Since":     "time.Since",
+	"time.Until":     "time.Until",
+	"time.After":     "time.After",
+	"time.Tick":      "time.Tick",
+	"time.NewTicker": "time.NewTicker",
+	"time.NewTimer":  "time.NewTimer",
+	"os.Getenv":      "os.Getenv",
+	"os.LookupEnv":   "os.LookupEnv",
+	"os.Environ":     "os.Environ",
+	"os.Hostname":    "os.Hostname",
+	"os.Getpid":      "os.Getpid",
+}
+
+// randConstructors build explicit seeded sources and are deterministic
+// given their arguments (mirrors the randsource analyzer's allowlist).
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewSource":  true,
+	"NewZipf":    true,
+}
+
+// sourceName classifies fn as a nondeterminism source, returning its
+// reported name and true if it is one.
+func sourceName(fn *types.Func) (string, bool) {
+	if fn.Pkg() == nil {
+		return "", false
+	}
+	path := fn.Pkg().Path()
+	if name, ok := nondetFuncs[fn.FullName()]; ok {
+		return name, true
+	}
+	if path == "crypto/rand" {
+		return "crypto/rand." + fn.Name(), true
+	}
+	if path == "math/rand" || path == "math/rand/v2" {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil && !randConstructors[fn.Name()] {
+			return path + "." + fn.Name() + " (process-global source)", true
+		}
+	}
+	return "", false
+}
+
+func hasSuffix(pkgPath, suffix string) bool {
+	return pkgPath == suffix || strings.HasSuffix(pkgPath, "/"+suffix)
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	pkgPath := analysis.PkgPath(pass.Pkg)
+	// internal/xiter is the sanctioned sorted-iteration layer: its own
+	// map ranges are what make everyone else's deterministic.
+	inXiter := hasSuffix(pkgPath, "internal/xiter")
+
+	graph := callgraph.Build(pass)
+
+	// Audited barriers, and the mandatory-justification check.
+	barrier := map[*types.Func]bool{}
+	for _, fn := range graph.Funcs {
+		node := graph.Nodes[fn]
+		if d, ok := analysis.FuncDirective(node.Decl, "detsafe"); ok {
+			if d.Args == "" {
+				pass.Reportf(node.Decl.Name.Pos(), "detsafe directive on %s requires a justification: //tealint:detsafe <why this cannot perturb profiles>", fn.Name())
+				continue
+			}
+			barrier[fn] = true
+		}
+	}
+
+	// Local taint seeding: direct source calls/references and
+	// unordered map ranges.
+	tainted := map[*types.Func]*Taints{}
+	for _, fn := range graph.Funcs {
+		node := graph.Nodes[fn]
+		if barrier[fn] || analysis.IsTestFile(pass.Fset, node.Decl.Pos()) {
+			continue
+		}
+		for _, e := range node.Edges {
+			if src, ok := sourceName(e.Callee); ok {
+				tainted[fn] = &Taints{Source: src}
+				break
+			}
+		}
+		if tainted[fn] != nil || inXiter {
+			continue
+		}
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := types.Unalias(tv.Type).Underlying().(*types.Map); isMap {
+				tainted[fn] = &Taints{Source: "map iteration order"}
+				return false
+			}
+			return true
+		})
+	}
+
+	// Propagate within the package to a fixed point, consuming
+	// dependency facts at the frontier.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range graph.Funcs {
+			if tainted[fn] != nil || barrier[fn] {
+				continue
+			}
+			node := graph.Nodes[fn]
+			if analysis.IsTestFile(pass.Fset, node.Decl.Pos()) {
+				continue
+			}
+			for _, e := range node.Edges {
+				var via *Taints
+				if t := tainted[e.Callee]; t != nil {
+					via = t
+				} else {
+					var imported Taints
+					if pass.ImportFact(e.Callee, &imported) {
+						via = &imported
+					}
+				}
+				if via == nil {
+					continue
+				}
+				path := append([]string{e.Callee.FullName()}, via.Path...)
+				if len(path) > maxPath {
+					path = path[:maxPath]
+				}
+				tainted[fn] = &Taints{Source: via.Source, Path: path}
+				changed = true
+				break
+			}
+		}
+	}
+
+	for fn, t := range tainted {
+		pass.ExportFact(fn, t)
+	}
+
+	// Hot-path roots: exported functions/methods of the hot packages.
+	var hot bool
+	for _, suffix := range hotPackages {
+		if hasSuffix(pkgPath, suffix) {
+			hot = true
+			break
+		}
+	}
+	if !hot {
+		return nil, nil
+	}
+	for _, fn := range graph.Funcs {
+		t := tainted[fn]
+		if t == nil || !fn.Exported() {
+			continue
+		}
+		node := graph.Nodes[fn]
+		if analysis.IsTestFile(pass.Fset, node.Decl.Pos()) {
+			continue
+		}
+		via := ""
+		if len(t.Path) > 0 {
+			via = " via " + strings.Join(t.Path, " -> ")
+		}
+		pass.Reportf(node.Decl.Name.Pos(),
+			"hot-path function %s can reach nondeterminism source %s%s; profiles must be byte-identical across runs — remove the source or add an audited //tealint:detsafe <why> barrier",
+			fn.Name(), t.Source, via)
+	}
+	return nil, nil
+}

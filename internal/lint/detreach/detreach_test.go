@@ -1,0 +1,16 @@
+package detreach_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/detreach"
+)
+
+// TestDetReach is the seeded regression for the whole-program taint
+// mechanism: testdata/src/internal/trace.Replay reaches time.Now two
+// call levels below the hot path, through a separate package — only
+// the cross-package Taints facts can prove the chain.
+func TestDetReach(t *testing.T) {
+	analysistest.Run(t, ".", detreach.Analyzer, "internal/trace")
+}

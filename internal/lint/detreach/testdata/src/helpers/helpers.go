@@ -1,0 +1,31 @@
+// Package helpers is a non-hot dependency: its taint is only
+// observable through the cross-package Taints facts the analyzer
+// exports while analyzing it.
+package helpers
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// Step1 is one call level below the hot path; step2 is two. The
+// nondeterminism source lives at the bottom.
+func Step1() int64 { return step2() }
+
+func step2() int64 { return time.Now().UnixNano() }
+
+// Roll touches the process-global math/rand source.
+func Roll() int { return rand.IntN(6) }
+
+// Seeded builds an explicit seeded source — deterministic, not a
+// taint.
+func Seeded(seed uint64) int {
+	r := rand.New(rand.NewPCG(seed, seed))
+	return r.IntN(6)
+}
+
+// Stamp must read the clock (it feeds log lines, not profiles) and is
+// an audited barrier.
+//
+//tealint:detsafe wall-clock feeds human-facing log lines only, never profile bytes
+func Stamp() int64 { return time.Now().Unix() }

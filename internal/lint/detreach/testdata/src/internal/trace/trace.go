@@ -1,0 +1,65 @@
+// Package trace models a hot-path package (path suffix
+// internal/trace): its exported functions are taint-reachability
+// roots.
+package trace
+
+import (
+	"os"
+
+	"helpers"
+)
+
+// Replay reaches time.Now two call levels down, through a dependency
+// package — only the imported Taints fact can prove it.
+func Replay() int64 { // want "hot-path function Replay can reach nondeterminism source time.Now via helpers.Step1 -> helpers.step2"
+	return helpers.Step1()
+}
+
+// Shuffle reaches the process-global rand source one package away.
+func Shuffle() int { // want "hot-path function Shuffle can reach nondeterminism source math/rand/v2.IntN"
+	return helpers.Roll()
+}
+
+// Capture reads the environment directly.
+func Capture() string { // want "hot-path function Capture can reach nondeterminism source os.Getenv"
+	return os.Getenv("TRACE_DIR")
+}
+
+// Verify ranges over a map without a deterministic iterator.
+func Verify(seen map[uint64]bool) int { // want "hot-path function Verify can reach nondeterminism source map iteration order"
+	n := 0
+	for range seen {
+		n++
+	}
+	return n
+}
+
+// ReplaySeeded uses only an explicitly seeded source: clean.
+func ReplaySeeded(seed uint64) int {
+	return helpers.Seeded(seed)
+}
+
+// Log calls through an audited detsafe barrier: clean.
+func Log() int64 {
+	return helpers.Stamp()
+}
+
+// helperReach is tainted but unexported — not a root, so the taint is
+// recorded as a fact without a diagnostic here.
+func helperReach() int64 { return helpers.Step1() }
+
+// Indirect is a root reaching the source through the local unexported
+// helper above.
+func Indirect() int64 { // want "hot-path function Indirect can reach nondeterminism source time.Now via"
+	return helperReach()
+}
+
+// BadBarrier has a detsafe directive with no justification.
+//
+//tealint:detsafe
+func BadBarrier(m map[int]int) int { // want "detsafe directive on BadBarrier requires a justification" "BadBarrier can reach nondeterminism source map iteration order"
+	for k := range m {
+		return k
+	}
+	return 0
+}

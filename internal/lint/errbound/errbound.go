@@ -1,0 +1,541 @@
+// Package errbound defines a tealint analyzer enforcing the typed-error
+// boundary: every error returned across an internal/* package boundary
+// is a *simerr.Error or wraps one with %w.
+//
+// The simerr taxonomy (ErrRunaway, ErrDeadlock, ErrDecode, ...) is what
+// lets callers switch on failure kind and what a service layer will map
+// to response codes; an errors.New or a raw os error escaping an
+// exported function of internal/{core,cpu,trace,analysis,tracestore,
+// pics} punches a hole in that contract. For each exported function
+// with an error result in those packages, the analyzer classifies every
+// value the function can return:
+//
+//   - typed: nil, a *simerr.Error (statically or by construction via a
+//     simerr call), fmt.Errorf whose format wraps a typed error with
+//     %w, errors.Join of typed errors, or a call to a function proven —
+//     locally or by a cross-package TypedErr fact — to return only
+//     typed errors.
+//   - foreign: errors.New, fmt.Errorf without %w (or wrapping a foreign
+//     error), or a call to a function with no typedness proof (raw
+//     standard-library errors land here).
+//   - opaque: errors of unknowable origin — function-typed parameters
+//     and stored callbacks, struct fields, type assertions. These are
+//     accepted: the boundary rule is about errors the function itself
+//     introduces, and the caller-supplied error was typed (or flagged)
+//     at its own origin.
+//
+// Only foreign origins are diagnostics. Functions that provably
+// introduce no foreign errors export the TypedErr fact, so the proof
+// composes across packages exactly like detreach's taint.
+package errbound
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// TypedErr is the cross-package fact: every error the function returns
+// is typed (a *simerr.Error or a %w-wrap of one) or caller-supplied.
+type TypedErr struct{}
+
+// AFact marks TypedErr as a fact type.
+func (*TypedErr) AFact() {}
+
+// Analyzer reports untyped errors escaping internal package boundaries.
+var Analyzer = &analysis.Analyzer{
+	Name: "errbound",
+	Doc: "require every error crossing an internal/* package boundary to be a typed *simerr.Error or wrap one with %w\n\n" +
+		"The simerr taxonomy is the failure-kind contract; a raw errors.New escaping an exported function breaks callers that switch on kind.",
+	FactTypes: []analysis.Fact{new(TypedErr)},
+	Run:       run,
+}
+
+// boundaryPackages are the package-path suffixes whose exported
+// functions form the typed-error boundary.
+var boundaryPackages = []string{
+	"internal/core",
+	"internal/cpu",
+	"internal/trace",
+	"internal/analysis",
+	"internal/tracestore",
+	"internal/pics",
+}
+
+// verdict classifies one error origin.
+type verdict int
+
+const (
+	typed   verdict = iota // proven *simerr.Error (or wraps one)
+	opaque                 // caller-supplied or unknowable — accepted
+	foreign                // provably introduces an untyped error
+)
+
+func run(pass *analysis.Pass) (any, error) {
+	c := &classifier{
+		pass:     pass,
+		fnMemo:   map[*types.Func]verdict{},
+		visiting: map[types.Object]bool{},
+	}
+
+	// Collect declared functions (skipping tests) and their decls.
+	var fns []*types.Func
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || analysis.IsTestFile(pass.Fset, fd.Pos()) {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				fns = append(fns, fn)
+				decls[fn] = fd
+			}
+		}
+	}
+	c.decls = decls
+
+	// Export TypedErr for every function proven to introduce no
+	// foreign errors, whatever the package — the proof is consumed at
+	// boundary packages but produced everywhere.
+	for _, fn := range fns {
+		if !returnsError(fn) {
+			continue
+		}
+		if c.funcVerdict(fn) != foreign {
+			pass.ExportFact(fn, &TypedErr{})
+		}
+	}
+
+	pkgPath := analysis.PkgPath(pass.Pkg)
+	boundary := false
+	for _, suffix := range boundaryPackages {
+		if pkgPath == suffix || strings.HasSuffix(pkgPath, "/"+suffix) {
+			boundary = true
+			break
+		}
+	}
+	if !boundary {
+		return nil, nil
+	}
+
+	for _, fn := range fns {
+		if !fn.Exported() || !returnsError(fn) {
+			continue
+		}
+		for _, origin := range c.returnOrigins(decls[fn]) {
+			if c.classifyExpr(origin, 0) != foreign {
+				continue
+			}
+			pass.Reportf(origin.Pos(),
+				"error returned across the %s boundary is not a typed *simerr.Error: %s introduces an untyped error here; wrap it with simerr.New/Wrap (or fmt.Errorf %%w around a typed error) so callers can switch on failure kind",
+				pkgPath, fn.Name())
+		}
+	}
+	return nil, nil
+}
+
+// returnsError reports whether fn's signature has an error (or
+// *simerr.Error) result.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	results := sig.Results()
+	for i := 0; i < results.Len(); i++ {
+		t := results.At(i).Type()
+		if isErrorType(t) || isSimerrPtr(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// isSimerrPtr reports whether t is *simerr.Error (the simerr package is
+// recognized by path suffix so testdata fixtures can model it).
+func isSimerrPtr(t types.Type) bool {
+	ptr, ok := types.Unalias(t).(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := types.Unalias(ptr.Elem()).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Error" && obj.Pkg() != nil && isSimerrPkg(obj.Pkg().Path())
+}
+
+func isSimerrPkg(path string) bool {
+	return path == "simerr" || strings.HasSuffix(path, "/simerr")
+}
+
+// classifier resolves error origins to verdicts, memoizing function
+// typedness with a cycle guard.
+type classifier struct {
+	pass     *analysis.Pass
+	decls    map[*types.Func]*ast.FuncDecl
+	fnMemo   map[*types.Func]verdict
+	visiting map[types.Object]bool
+}
+
+const maxDepth = 12
+
+// returnOrigins collects the error-typed expressions returned by the
+// function itself (returns inside nested function literals belong to
+// the literal, not the boundary function).
+func (c *classifier) returnOrigins(fd *ast.FuncDecl) []ast.Expr {
+	var origins []ast.Expr
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				tv, ok := c.pass.TypesInfo.Types[res]
+				if ok && (isErrorType(tv.Type) || isSimerrPtr(tv.Type)) {
+					origins = append(origins, res)
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+	// A bare `return` with named results returns the named error
+	// variables; classify them as identifier origins.
+	if fd.Type.Results != nil {
+		var namedErrs []*ast.Ident
+		for _, field := range fd.Type.Results.List {
+			for _, name := range field.Names {
+				obj := c.pass.TypesInfo.Defs[name]
+				if obj != nil && (isErrorType(obj.Type()) || isSimerrPtr(obj.Type())) {
+					namedErrs = append(namedErrs, name)
+				}
+			}
+		}
+		if len(namedErrs) > 0 {
+			bare := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				if ret, ok := n.(*ast.ReturnStmt); ok && len(ret.Results) == 0 {
+					bare = true
+				}
+				return !bare
+			})
+			if bare {
+				for _, name := range namedErrs {
+					origins = append(origins, name)
+				}
+			}
+		}
+	}
+	return origins
+}
+
+// funcVerdict reports whether a locally declared function introduces
+// foreign errors, memoized; cycles resolve optimistically to typed.
+func (c *classifier) funcVerdict(fn *types.Func) verdict {
+	if v, ok := c.fnMemo[fn]; ok {
+		return v
+	}
+	fd := c.decls[fn]
+	if fd == nil {
+		return opaque
+	}
+	if c.visiting[fn] {
+		return typed
+	}
+	c.visiting[fn] = true
+	v := typed
+	for _, origin := range c.returnOrigins(fd) {
+		if c.classifyExpr(origin, 0) == foreign {
+			v = foreign
+			break
+		}
+	}
+	delete(c.visiting, fn)
+	c.fnMemo[fn] = v
+	return v
+}
+
+// classifyExpr resolves one error-valued expression to a verdict.
+func (c *classifier) classifyExpr(e ast.Expr, depth int) verdict {
+	if depth > maxDepth {
+		return opaque
+	}
+	e = ast.Unparen(e)
+	tv, ok := c.pass.TypesInfo.Types[e]
+	if ok {
+		if tv.IsNil() || isSimerrPtr(tv.Type) {
+			return typed
+		}
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.Uses[e]
+		if obj == nil {
+			obj = c.pass.TypesInfo.Defs[e]
+		}
+		if obj == nil {
+			return opaque
+		}
+		return c.classifyObject(obj, depth)
+	case *ast.CallExpr:
+		return c.classifyCall(e, depth)
+	case *ast.UnaryExpr, *ast.CompositeLit:
+		// Anything not already matched by the static *simerr.Error type
+		// check above is some other concrete error construction.
+		return foreign
+	}
+	// Fields, type assertions, index expressions: unknowable origin.
+	return opaque
+}
+
+// classifyObject resolves an error variable by the union of every
+// expression assigned to it anywhere in its declaring function.
+func (c *classifier) classifyObject(obj types.Object, depth int) verdict {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return opaque
+	}
+	if c.visiting[obj] {
+		return typed
+	}
+	// Parameters and results are caller-/callee-supplied.
+	if fd := c.enclosingDecl(obj); fd != nil {
+		if c.isParam(fd, obj) {
+			return opaque
+		}
+		c.visiting[obj] = true
+		defer delete(c.visiting, obj)
+		worst := typed
+		sawAssign := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			for _, rhs := range assignedExprs(c.pass, n, v) {
+				sawAssign = true
+				worst = verdictMax(worst, c.classifyExpr(rhs, depth+1))
+			}
+			return worst != foreign
+		})
+		if !sawAssign {
+			return opaque
+		}
+		return worst
+	}
+	// Package-level error variables (sentinels) are opaque here; their
+	// construction is flagged where they escape a boundary directly.
+	return opaque
+}
+
+func verdictMax(a, b verdict) verdict {
+	if a == foreign || b == foreign {
+		return foreign
+	}
+	if a == opaque || b == opaque {
+		return opaque
+	}
+	return typed
+}
+
+// assignedExprs returns the expressions assigned to v by node n.
+func assignedExprs(pass *analysis.Pass, n ast.Node, v *types.Var) []ast.Expr {
+	var out []ast.Expr
+	collect := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj == v {
+			out = append(out, rhs)
+		}
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if len(n.Lhs) == len(n.Rhs) {
+			for i := range n.Lhs {
+				collect(n.Lhs[i], n.Rhs[i])
+			}
+		} else if len(n.Rhs) == 1 {
+			for _, lhs := range n.Lhs {
+				collect(lhs, n.Rhs[0])
+			}
+		}
+	case *ast.ValueSpec:
+		if len(n.Names) == len(n.Values) {
+			for i := range n.Names {
+				collect(n.Names[i], n.Values[i])
+			}
+		} else if len(n.Values) == 1 {
+			for _, name := range n.Names {
+				collect(name, n.Values[0])
+			}
+		}
+	}
+	return out
+}
+
+// enclosingDecl finds the FuncDecl whose extent contains obj.
+func (c *classifier) enclosingDecl(obj types.Object) *ast.FuncDecl {
+	for _, fd := range c.decls {
+		if fd.Pos() <= obj.Pos() && obj.Pos() <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}
+
+// isParam reports whether obj is a parameter, receiver, or named
+// result of fd.
+func (c *classifier) isParam(fd *ast.FuncDecl, obj types.Object) bool {
+	fields := []*ast.FieldList{fd.Type.Params, fd.Type.Results, fd.Recv}
+	for _, fl := range fields {
+		if fl == nil {
+			continue
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if c.pass.TypesInfo.Defs[name] == obj {
+					// Named results are assignable locally; only treat
+					// them as opaque when never assigned in the body.
+					if fl == fd.Type.Results {
+						return false
+					}
+					return true
+				}
+			}
+		}
+	}
+	// Parameters of nested function literals are caller-supplied too.
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok || lit.Type.Params == nil {
+			return true
+		}
+		for _, field := range lit.Type.Params.List {
+			for _, name := range field.Names {
+				if c.pass.TypesInfo.Defs[name] == obj {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// classifyCall resolves a call-expression error origin.
+func (c *classifier) classifyCall(call *ast.CallExpr, depth int) verdict {
+	fn := calleeFunc(c.pass, call)
+	if fn == nil {
+		// Dynamic call through a function value (callback parameters,
+		// stored closures): caller-supplied, accepted.
+		return opaque
+	}
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return opaque
+	}
+	full := fn.FullName()
+	switch {
+	case isSimerrPkg(pkg.Path()):
+		return typed
+	case full == "fmt.Errorf":
+		return c.classifyErrorf(call, depth)
+	case full == "errors.Join":
+		worst := typed
+		for _, arg := range call.Args {
+			worst = verdictMax(worst, c.classifyExpr(arg, depth+1))
+		}
+		if worst == foreign {
+			return foreign
+		}
+		return worst
+	case full == "errors.New":
+		return foreign
+	case full == "context.Cause":
+		return opaque
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if _, isIface := types.Unalias(sig.Recv().Type()).Underlying().(*types.Interface); isIface {
+			// Abstract method (err.Error(), iterator interfaces):
+			// unknowable implementation.
+			return opaque
+		}
+	}
+	if v, ok := c.fnMemo[fn]; ok {
+		return v
+	}
+	if c.decls[fn] != nil {
+		return c.funcVerdict(fn)
+	}
+	var fact TypedErr
+	if c.pass.ImportFact(fn, &fact) {
+		return typed
+	}
+	// A callee with no typedness proof: the error it returns is
+	// introduced here, untyped.
+	return foreign
+}
+
+// classifyErrorf handles fmt.Errorf: with %w it is as typed as the
+// errors it wraps; without %w it constructs a fresh untyped error.
+func (c *classifier) classifyErrorf(call *ast.CallExpr, depth int) verdict {
+	if len(call.Args) == 0 {
+		return foreign
+	}
+	format := ""
+	if tv, ok := c.pass.TypesInfo.Types[call.Args[0]]; ok && tv.Value != nil {
+		format = constStringValue(tv)
+	}
+	if !strings.Contains(format, "%w") {
+		return foreign
+	}
+	worst := typed
+	for _, arg := range call.Args[1:] {
+		tv, ok := c.pass.TypesInfo.Types[arg]
+		if !ok || !isErrorType(tv.Type) && !isSimerrPtr(tv.Type) {
+			continue
+		}
+		worst = verdictMax(worst, c.classifyExpr(arg, depth+1))
+	}
+	return worst
+}
+
+func constStringValue(tv types.TypeAndValue) string {
+	if tv.Value == nil {
+		return ""
+	}
+	s := tv.Value.ExactString()
+	if len(s) >= 2 && s[0] == '"' {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+// calleeFunc resolves a call's static callee, or nil.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

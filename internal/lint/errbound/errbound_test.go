@@ -1,0 +1,12 @@
+package errbound_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/errbound"
+)
+
+func TestErrBound(t *testing.T) {
+	analysistest.Run(t, ".", errbound.Analyzer, "internal/trace")
+}

@@ -1,0 +1,23 @@
+// Package dep is a non-boundary dependency: it gets no diagnostics of
+// its own, but its functions' typedness is exported as TypedErr facts
+// for the boundary package to consume.
+package dep
+
+import (
+	"errors"
+
+	"simerr"
+)
+
+// Typed returns only typed errors and earns the TypedErr fact.
+func Typed(fail bool) error {
+	if fail {
+		return simerr.New("dep failed")
+	}
+	return nil
+}
+
+// Foreign returns an untyped error; no fact is exported for it.
+func Foreign() error {
+	return errors.New("raw")
+}

@@ -1,0 +1,87 @@
+// Package trace models a boundary package (path suffix
+// internal/trace): every error its exported functions return must be
+// typed.
+package trace
+
+import (
+	"errors"
+	"fmt"
+
+	"dep"
+	"simerr"
+)
+
+// Good returns a typed error directly: clean.
+func Good(fail bool) error {
+	if fail {
+		return simerr.New("boom")
+	}
+	return nil
+}
+
+// FromDep returns a dependency's error proven typed by its
+// cross-package TypedErr fact: clean.
+func FromDep() error {
+	return dep.Typed(true)
+}
+
+// Wrapped wraps a typed error with %w: clean.
+func Wrapped() error {
+	return fmt.Errorf("while replaying: %w", simerr.New("boom"))
+}
+
+// Joined joins typed errors: clean (errors.Is still reaches them).
+func Joined() error {
+	return errors.Join(simerr.New("a"), simerr.New("b"))
+}
+
+// PassThrough returns a caller-supplied error: the caller's origin was
+// checked at its own boundary, so this is clean.
+func PassThrough(err error) error {
+	return err
+}
+
+// FromCallback returns an error produced by a caller-supplied
+// function value: opaque origin, clean.
+func FromCallback(fill func() error) error {
+	return fill()
+}
+
+// Bad introduces a raw untyped error at the boundary.
+func Bad() error {
+	return errors.New("boom") // want "Bad introduces an untyped error"
+}
+
+// BadDep returns a dependency error with no typedness proof.
+func BadDep() error {
+	return dep.Foreign() // want "BadDep introduces an untyped error"
+}
+
+// NoVerb formats a typed error with %v, severing the chain.
+func NoVerb() error {
+	return fmt.Errorf("while replaying: %v", simerr.New("boom")) // want "NoVerb introduces an untyped error"
+}
+
+// Flow launders an untyped error through a local variable.
+func Flow(fail bool) error {
+	err := errors.New("boom")
+	if !fail {
+		err = nil
+	}
+	return err // want "Flow introduces an untyped error"
+}
+
+// helper is unexported: foreign, but not itself a boundary.
+func helper() error {
+	return errors.New("inner")
+}
+
+// UsesHelper surfaces the unexported helper's untyped error.
+func UsesHelper() error {
+	return helper() // want "UsesHelper introduces an untyped error"
+}
+
+// WrapForeign wraps a foreign error in a typed one: clean.
+func WrapForeign() error {
+	return simerr.Wrap(helper(), "decode")
+}

@@ -1,0 +1,20 @@
+// Package simerr models the repository's typed-error package (errbound
+// recognizes it by path suffix).
+package simerr
+
+// Error is the typed error crossing internal boundaries.
+type Error struct {
+	Msg   string
+	Cause error
+}
+
+func (e *Error) Error() string { return e.Msg }
+
+// Unwrap exposes the cause chain.
+func (e *Error) Unwrap() error { return e.Cause }
+
+// New builds a typed error.
+func New(msg string) *Error { return &Error{Msg: msg} }
+
+// Wrap builds a typed error around a cause.
+func Wrap(cause error, msg string) *Error { return &Error{Msg: msg, Cause: cause} }

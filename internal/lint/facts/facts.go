@@ -1,0 +1,201 @@
+// Package facts is the cross-package fact store behind tealint's
+// whole-program analyzers (detreach, ctxflow, gojoin, errbound).
+//
+// An analyzer running on package P exports typed facts about P's
+// functions and objects; when the checker later runs the same analyzer
+// on a package that imports P, those facts are importable by object.
+// In standalone mode one in-memory Store spans the whole module (the
+// checker analyzes packages in dependency order). In vet mode each
+// package runs in its own process, so the Store round-trips through
+// the vetx files cmd/go threads between runs: Encode serializes every
+// fact (the package's own and its dependencies', so facts flow
+// transitively), Decode merges a dependency's file back in.
+//
+// Objects are keyed by their canonical path-qualified name
+// ((*types.Func).FullName for functions, package path + name
+// otherwise), which is stable between source-loaded and export-data
+// type information — the same object yields the same key in both
+// modes. Fact values are gob-encoded; each fact type must therefore be
+// a pointer to an exported-field struct and be listed in its
+// analyzer's FactTypes.
+package facts
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Store holds facts keyed by (object, fact type). It is not safe for
+// concurrent use; the checker analyzes packages sequentially.
+type Store struct {
+	facts map[storeKey]analysis.Fact
+	types map[string]reflect.Type // registered fact types by wire name
+}
+
+type storeKey struct {
+	obj string // canonical object key (see ObjectKey)
+	typ string // wire name of the fact type
+}
+
+// NewStore returns a Store with the fact types of the given analyzers
+// registered for serialization.
+func NewStore(analyzers []*analysis.Analyzer) *Store {
+	s := &Store{
+		facts: map[storeKey]analysis.Fact{},
+		types: map[string]reflect.Type{},
+	}
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			s.types[typeName(f)] = reflect.TypeOf(f)
+		}
+	}
+	return s
+}
+
+// typeName is the wire name of a fact type: the pointed-to struct's
+// package-qualified type string ("detreach.Taints").
+func typeName(f analysis.Fact) string {
+	t := reflect.TypeOf(f)
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	name := t.String()
+	// Strip any full-path package qualification down to pkg.Type so
+	// the wire name is stable across module layouts.
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		name = name[i+1:]
+	}
+	return name
+}
+
+// ObjectKey returns the canonical cross-package key for obj:
+// "pkg/path.Name" for package functions, "(pkg/path.Recv).Name" for
+// methods, "pkg/path.Name" for other package-level objects.
+func ObjectKey(obj types.Object) string {
+	if fn, ok := obj.(*types.Func); ok {
+		return fn.FullName()
+	}
+	if obj.Pkg() != nil {
+		return obj.Pkg().Path() + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+// Export records fact for obj, replacing any prior fact of the same
+// type.
+func (s *Store) Export(obj types.Object, fact analysis.Fact) {
+	s.facts[storeKey{ObjectKey(obj), typeName(fact)}] = fact
+}
+
+// Import copies the stored fact of fact's type for obj into fact,
+// reporting whether one existed. fact must be a non-nil pointer of the
+// same concrete type as the stored fact.
+func (s *Store) Import(obj types.Object, fact analysis.Fact) bool {
+	stored, ok := s.facts[storeKey{ObjectKey(obj), typeName(fact)}]
+	if !ok {
+		return false
+	}
+	dv := reflect.ValueOf(fact)
+	sv := reflect.ValueOf(stored)
+	if dv.Type() != sv.Type() || dv.Kind() != reflect.Pointer || dv.IsNil() {
+		return false
+	}
+	dv.Elem().Set(sv.Elem())
+	return true
+}
+
+// Bind wires a Pass's fact hooks to this store. AllObjectFacts is
+// restricted to objects of the pass's package.
+func (s *Store) Bind(pass *analysis.Pass) {
+	pass.ExportObjectFact = s.Export
+	pass.ImportObjectFact = s.Import
+	pass.AllObjectFacts = func() []analysis.ObjectFact {
+		// Object pointers are not recoverable from keys; expose the
+		// package's facts by re-walking its scope.
+		var out []analysis.ObjectFact
+		scope := pass.Pkg.Scope()
+		for _, name := range scope.Names() {
+			obj := scope.Lookup(name)
+			for k, f := range s.facts {
+				if k.obj == ObjectKey(obj) {
+					out = append(out, analysis.ObjectFact{Object: obj, Fact: f})
+				}
+			}
+		}
+		return out
+	}
+}
+
+// wireFact is the serialized form of one fact.
+type wireFact struct {
+	Obj  string
+	Type string
+	Data []byte
+}
+
+// Encode serializes every fact in the store (the current package's and
+// its dependencies'), deterministically ordered, for a vetx file.
+// Facts of unregistered types are skipped.
+func (s *Store) Encode() ([]byte, error) {
+	wire := make([]wireFact, 0, len(s.facts))
+	for k, f := range s.facts {
+		if _, ok := s.types[k.typ]; !ok {
+			continue
+		}
+		var val bytes.Buffer
+		rv := reflect.ValueOf(f)
+		for rv.Kind() == reflect.Pointer {
+			rv = rv.Elem()
+		}
+		if err := gob.NewEncoder(&val).EncodeValue(rv); err != nil {
+			return nil, fmt.Errorf("facts: encoding %s fact for %s: %w", k.typ, k.obj, err)
+		}
+		wire = append(wire, wireFact{Obj: k.obj, Type: k.typ, Data: val.Bytes()})
+	}
+	sort.Slice(wire, func(i, j int) bool {
+		if wire[i].Obj != wire[j].Obj {
+			return wire[i].Obj < wire[j].Obj
+		}
+		return wire[i].Type < wire[j].Type
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
+		return nil, fmt.Errorf("facts: encoding store: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode merges a vetx file produced by Encode into the store. Facts
+// of types no registered analyzer declares are skipped (a disabled
+// analyzer's facts simply vanish).
+func (s *Store) Decode(data []byte) error {
+	var wire []wireFact
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&wire); err != nil {
+		return fmt.Errorf("facts: decoding store: %w", err)
+	}
+	for _, w := range wire {
+		pt, ok := s.types[w.Type]
+		if !ok {
+			continue
+		}
+		for pt.Kind() == reflect.Pointer {
+			pt = pt.Elem()
+		}
+		pv := reflect.New(pt)
+		if err := gob.NewDecoder(bytes.NewReader(w.Data)).DecodeValue(pv.Elem()); err != nil {
+			return fmt.Errorf("facts: decoding %s fact for %s: %w", w.Type, w.Obj, err)
+		}
+		s.facts[storeKey{w.Obj, w.Type}] = pv.Interface().(analysis.Fact)
+	}
+	return nil
+}
+
+// Len reports the number of stored facts (tests and diagnostics).
+func (s *Store) Len() int { return len(s.facts) }

@@ -1,0 +1,254 @@
+// Package gojoin defines a tealint analyzer requiring every goroutine
+// to be joined and cancellable — the concurrency half of service
+// readiness.
+//
+// The parallel replay scheduler joins its workers with a WaitGroup and
+// drains them through channels; a goroutine without either is a leak
+// that the chaos harness cannot see and a server cannot shed. For each
+// `go` statement in non-test code the analyzer demands two pieces of
+// static evidence:
+//
+//  1. Completion signal: the spawned body (a function literal's body,
+//     or the callee's — via the cross-package Completes fact when the
+//     callee lives in another package) calls (*sync.WaitGroup).Done,
+//     sends on a channel, or closes one.
+//
+//  2. Join point: the spawning function waits — (*sync.WaitGroup).Wait,
+//     a channel receive, a range over a channel, or a select with a
+//     receive case.
+//
+// Additionally, a goroutine body containing an unbounded loop
+// (`for {}` / `for cond {}`) must observe cancellation: reference a
+// context.Context, use select, or receive from a channel. Otherwise it
+// spins forever after its work is obsolete — the classic goroutine
+// leak under server load.
+//
+// Functions whose bodies signal completion export the Completes fact,
+// so `go worker.Run(&wg)` across a package boundary still counts as
+// evidence. Dynamic spawns through stored function values are out of
+// scope (the call graph's documented boundary).
+package gojoin
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Completes is the cross-package fact: the function signals completion
+// (WaitGroup.Done, channel send, or close) and is therefore joinable
+// when spawned as a goroutine.
+type Completes struct{}
+
+// AFact marks Completes as a fact type.
+func (*Completes) AFact() {}
+
+// Analyzer reports unjoined and uncancellable goroutines.
+var Analyzer = &analysis.Analyzer{
+	Name: "gojoin",
+	Doc: "require every goroutine to signal completion (WaitGroup.Done, channel send/close), be waited on by its spawner, and observe cancellation in unbounded loops\n\n" +
+		"An unjoined goroutine is a leak the chaos harness cannot see; one that ignores cancellation spins after its work is obsolete.",
+	FactTypes: []analysis.Fact{new(Completes)},
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// First pass: which locally declared functions signal completion.
+	completes := map[*types.Func]bool{}
+	decls := map[*types.Func]*ast.FuncDecl{}
+	var order []*types.Func
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[fn] = fd
+			order = append(order, fn)
+			if signalsCompletion(pass, fd.Body) {
+				completes[fn] = true
+				if !analysis.IsTestFile(pass.Fset, fd.Pos()) {
+					pass.ExportFact(fn, &Completes{})
+				}
+			}
+		}
+	}
+
+	for _, fn := range order {
+		fd := decls[fn]
+		if analysis.IsTestFile(pass.Fset, fd.Pos()) {
+			continue
+		}
+		waits := spawnerWaits(pass, fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGo(pass, gs, waits, completes, decls)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkGo validates one go statement against the join and cancellation
+// requirements.
+func checkGo(pass *analysis.Pass, gs *ast.GoStmt, spawnerWaits bool, completes map[*types.Func]bool, decls map[*types.Func]*ast.FuncDecl) {
+	var body *ast.BlockStmt // spawned body, when visible
+	signaled := false
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+		signaled = signalsCompletion(pass, body)
+	default:
+		if callee := calleeFunc(pass, gs.Call); callee != nil {
+			if completes[callee] {
+				signaled = true
+			} else {
+				var fact Completes
+				signaled = pass.ImportFact(callee, &fact)
+			}
+			if fd := decls[callee]; fd != nil {
+				body = fd.Body
+			}
+		}
+	}
+
+	switch {
+	case !signaled:
+		pass.Reportf(gs.Pos(), "goroutine signals no completion: its body must call WaitGroup.Done, send on a channel, or close one, so the spawner can join it")
+	case !spawnerWaits:
+		pass.Reportf(gs.Pos(), "goroutine is never joined: the spawning function must wait for it (WaitGroup.Wait, channel receive, range, or select)")
+	}
+
+	// Cancellation: only checkable when the body is visible, and only
+	// demanded when it loops unboundedly.
+	if body != nil && hasUnboundedLoop(body) && !observesCancellation(pass, body) {
+		pass.Reportf(gs.Pos(), "goroutine loops without observing cancellation: an unbounded loop must watch a context, select, or channel-close signal, or it leaks under load")
+	}
+}
+
+// signalsCompletion reports whether the body contains a completion
+// signal: a (*sync.WaitGroup).Done call, a channel send, or a close.
+func signalsCompletion(pass *analysis.Pass, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass, n); fn != nil && fn.FullName() == "(*sync.WaitGroup).Done" {
+				found = true
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// spawnerWaits reports whether the function body contains a join
+// point: WaitGroup.Wait, a channel receive, a range over a channel, or
+// a select with a receive case.
+func spawnerWaits(pass *analysis.Pass, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass, n); fn != nil && fn.FullName() == "(*sync.WaitGroup).Wait" {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+				if _, isChan := types.Unalias(tv.Type).Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.SelectStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// hasUnboundedLoop reports whether the body contains a for loop with no
+// bounded iteration structure: `for {}` or `for cond {}` (range loops
+// are bounded by their operand or its close).
+func hasUnboundedLoop(body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fs, ok := n.(*ast.ForStmt); ok && fs.Init == nil && fs.Post == nil {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// observesCancellation reports whether the body references a
+// context.Context, uses select, or receives from a channel — any of
+// which can carry a stop signal.
+func observesCancellation(pass *analysis.Pass, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+				if _, isChan := types.Unalias(tv.Type).Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[n]; obj != nil && isContextType(obj.Type()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// calleeFunc resolves a call's static callee, or nil.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package gojoin_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/gojoin"
+)
+
+func TestGoJoin(t *testing.T) {
+	analysistest.Run(t, ".", gojoin.Analyzer, "svc")
+}

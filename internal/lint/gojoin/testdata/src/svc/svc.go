@@ -1,0 +1,79 @@
+// Package svc exercises the goroutine join and cancellation rules,
+// including spawns of cross-package bodies proven joinable by facts.
+package svc
+
+import (
+	"context"
+	"sync"
+
+	"worker"
+)
+
+func compute() int { return 42 }
+
+// FanOut spawns a cross-package worker: the Completes fact proves the
+// body signals, and wg.Wait is the join.
+func FanOut() []int {
+	var wg sync.WaitGroup
+	out := make(chan int, 2)
+	wg.Add(2)
+	for i := 0; i < 2; i++ {
+		go worker.Run(&wg, out)
+	}
+	wg.Wait()
+	close(out)
+	var res []int
+	for v := range out {
+		res = append(res, v)
+	}
+	return res
+}
+
+// Leak spawns a goroutine that signals nothing.
+func Leak() {
+	go func() { // want "goroutine signals no completion"
+		compute()
+	}()
+}
+
+// LeakCross spawns a cross-package body with no Completes fact.
+func LeakCross() {
+	go worker.Forget(3) // want "goroutine signals no completion"
+}
+
+// NoJoin's goroutine signals, but the spawner never waits.
+func NoJoin() {
+	ch := make(chan int, 1)
+	go func() { // want "goroutine is never joined"
+		ch <- compute()
+	}()
+}
+
+// Spin's goroutine is joined but loops without observing cancellation.
+func Spin() {
+	done := make(chan struct{})
+	go func() { // want "goroutine loops without observing cancellation"
+		defer close(done)
+		for {
+			compute()
+		}
+	}()
+	<-done
+}
+
+// SpinOK's loop watches the context through a select: clean.
+func SpinOK(ctx context.Context) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				compute()
+			}
+		}
+	}()
+	<-done
+}

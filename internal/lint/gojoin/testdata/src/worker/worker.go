@@ -1,0 +1,17 @@
+// Package worker is a cross-package goroutine body: Run signals
+// completion, which only the exported Completes fact can prove to a
+// spawner in another package.
+package worker
+
+import "sync"
+
+// Run does one unit of work and signals the spawner's WaitGroup.
+func Run(wg *sync.WaitGroup, out chan<- int) {
+	defer wg.Done()
+	out <- 1
+}
+
+// Forget does work but never signals anyone.
+func Forget(n int) {
+	_ = n * n
+}

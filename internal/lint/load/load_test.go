@@ -1,0 +1,112 @@
+package load_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/load"
+)
+
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLoadMultiPackage(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module m\n\ngo 1.22\n",
+		"a/a.go": "package a\n\nimport \"m/b\"\n\nfunc A() int { return b.B() + 1 }\n",
+		"b/b.go": "package b\n\nfunc B() int { return 41 }\n",
+	})
+	resolver := load.NewGoListResolver(dir)
+	roots, err := resolver.Roots("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(roots, ",") != "m/a,m/b" {
+		t.Fatalf("roots = %v, want [m/a m/b] (sorted)", roots)
+	}
+
+	loader := load.NewLoader(resolver.Resolve)
+	// Loading the dependent first must transitively load the
+	// dependency with full type information for the importer.
+	a, err := loader.Load("m/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Types.Name() != "a" || len(a.Files) != 1 {
+		t.Fatalf("package a = %v (%d files)", a.Types, len(a.Files))
+	}
+	if len(a.Info.Defs) == 0 || len(a.Info.Uses) == 0 {
+		t.Error("package a was loaded without type-checked bodies")
+	}
+	// b.B must resolve through a's uses: full cross-package types.
+	fnB := a.Types.Imports()[0].Scope().Lookup("B")
+	if fnB == nil {
+		t.Fatal("m/b's scope lacks B")
+	}
+
+	// Memoization: a second Load returns the identical package.
+	b1, err := loader.Load("m/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := loader.Load("m/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 != b2 {
+		t.Error("Load is not memoized: two calls returned distinct packages")
+	}
+	// The memoized m/b is the same *types.Package a imported, so facts
+	// keyed by objects stay coherent across the whole load.
+	if b1.Types != a.Types.Imports()[0] {
+		t.Error("a's import of m/b is not the loaded m/b package")
+	}
+}
+
+func TestLoadParseError(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module m\n\ngo 1.22\n",
+		"a/a.go": "package a\n\nfunc Broken( {}\n",
+	})
+	resolver := load.NewGoListResolver(dir)
+	loader := load.NewLoader(resolver.Resolve)
+	if _, err := loader.Load("m/a"); err == nil {
+		t.Fatal("loading a syntactically broken package succeeded")
+	}
+}
+
+func TestLoadTypeError(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module m\n\ngo 1.22\n",
+		"a/a.go": "package a\n\nfunc A() int { return \"not an int\" }\n",
+	})
+	resolver := load.NewGoListResolver(dir)
+	// Roots marks m/a as a lint target: full bodies, so the type error
+	// inside A's body is surfaced (a bare Resolve would load it as a
+	// body-less dependency).
+	if _, err := resolver.Roots("./..."); err != nil {
+		t.Fatal(err)
+	}
+	loader := load.NewLoader(resolver.Resolve)
+	_, err := loader.Load("m/a")
+	if err == nil {
+		t.Fatal("loading an ill-typed package succeeded")
+	}
+	if !strings.Contains(err.Error(), "m/a") {
+		t.Errorf("error %q does not name the failing package", err)
+	}
+}

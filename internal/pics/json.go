@@ -54,7 +54,10 @@ func (p *Profile) WriteJSON(w io.Writer) error {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(jp)
+	if err := enc.Encode(jp); err != nil {
+		return simerr.Wrap(simerr.ErrInternal, simerr.Snapshot{}, err, "pics: writing profile JSON")
+	}
+	return nil
 }
 
 // ReadJSON parses a profile previously serialized with WriteJSON —

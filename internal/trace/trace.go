@@ -278,6 +278,8 @@ type winEnt struct {
 // mismatch — returns a typed *simerr.Error of kind simerr.ErrDecode
 // with the failing record's position in its snapshot. Replay never
 // panics on malformed input (FuzzReplay pins this).
+//
+//tealint:ctxroot uncancellable convenience entry point: callers with a context use ReplayContext
 func Replay(r io.Reader, probes ...cpu.Probe) (totalCycles uint64, err error) {
 	return ReplayContext(context.Background(), r, probes...)
 }
@@ -302,6 +304,8 @@ func ReplayContext(ctx context.Context, r io.Reader, probes ...cpu.Probe) (total
 // internal/analysis) validates disk-tier entries with it before
 // serving them, so a corrupt cache file is a miss, never an ErrDecode
 // surfaced to an experiment.
+//
+//tealint:ctxroot integrity check over an in-memory buffer, bounded by the buffer's length; nothing upstream to cancel it
 func Verify(data []byte) error {
 	_, err := ReplayBytes(context.Background(), data)
 	return err

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/program"
+	"repro/internal/simerr"
 )
 
 // Workload describes one benchmark of the suite.
@@ -64,7 +65,8 @@ func ByName(name string) (Workload, error) {
 			return w, nil
 		}
 	}
-	return Workload{}, fmt.Errorf("workloads: unknown benchmark %q", name)
+	return Workload{}, simerr.New(simerr.ErrInvalidConfig, simerr.Snapshot{Workload: name},
+		"workloads: unknown benchmark %q", name)
 }
 
 // Names lists the suite's benchmark names in order.

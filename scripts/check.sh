@@ -1,6 +1,6 @@
 #!/bin/sh
 # Full pre-merge gate: build, vet, race-enabled tests, and the TEA
-# invariant lint suite (standalone + vet-tool modes).
+# invariant lint suite (standalone + vet-tool + -json modes).
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -9,9 +9,17 @@ go build ./...
 go vet ./...
 go test -race ./...
 
-go build -o bin/tealint ./cmd/tealint
-./bin/tealint ./...
-go vet -vettool="$PWD/bin/tealint" ./...
+# TEA invariant lint suite. `make lint` owns building the tealint
+# binary and runs all three modes (standalone, vet-tool, -json smoke),
+# so the gate and the Makefile cannot drift apart.
+make lint
+
+# Whole-program analyzer golden suites: the cross-package facts
+# machinery (taint reachability, context threading, goroutine joins,
+# typed-error boundaries) plus the checker and loader underneath it.
+go test ./internal/lint/detreach ./internal/lint/ctxflow \
+	./internal/lint/gojoin ./internal/lint/errbound \
+	./internal/lint/checker ./internal/lint/load
 
 # Robustness fuzz smoke: a short budget per target keeps the malformed-
 # input contract (typed errors, no panics) exercised on every gate.
@@ -28,10 +36,14 @@ go build -o bin/teachaos ./cmd/teachaos
 # benchmark keeps the harness compiling and running (full runs: make
 # bench), and teadiff compares its deterministic accuracy metrics
 # against the committed baseline — bit-identical or the gate fails.
-# Timing columns are reported by teadiff but never gated.
+# Timing columns are reported by teadiff but never gated. The trap
+# guarantees the temp files are removed even when a gate step fails
+# (set -e exits straight through the old trailing rm).
+bench_out=
+bench_json=
+trap 'rm -f "$bench_out" "$bench_json"' EXIT
 bench_out=$(mktemp)
 bench_json=$(mktemp)
 go test -bench=. -benchtime=1x -timeout 30m . >"$bench_out"
 go run ./cmd/teabench -label gate <"$bench_out" >"$bench_json"
 go run ./cmd/teadiff -mode bench -baseline BENCH_2026-08-06_tracestore.json -current "$bench_json"
-rm -f "$bench_out" "$bench_json"

@@ -1,0 +1,44 @@
+// Command jsonsmoke is the lint gate's machine-readable-output check:
+// it reads `tealint -json` output from stdin, verifies it parses back
+// into the wire type the checker emits ([]checker.JSONDiagnostic, the
+// contract dashboards and editor integrations consume), and fails if
+// any diagnostic is present or structurally incomplete.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/lint/checker"
+)
+
+func main() {
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jsonsmoke: reading stdin:", err)
+		os.Exit(1)
+	}
+	var diags []checker.JSONDiagnostic
+	if err := json.Unmarshal(data, &diags); err != nil {
+		fmt.Fprintln(os.Stderr, "jsonsmoke: tealint -json output does not parse:", err)
+		os.Exit(1)
+	}
+	bad := false
+	for _, d := range diags {
+		if d.File == "" || d.Line <= 0 || d.Message == "" || d.Analyzer == "" {
+			fmt.Fprintf(os.Stderr, "jsonsmoke: structurally incomplete diagnostic: %+v\n", d)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n", d.File, d.Line, d.Col, d.Message, d.Analyzer)
+		}
+		os.Exit(2)
+	}
+}
