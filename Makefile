@@ -2,7 +2,7 @@ GO      ?= go
 BINDIR  := bin
 TEALINT := $(BINDIR)/tealint
 
-.PHONY: all build test race vet lint check chaos fuzz bench clean
+.PHONY: all build test race vet lint check chaos fuzz bench serve smoke load clean
 
 all: build
 
@@ -49,6 +49,27 @@ chaos:
 fuzz:
 	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzReplay -fuzztime=10s
 	$(GO) test ./internal/pics -run='^$$' -fuzz=FuzzProfileJSON -fuzztime=10s
+	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzSubmit -fuzztime=10s
+
+# serve builds and starts the profiling service on its default port
+# (flags via SERVE_FLAGS, e.g. make serve SERVE_FLAGS="-addr :9000").
+# docs/OPERATIONS.md is the operator guide.
+serve:
+	$(GO) build -o $(BINDIR)/teaserve ./cmd/teaserve
+	$(BINDIR)/teaserve $(SERVE_FLAGS)
+
+# smoke runs the end-to-end server check against a freshly built
+# binary: every endpoint, byte-identical profiles, clean SIGTERM.
+smoke:
+	$(GO) build -o $(BINDIR)/teaserve ./cmd/teaserve
+	$(GO) run ./scripts/servesmoke -bin $(BINDIR)/teaserve
+
+# load drives a load test against an already-running server (start one
+# with `make serve SERVE_FLAGS="-queue 2048 -quota-rate 0"`) and writes
+# the BENCH_<date>_serve.json latency/dedup snapshot.
+load:
+	$(GO) build -o $(BINDIR)/teaload ./cmd/teaload
+	$(BINDIR)/teaload $(LOAD_FLAGS)
 
 # bench runs the figure/table benchmark harness with -benchmem and
 # writes BENCH_<date>.json (see scripts/bench.sh for BENCHTIME/LABEL).

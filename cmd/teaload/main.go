@@ -1,0 +1,355 @@
+// Command teaload drives a running teaserve instance with concurrent
+// profiling jobs from synthetic tenants and reports latency and
+// cache-dedup numbers — the load half of the service's BENCH snapshot
+// (docs/OPERATIONS.md explains how to read one).
+//
+//	teaserve -addr 127.0.0.1:8315 -queue 2048 -quota-rate 0 &
+//	teaload -url http://127.0.0.1:8315 -jobs 1000 -tenants 4 \
+//	        -concurrency 1000 -scale 0.05 -label serve -o BENCH_serve.json
+//
+// Every submission that is shed with 429 honors the server's
+// Retry-After before retrying, so the run also exercises the
+// cooperative-backpressure contract. The process exits nonzero if any
+// job fails, any response is a 5xx, or the transport errors — i.e. a
+// clean exit is evidence of zero server panics under the run's
+// concurrency.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// jobResult is one job's outcome as observed by the client.
+type jobResult struct {
+	status     string
+	latencyMs  float64 // accepted -> terminal
+	retries429 int
+	transport  bool // transport-level failure (server gone)
+	code5xx    bool
+}
+
+// report is the BENCH_*.json document teaload writes.
+type report struct {
+	Date      string       `json:"date"`
+	Label     string       `json:"label,omitempty"`
+	GoVersion string       `json:"go_version"`
+	Config    loadConfig   `json:"config"`
+	Results   loadResults  `json:"results"`
+	Server    serverCounts `json:"server"`
+}
+
+type loadConfig struct {
+	URL         string   `json:"url"`
+	Jobs        int      `json:"jobs"`
+	Tenants     int      `json:"tenants"`
+	Concurrency int      `json:"concurrency"`
+	Workloads   []string `json:"workloads"`
+	Techniques  []string `json:"techniques"`
+	Scale       float64  `json:"scale"`
+}
+
+type loadResults struct {
+	Completed     int     `json:"completed"`
+	Failed        int     `json:"failed"`
+	Canceled      int     `json:"canceled"`
+	Rejections429 int     `json:"rejections_429"`
+	Transport     int     `json:"transport_errors"`
+	Server5xx     int     `json:"server_5xx"`
+	P50Ms         float64 `json:"p50_ms"`
+	P90Ms         float64 `json:"p90_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	MaxMs         float64 `json:"max_ms"`
+	WallSeconds   float64 `json:"wall_s"`
+	JobsPerSecond float64 `json:"jobs_per_s"`
+}
+
+// serverCounts is the dedup evidence: /v1/stats deltas across the run.
+type serverCounts struct {
+	Captures   uint64  `json:"captures"`
+	CacheRate  float64 `json:"capture_dedup_rate"` // 1 - captures/completed
+	StoreHits  uint64  `json:"store_hits"`
+	StoreMiss  uint64  `json:"store_misses"`
+	StorePanic int     `json:"server_panics"` // always 0 on a clean exit; recorded explicitly
+}
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8315", "teaserve base URL")
+	jobs := flag.Int("jobs", 1000, "total jobs to submit")
+	tenants := flag.Int("tenants", 4, "synthetic tenants to spread jobs across")
+	concurrency := flag.Int("concurrency", 1000, "jobs kept in flight concurrently")
+	workloadsCSV := flag.String("workloads", "bwaves,exchange2,mcf,x264", "comma-separated workload names to cycle through")
+	techniquesCSV := flag.String("techniques", "tea", "comma-separated techniques per job")
+	scale := flag.Float64("scale", 0.05, "config.scale for every job")
+	poll := flag.Duration("poll", 25*time.Millisecond, "job status poll interval")
+	label := flag.String("label", "serve", "label recorded in the report")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	names := strings.Split(*workloadsCSV, ",")
+	techniques := strings.Split(*techniquesCSV, ",")
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        *concurrency,
+		MaxIdleConnsPerHost: *concurrency,
+	}}
+
+	before, err := fetchStats(client, *url)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "teaload: server not reachable:", err)
+		os.Exit(1)
+	}
+
+	results := make([]jobResult, *jobs)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	par := *concurrency
+	if par > *jobs {
+		par = *jobs
+	}
+	start := time.Now()
+	for p := 0; p < par; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i] = runJob(client, *url, jobSpec{
+					tenant:     fmt.Sprintf("tenant-%d", i%*tenants),
+					workload:   names[i%len(names)],
+					techniques: techniques,
+					scale:      *scale,
+				}, *poll)
+			}
+		}()
+	}
+	for i := 0; i < *jobs; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	wall := time.Since(start)
+
+	after, err := fetchStats(client, *url)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "teaload: stats after run:", err)
+		os.Exit(1)
+	}
+
+	rep := summarize(results, wall, loadConfig{
+		URL: *url, Jobs: *jobs, Tenants: *tenants, Concurrency: par,
+		Workloads: names, Techniques: techniques, Scale: *scale,
+	}, before, after, *label)
+
+	doc, _ := json.MarshalIndent(rep, "", "  ")
+	doc = append(doc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, doc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "teaload:", err)
+			os.Exit(1)
+		}
+	} else {
+		os.Stdout.Write(doc)
+	}
+	fmt.Fprintf(os.Stderr, "teaload: %d/%d done in %.1fs  p50=%.0fms p99=%.0fms  captures=%d dedup=%.1f%%\n",
+		rep.Results.Completed, *jobs, rep.Results.WallSeconds,
+		rep.Results.P50Ms, rep.Results.P99Ms, rep.Server.Captures, rep.Server.CacheRate*100)
+	if rep.Results.Failed > 0 || rep.Results.Server5xx > 0 || rep.Results.Transport > 0 {
+		fmt.Fprintln(os.Stderr, "teaload: FAIL — job failures, 5xx responses, or transport errors (see report)")
+		os.Exit(1)
+	}
+}
+
+type jobSpec struct {
+	tenant     string
+	workload   string
+	techniques []string
+	scale      float64
+}
+
+// runJob submits one job — honoring Retry-After across 429 rejections —
+// then polls it to a terminal state.
+func runJob(client *http.Client, base string, spec jobSpec, poll time.Duration) jobResult {
+	var res jobResult
+	body, _ := json.Marshal(map[string]any{
+		"tenant":     spec.tenant,
+		"workload":   spec.workload,
+		"techniques": spec.techniques,
+		"config":     map[string]any{"scale": spec.scale},
+	})
+
+	var id string
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			res.transport = true
+			res.status = "transport_error"
+			return res
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusAccepted:
+			var sub struct {
+				ID string `json:"id"`
+			}
+			if err := json.Unmarshal(data, &sub); err != nil || sub.ID == "" {
+				res.status = "bad_submit_response"
+				return res
+			}
+			id = sub.ID
+		case resp.StatusCode == http.StatusTooManyRequests && attempt < 120:
+			res.retries429++
+			time.Sleep(retryAfter(resp))
+			continue
+		case resp.StatusCode >= 500:
+			res.code5xx = true
+			res.status = "http_" + strconv.Itoa(resp.StatusCode)
+			return res
+		default:
+			res.status = "http_" + strconv.Itoa(resp.StatusCode)
+			return res
+		}
+		break
+	}
+
+	accepted := time.Now()
+	for {
+		resp, err := client.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			res.transport = true
+			res.status = "transport_error"
+			return res
+		}
+		data, _ := io.ReadAll(resp.Body)
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code >= 500 {
+			res.code5xx = true
+			res.status = "http_" + strconv.Itoa(code)
+			return res
+		}
+		var view struct {
+			Status string `json:"status"`
+		}
+		if err := json.Unmarshal(data, &view); err != nil {
+			res.status = "bad_job_response"
+			return res
+		}
+		if view.Status == "done" || view.Status == "failed" || view.Status == "canceled" {
+			res.status = view.Status
+			res.latencyMs = float64(time.Since(accepted)) / float64(time.Millisecond)
+			return res
+		}
+		time.Sleep(poll)
+	}
+}
+
+// retryAfter parses the server's backoff hint, defaulting to one
+// second.
+func retryAfter(resp *http.Response) time.Duration {
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return time.Second
+}
+
+// statsDoc is the subset of /v1/stats teaload reads.
+type statsDoc struct {
+	Captures   uint64 `json:"captures"`
+	TraceStore struct {
+		Hits   uint64 `json:"hits"`
+		Misses uint64 `json:"misses"`
+	} `json:"tracestore"`
+}
+
+func fetchStats(client *http.Client, base string) (statsDoc, error) {
+	var doc statsDoc
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return doc, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return doc, fmt.Errorf("stats endpoint returned %d", resp.StatusCode)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&doc)
+	return doc, err
+}
+
+// summarize folds per-job results and the server-side deltas into the
+// report document.
+func summarize(results []jobResult, wall time.Duration, cfg loadConfig, before, after statsDoc, label string) report {
+	var latencies []float64
+	var out loadResults
+	for _, r := range results {
+		switch r.status {
+		case "done":
+			out.Completed++
+			latencies = append(latencies, r.latencyMs)
+		case "canceled":
+			out.Canceled++
+		default:
+			out.Failed++
+		}
+		out.Rejections429 += r.retries429
+		if r.transport {
+			out.Transport++
+		}
+		if r.code5xx {
+			out.Server5xx++
+		}
+	}
+	sort.Float64s(latencies)
+	out.P50Ms = percentile(latencies, 0.50)
+	out.P90Ms = percentile(latencies, 0.90)
+	out.P99Ms = percentile(latencies, 0.99)
+	if n := len(latencies); n > 0 {
+		out.MaxMs = latencies[n-1]
+	}
+	out.WallSeconds = wall.Seconds()
+	if out.WallSeconds > 0 {
+		out.JobsPerSecond = float64(out.Completed) / out.WallSeconds
+	}
+
+	srv := serverCounts{
+		Captures:  after.Captures - before.Captures,
+		StoreHits: after.TraceStore.Hits - before.TraceStore.Hits,
+		StoreMiss: after.TraceStore.Misses - before.TraceStore.Misses,
+	}
+	if out.Completed > 0 {
+		srv.CacheRate = 1 - float64(srv.Captures)/float64(out.Completed)
+	}
+	return report{
+		Date:      time.Now().Format("2006-01-02"),
+		Label:     label,
+		GoVersion: runtime.Version(),
+		Config:    cfg,
+		Results:   out,
+		Server:    srv,
+	}
+}
+
+// percentile returns the p-quantile of sorted values (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,108 @@
+// Command teaserve is the multi-tenant profiling service: a
+// long-running HTTP/JSON server that accepts (workload | inline
+// program, RunConfig, techniques) jobs, runs them through a bounded
+// worker pool with per-tenant quotas and queue admission control, and
+// serves PICS profiles back. docs/API.md documents the wire surface;
+// docs/OPERATIONS.md covers deployment and tuning.
+//
+//	teaserve -addr :8315 -workers 8 -tracecache /var/cache/tea
+//
+// The server prints "teaserve: listening on <host:port>" once the
+// listener is up (with -addr :0 the kernel-assigned port appears
+// there), and shuts down cleanly on SIGINT/SIGTERM: stop accepting,
+// drain in-flight jobs for -drain, then cancel whatever remains and
+// exit 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/serve"
+)
+
+func main() {
+	def := serve.DefaultConfig()
+	addr := flag.String("addr", ":8315", "listen address (\":0\" picks an ephemeral port)")
+	workers := flag.Int("workers", def.Workers, "worker-pool size (concurrent jobs)")
+	queue := flag.Int("queue", def.QueueDepth, "admission queue depth (full queue => 429)")
+	quotaRate := flag.Float64("quota-rate", def.TenantRate, "per-tenant job rate in jobs/sec (<=0 disables quotas)")
+	quotaBurst := flag.Float64("quota-burst", def.TenantBurst, "per-tenant token-bucket burst")
+	jobTimeout := flag.Duration("job-timeout", def.JobTimeout, "per-job wall-clock limit (0 disables)")
+	maxBody := flag.Int64("max-body", def.MaxBodyBytes, "request-body byte cap")
+	maxIters := flag.Int("max-iters", def.MaxIters, "inline-program iteration cap")
+	maxScale := flag.Float64("max-scale", def.MaxScale, "largest accepted config.scale")
+	keepFinished := flag.Int("keep-finished", def.KeepFinished, "finished jobs retained before eviction")
+	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain window for in-flight jobs")
+	memBudget := flag.Int64("mem-budget", analysis.DefaultStoreBudget, "trace-store memory-tier budget in bytes")
+	tracecache := flag.String("tracecache", os.Getenv("TEA_TRACE_CACHE"),
+		"directory for the persistent trace cache (\"\" disables the disk tier)")
+	flag.Parse()
+
+	analysis.SetTraceStore(analysis.NewTraceStore(*memBudget, *tracecache))
+	s := serve.New(serve.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		TenantRate:   *quotaRate,
+		TenantBurst:  *quotaBurst,
+		JobTimeout:   *jobTimeout,
+		MaxBodyBytes: *maxBody,
+		MaxIters:     *maxIters,
+		MaxScale:     *maxScale,
+		KeepFinished: *keepFinished,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "teaserve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("teaserve: listening on %s\n", ln.Addr())
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	runCtx, cancelRun := context.WithCancel(context.Background())
+	defer cancelRun()
+
+	httpSrv := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	poolDone := make(chan struct{})
+	go func() { s.Run(runCtx); close(poolDone) }()
+
+	select {
+	case <-sigCtx.Done():
+		fmt.Println("teaserve: signal received, shutting down")
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "teaserve: listener failed:", err)
+		cancelRun()
+		<-poolDone
+		os.Exit(1)
+	}
+
+	// Stop accepting first, so every already-admitted poller gets its
+	// response; then give in-flight jobs the drain window before the
+	// worker contexts are cancelled.
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), *drain+5*time.Second)
+	defer cancelShutdown()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "teaserve: shutdown:", err)
+	}
+	deadline := time.Now().Add(*drain)
+	for !s.Idle() && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	cancelRun()
+	<-poolDone
+	<-serveErr // Serve has returned http.ErrServerClosed by now
+	fmt.Println("teaserve: shutdown complete")
+}

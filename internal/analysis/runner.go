@@ -67,6 +67,12 @@ func (rc RunConfig) iters(w workloads.Workload) int {
 	return n
 }
 
+// Iters returns the iteration count rc's Scale implies for w — the
+// sizing RunBenchmark applies. Exported so out-of-package callers (the
+// teaserve job builder) construct programs byte-identical to a local
+// harness run with the same configuration.
+func (rc RunConfig) Iters(w workloads.Workload) int { return rc.iters(w) }
+
 // BenchRun holds everything one simulation produced: the golden
 // reference, every technique's profile, event counters, and the
 // auxiliary statistics probes.
@@ -189,6 +195,7 @@ func (g *guardedProbe) catch() {
 	}
 }
 
+// OnCycle forwards the cycle hook unless the probe already failed.
 func (g *guardedProbe) OnCycle(ci *cpu.CycleInfo) {
 	if g.err != nil {
 		return
@@ -197,6 +204,7 @@ func (g *guardedProbe) OnCycle(ci *cpu.CycleInfo) {
 	g.inner.OnCycle(ci)
 }
 
+// OnFetch forwards the fetch hook unless the probe already failed.
 func (g *guardedProbe) OnFetch(r cpu.Ref, cycle uint64) {
 	if g.err != nil {
 		return
@@ -205,6 +213,7 @@ func (g *guardedProbe) OnFetch(r cpu.Ref, cycle uint64) {
 	g.inner.OnFetch(r, cycle)
 }
 
+// OnDispatch forwards the dispatch hook unless the probe already failed.
 func (g *guardedProbe) OnDispatch(r cpu.Ref, cycle uint64) {
 	if g.err != nil {
 		return
@@ -213,6 +222,7 @@ func (g *guardedProbe) OnDispatch(r cpu.Ref, cycle uint64) {
 	g.inner.OnDispatch(r, cycle)
 }
 
+// OnCommit forwards the commit hook unless the probe already failed.
 func (g *guardedProbe) OnCommit(r cpu.Ref, cycle uint64) {
 	if g.err != nil {
 		return
@@ -221,6 +231,7 @@ func (g *guardedProbe) OnCommit(r cpu.Ref, cycle uint64) {
 	g.inner.OnCommit(r, cycle)
 }
 
+// OnSquash forwards the squash hook unless the probe already failed.
 func (g *guardedProbe) OnSquash(r cpu.Ref, cycle uint64) {
 	if g.err != nil {
 		return
@@ -229,6 +240,7 @@ func (g *guardedProbe) OnSquash(r cpu.Ref, cycle uint64) {
 	g.inner.OnSquash(r, cycle)
 }
 
+// OnDone forwards the end-of-run hook unless the probe already failed.
 func (g *guardedProbe) OnDone(totalCycles uint64) {
 	if g.err != nil {
 		return

@@ -62,6 +62,7 @@ var boundaryPackages = []string{
 	"internal/analysis",
 	"internal/tracestore",
 	"internal/pics",
+	"internal/serve",
 }
 
 // verdict classifies one error origin.

@@ -1,0 +1,408 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/simerr"
+	"repro/internal/xiter"
+)
+
+// Error kinds on the wire. The simulator-derived kinds mirror the
+// simerr taxonomy one to one; the service kinds cover failures that
+// never reach the simulator. docs/API.md carries the full mapping
+// table.
+const (
+	kindInvalidProgram = "invalid_program" // 400 simerr.ErrInvalidProgram
+	kindInvalidConfig  = "invalid_config"  // 400 simerr.ErrInvalidConfig
+	kindRunaway        = "runaway"         // 422 simerr.ErrRunaway
+	kindDeadlock       = "deadlock"        // 422 simerr.ErrDeadlock
+	kindDecode         = "decode"          // 500 simerr.ErrDecode (internal cache path; users cannot submit traces)
+	kindCanceled       = "canceled"        // 503 simerr.ErrCanceled (job bodies only)
+	kindInternal       = "internal"        // 500 simerr.ErrInternal or any unclassified error
+	kindBadRequest     = "bad_request"     // 400 malformed request body
+	kindBodyTooLarge   = "body_too_large"  // 413 request body over Config.MaxBodyBytes
+	kindQuotaExceeded  = "quota_exceeded"  // 429 tenant token bucket empty
+	kindQueueFull      = "queue_full"      // 429 admission queue full
+	kindNotFound       = "not_found"       // 404 unknown job ID or path
+	kindConflict       = "conflict"        // 409 cancel of a terminal job
+)
+
+// ErrorBody is the JSON error envelope's payload: a stable kind, the
+// HTTP status that kind maps to, and a human-readable message. Async
+// failures (inside a job resource) reuse the same shape with the
+// status field advisory.
+type ErrorBody struct {
+	// Kind is the machine-matchable failure class.
+	Kind string `json:"kind"`
+	// Status is the HTTP status Kind maps to when returned
+	// synchronously.
+	Status int `json:"status"`
+	// Message is the diagnostic, including the simulator's failure
+	// snapshot (workload, cycle, PC) when one exists.
+	Message string `json:"message"`
+}
+
+// statusForKind is the kind → HTTP status mapping (documented in
+// docs/API.md; changing it is an API break).
+func statusForKind(kind string) int {
+	switch kind {
+	case kindInvalidProgram, kindInvalidConfig, kindBadRequest:
+		return http.StatusBadRequest
+	case kindRunaway, kindDeadlock:
+		return http.StatusUnprocessableEntity
+	case kindQuotaExceeded, kindQueueFull:
+		return http.StatusTooManyRequests
+	case kindBodyTooLarge:
+		return http.StatusRequestEntityTooLarge
+	case kindNotFound:
+		return http.StatusNotFound
+	case kindConflict:
+		return http.StatusConflict
+	case kindCanceled:
+		return http.StatusServiceUnavailable
+	default: // kindDecode, kindInternal
+		return http.StatusInternalServerError
+	}
+}
+
+// errorBody classifies err into the wire envelope. Every *simerr.Error
+// keeps its kind and snapshot; anything else is an internal error.
+func errorBody(err error) *ErrorBody {
+	kind := kindInternal
+	switch {
+	case errors.Is(err, simerr.ErrInvalidProgram):
+		kind = kindInvalidProgram
+	case errors.Is(err, simerr.ErrInvalidConfig):
+		kind = kindInvalidConfig
+	case errors.Is(err, simerr.ErrRunaway):
+		kind = kindRunaway
+	case errors.Is(err, simerr.ErrDeadlock):
+		kind = kindDeadlock
+	case errors.Is(err, simerr.ErrDecode):
+		kind = kindDecode
+	case errors.Is(err, simerr.ErrCanceled):
+		kind = kindCanceled
+	}
+	return &ErrorBody{Kind: kind, Status: statusForKind(kind), Message: err.Error()}
+}
+
+// errEnvelope is the top-level error response: {"error": {...}}.
+type errEnvelope struct {
+	Error *ErrorBody `json:"error"`
+}
+
+// SubmitResponse is the 202 body of POST /v1/jobs.
+type SubmitResponse struct {
+	// ID is the job identifier to poll or stream.
+	ID string `json:"id"`
+	// Status is the job's admission state (always "queued").
+	Status Status `json:"status"`
+	// QueueDepth is the queue occupancy after admission — a load
+	// signal clients can use to self-pace before the server starts
+	// rejecting.
+	QueueDepth int `json:"queue_depth"`
+}
+
+// StoreStatsView is the trace-store section of /v1/stats.
+type StoreStatsView struct {
+	// Hits counts memory-tier cache hits.
+	Hits uint64 `json:"hits"`
+	// DiskHits counts disk-tier hits (promoted to memory).
+	DiskHits uint64 `json:"disk_hits"`
+	// Misses counts lookups no tier could serve.
+	Misses uint64 `json:"misses"`
+	// Puts counts entries inserted.
+	Puts uint64 `json:"puts"`
+	// Evictions counts memory-tier LRU evictions.
+	Evictions uint64 `json:"evictions"`
+	// DiskRejects counts corrupt disk entries discarded.
+	DiskRejects uint64 `json:"disk_rejects"`
+	// HitRate is (hits+disk_hits)/(hits+disk_hits+misses), 0 when idle.
+	// Note that singleflight waiters joining an in-progress capture
+	// count as misses here; Captures vs completed jobs is the truer
+	// dedup measure.
+	HitRate float64 `json:"hit_rate"`
+}
+
+// StatsView is the GET /v1/stats body.
+type StatsView struct {
+	// Workers is the worker-pool size.
+	Workers int `json:"workers"`
+	// QueueDepth is the current queue occupancy.
+	QueueDepth int `json:"queue_depth"`
+	// QueueCap is the admission-control bound.
+	QueueCap int `json:"queue_cap"`
+	// Jobs counts jobs per lifecycle status since startup (terminal
+	// states are cumulative).
+	Jobs map[string]uint64 `json:"jobs"`
+	// Submitted counts admitted jobs.
+	Submitted uint64 `json:"submitted"`
+	// RejectedQuota counts 429s from tenant quotas.
+	RejectedQuota uint64 `json:"rejected_quota"`
+	// RejectedQueue counts 429s from queue admission.
+	RejectedQueue uint64 `json:"rejected_queue"`
+	// Captures counts actual simulations performed process-wide; the
+	// gap between completed jobs and captures is the cross-tenant dedup
+	// win.
+	Captures uint64 `json:"captures"`
+	// TraceStore is the shared cache tier's traffic.
+	TraceStore StoreStatsView `json:"tracestore"`
+	// Tenants breaks traffic down per tenant.
+	Tenants map[string]TenantStats `json:"tenants"`
+}
+
+// streamRecord is one NDJSON line of GET /v1/jobs/{id}/stream.
+type streamRecord struct {
+	// Type discriminates the record: "status", "profile", or "end".
+	Type string `json:"type"`
+	// Status accompanies "status" records.
+	Status Status `json:"status,omitempty"`
+	// Technique and Profile accompany "profile" records.
+	Technique string          `json:"technique,omitempty"`
+	Profile   json.RawMessage `json:"profile,omitempty"`
+	// Job accompanies the final "end" record (profiles omitted — they
+	// were streamed individually).
+	Job *JobView `json:"job,omitempty"`
+}
+
+// Handler returns the service's HTTP surface (the /v1 API documented
+// in docs/API.md).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/jobs/{id}/profiles/{technique}", s.handleProfile)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/", s.handleNotFound)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req JobRequest
+	if err := dec.Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErrorKind(w, kindBodyTooLarge, "request body exceeds %d bytes", s.cfg.MaxBodyBytes)
+			return
+		}
+		writeErrorKind(w, kindBadRequest, "invalid job request: %v", err)
+		return
+	}
+	if dec.More() {
+		writeErrorKind(w, kindBadRequest, "invalid job request: trailing data after JSON document")
+		return
+	}
+
+	j, err := s.buildJob(&req)
+	if err != nil {
+		writeError(w, errorBody(err))
+		return
+	}
+
+	if ok, retry := s.quotas.admit(j.tenant); !ok {
+		s.mu.Lock()
+		s.stats.rejectedQuota++
+		s.tenantStatsLocked(j.tenant).RejectedQuota++
+		s.mu.Unlock()
+		setRetryAfter(w, retry)
+		writeErrorKind(w, kindQuotaExceeded, "tenant %q over its job rate; retry after %v", j.tenant, retry)
+		return
+	}
+
+	ok, depth := s.register(j)
+	if !ok {
+		retry := s.retryAfter()
+		setRetryAfter(w, retry)
+		writeErrorKind(w, kindQueueFull, "admission queue full (%d jobs); retry after %v", depth, retry)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: j.id, Status: StatusQueued, QueueDepth: depth})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeErrorKind(w, kindNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view(true))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeErrorKind(w, kindNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if !j.requestCancel() {
+		writeErrorKind(w, kindConflict, "job %s is already %s", j.id, j.view(false).Status)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.view(false))
+}
+
+// handleProfile serves one technique's PICS document verbatim — the
+// exact bytes pics.WriteJSON produced, untouched by any envelope
+// encoder. This is the endpoint to diff against a local
+// analysis.RunProgram artifact; the profiles embedded in the job view
+// are JSON-equivalent but re-indented.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeErrorKind(w, kindNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	name := r.PathValue("technique")
+	v := j.view(false)
+	if !v.Status.Terminal() {
+		writeErrorKind(w, kindConflict, "job %s is %s; profiles exist once it is done", j.id, v.Status)
+		return
+	}
+	doc, techErr, has := j.profileBytes(name)
+	switch {
+	case techErr != nil:
+		writeError(w, techErr)
+	case !has:
+		writeErrorKind(w, kindNotFound, "job %s has no %q profile (techniques: %v)", j.id, name, v.Techniques)
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(doc)
+	}
+}
+
+// handleStream serves the job as NDJSON: a "status" record on connect
+// and on every transition, one "profile" record per technique once the
+// job completes, and a final "end" record. The stream honors client
+// disconnect through the request context.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeErrorKind(w, kindNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+
+	var last Status
+	for {
+		ch := j.watch()
+		v := j.view(true)
+		if v.Status != last {
+			last = v.Status
+			if err := enc.Encode(streamRecord{Type: "status", Status: v.Status}); err != nil {
+				return
+			}
+		}
+		if v.Status.Terminal() {
+			for _, name := range v.Techniques {
+				doc, has := v.Profiles[name]
+				if !has {
+					continue
+				}
+				if err := enc.Encode(streamRecord{Type: "profile", Technique: name, Profile: doc}); err != nil {
+					return
+				}
+			}
+			v.Profiles = nil
+			enc.Encode(streamRecord{Type: "end", Job: &v})
+			return
+		}
+		if canFlush {
+			flusher.Flush()
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ch:
+		}
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := StoreSnapshot()
+	view := StatsView{
+		Workers:  s.cfg.Workers,
+		QueueCap: s.cfg.QueueDepth,
+		Captures: analysis.CaptureCount(),
+		TraceStore: StoreStatsView{
+			Hits: snap.Hits, DiskHits: snap.DiskHits, Misses: snap.Misses,
+			Puts: snap.Puts, Evictions: snap.Evictions, DiskRejects: snap.DiskRejects,
+		},
+	}
+	if looked := snap.Hits + snap.DiskHits + snap.Misses; looked > 0 {
+		view.TraceStore.HitRate = float64(snap.Hits+snap.DiskHits) / float64(looked)
+	}
+	s.mu.Lock()
+	view.QueueDepth = len(s.queue)
+	view.Submitted = s.stats.submitted
+	view.RejectedQuota = s.stats.rejectedQuota
+	view.RejectedQueue = s.stats.rejectedQueue
+	view.Jobs = make(map[string]uint64, len(s.stats.byStatus))
+	for _, st := range xiter.SortedKeys(s.stats.byStatus) {
+		view.Jobs[string(st)] = s.stats.byStatus[st]
+	}
+	view.Tenants = make(map[string]TenantStats, len(s.stats.tenants))
+	for _, tenant := range xiter.SortedKeys(s.stats.tenants) {
+		view.Tenants[tenant] = *s.stats.tenants[tenant]
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleNotFound keeps unknown paths inside the JSON error contract
+// (the mux's default would answer text/plain).
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	writeErrorKind(w, kindNotFound, "unknown path %s", r.URL.Path)
+}
+
+// writeJSON writes one JSON response. An encode failure after the
+// header is unrecoverable mid-stream; the client sees a truncated body
+// and its decoder reports it.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError renders a prebuilt error body at its mapped status.
+func writeError(w http.ResponseWriter, body *ErrorBody) {
+	writeJSON(w, body.Status, errEnvelope{Error: body})
+}
+
+// writeErrorKind renders a service-kind error.
+func writeErrorKind(w http.ResponseWriter, kind, format string, args ...any) {
+	body := &ErrorBody{Kind: kind, Status: statusForKind(kind), Message: fmt.Sprintf(format, args...)}
+	writeError(w, body)
+}
+
+// setRetryAfter sets the Retry-After header in whole seconds, rounded
+// up so a client honoring it never retries early.
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+}

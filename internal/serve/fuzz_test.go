@@ -1,0 +1,89 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// FuzzSubmit is the service's chaos harness at the HTTP boundary: no
+// request body, however malformed, may panic the server or escape the
+// JSON error contract. Valid bodies are admitted (202) or shed (429
+// once the queue fills — there are no workers draining it here); every
+// other outcome must be a documented 4xx with a decodable error
+// envelope. A panic inside the handler fails the fuzz run outright
+// because it propagates through ServeHTTP into the test binary.
+func FuzzSubmit(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`{"workload":"mcf"}`,
+		`{"tenant":"t0","workload":"bwaves","techniques":["tea","ibs"],"config":{"interval":128,"jitter":8,"seed":7,"scale":0.5}}`,
+		`{"program":{"kind":"lbm","iters":64,"prefetch_dist":3}}`,
+		`{"program":{"kind":"nab","iters":64,"fast_math":true}}`,
+		`{"workload":"mcf","config":{"scale":-1}}`,
+		`{"workload":"mcf","config":{"interval":0}}`,
+		`{"workload":"mcf","techniques":["perf"]}`,
+		`{"workload":"mcf","unknown_field":true}`,
+		`{"workload":"mcf"} trailing`,
+		`[1,2,3]`,
+		`"just a string"`,
+		`{"workload":` + strings.Repeat("[", 200) + strings.Repeat("]", 200) + `}`,
+		`{"config":{"interval":18446744073709551615}}`,
+		`{"config":{"scale":1e308}}`,
+		`{"config":{"scale":null},"workload":"mcf"}`,
+		`{"program":{"kind":"mcf","iters":-5}}`,
+		"\x00\xff\xfe",
+		`{"tenant":"` + strings.Repeat("é", 300) + `","workload":"mcf"}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	// One server for the whole run; no worker pool, so admitted jobs
+	// accumulate until QueueDepth and then every valid body is a 429 —
+	// the fuzzer keeps exercising both the accept and shed paths early
+	// on and the full-queue path forever after, without running any
+	// simulations.
+	s := serve.New(serve.Config{QueueDepth: 8, MaxBodyBytes: 1 << 16})
+	handler := s.Handler()
+
+	allowed := map[int]bool{
+		http.StatusAccepted:              true,
+		http.StatusBadRequest:            true,
+		http.StatusRequestEntityTooLarge: true,
+		http.StatusTooManyRequests:       true,
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/jobs", strings.NewReader(string(body)))
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+
+		if !allowed[rec.Code] {
+			t.Fatalf("POST /v1/jobs answered %d for body %q", rec.Code, body)
+		}
+		if rec.Code == http.StatusAccepted {
+			var sub serve.SubmitResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &sub); err != nil || sub.ID == "" {
+				t.Fatalf("202 with undecodable body %q: %v", rec.Body.Bytes(), err)
+			}
+			return
+		}
+		var env struct {
+			Error *serve.ErrorBody `json:"error"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil || env.Error == nil {
+			t.Fatalf("%d with undecodable error envelope %q: %v", rec.Code, rec.Body.Bytes(), err)
+		}
+		if env.Error.Kind == "" || env.Error.Status != rec.Code {
+			t.Fatalf("error envelope %+v does not match response code %d", env.Error, rec.Code)
+		}
+		if rec.Code == http.StatusTooManyRequests && rec.Header().Get("Retry-After") == "" {
+			t.Fatalf("429 without Retry-After header")
+		}
+	})
+}

@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// quotaTable holds one token bucket per tenant. Buckets refill lazily
+// on access (tokens += elapsed × rate, capped at burst), so an idle
+// tenant costs nothing and the table needs no background goroutine.
+type quotaTable struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second; <= 0 disables quotas
+	burst   float64
+	now     func() time.Time
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newQuotaTable(rate, burst float64, now func() time.Time) *quotaTable {
+	return &quotaTable{rate: rate, burst: burst, now: now, buckets: make(map[string]*bucket)}
+}
+
+// admit charges one token from the tenant's bucket. On an empty bucket
+// it reports false plus the wait until the next token exists — the
+// Retry-After the HTTP layer sends back, making the rate limit
+// self-describing instead of a guessing game.
+func (q *quotaTable) admit(tenant string) (ok bool, retryAfter time.Duration) {
+	if q.rate <= 0 {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	b := q.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: q.burst, last: now}
+		q.buckets[tenant] = b
+	}
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens = math.Min(q.burst, b.tokens+elapsed*q.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := (1 - b.tokens) / q.rate
+	return false, time.Duration(math.Ceil(wait * float64(time.Second)))
+}

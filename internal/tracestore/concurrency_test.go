@@ -1,0 +1,135 @@
+package tracestore
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestGetOrPutManyKeysOneFillEach stresses the singleflight across a
+// key space: many goroutines race GetOrPut over a handful of keys, and
+// every key's fill must run exactly once — the serve-layer dedup
+// guarantee that N tenants submitting the same job cost one capture,
+// even when the submissions land on different keys concurrently.
+func TestGetOrPutManyKeysOneFillEach(t *testing.T) {
+	s := New(0, "", nil)
+	const keys = 5
+	const callersPerKey = 12
+	var fills [keys]atomic.Int32
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	errs := make(chan error, keys*callersPerKey)
+	for k := 0; k < keys; k++ {
+		for c := 0; c < callersPerKey; c++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				data, err := s.GetOrPut(testKey(byte(k)), func() ([]byte, error) {
+					fills[k].Add(1)
+					<-release // hold every first-caller fill open so waiters pile up
+					return payload(byte(k), 64), nil
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(data, payload(byte(k), 64)) {
+					errs <- errors.New("waiter observed wrong payload")
+				}
+			}(k)
+		}
+	}
+	close(release)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	for k := 0; k < keys; k++ {
+		if n := fills[k].Load(); n != 1 {
+			t.Errorf("key %d filled %d times; want exactly 1", k, n)
+		}
+	}
+	if st := s.Snapshot(); st.Puts != keys {
+		t.Errorf("stats = %+v; want exactly %d puts", st, keys)
+	}
+}
+
+// TestGetOrPutDiskCorruptionRecoveryRace pins the corruption-recovery
+// path under contention: a disk-tier entry is corrupted out-of-band,
+// then many goroutines race GetOrPut on its key. The store must detect
+// the damage (validator), delete the bad file, run exactly one
+// recapture for the whole pack, hand every caller the fresh bytes, and
+// leave a valid disk entry behind.
+func TestGetOrPutDiskCorruptionRecoveryRace(t *testing.T) {
+	key := testKey(9)
+	dir := t.TempDir()
+	validate := func(p []byte) error {
+		if len(p) != 64 {
+			return errors.New("payload length changed")
+		}
+		return nil
+	}
+
+	// Seed a valid disk entry, then corrupt its payload.
+	seed := New(0, dir, validate)
+	seed.Put(key, payload(9, 64))
+	path := filepath.Join(dir, key.String()+".tea")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-16], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh store (cold memory tier) must fall through disk to the
+	// fill — once, no matter how many goroutines arrive at once.
+	s := New(0, dir, validate)
+	var fills atomic.Int32
+	release := make(chan struct{})
+	const callers = 16
+	var wg sync.WaitGroup
+	results := make([][]byte, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _ = s.GetOrPut(key, func() ([]byte, error) {
+				fills.Add(1)
+				<-release
+				return payload(9, 64), nil
+			})
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := fills.Load(); n != 1 {
+		t.Fatalf("recapture ran %d times; want exactly 1", n)
+	}
+	for i, r := range results {
+		if !bytes.Equal(r, payload(9, 64)) {
+			t.Fatalf("caller %d got %d bytes, want the recaptured payload", i, len(r))
+		}
+	}
+	if st := s.Snapshot(); st.DiskRejects != 1 {
+		t.Fatalf("stats = %+v; want exactly 1 disk reject", st)
+	}
+
+	// The recapture re-persisted the entry: a third store serves it
+	// from disk, validated.
+	s3 := New(0, dir, validate)
+	got, ok := s3.Get(key)
+	if !ok || !bytes.Equal(got, payload(9, 64)) {
+		t.Fatal("recovered entry not served from disk by a fresh store")
+	}
+	if st := s3.Snapshot(); st.DiskHits != 1 {
+		t.Fatalf("stats = %+v; want 1 disk hit", st)
+	}
+}

@@ -25,6 +25,14 @@ go test ./internal/lint/detreach ./internal/lint/ctxflow \
 # input contract (typed errors, no panics) exercised on every gate.
 go test ./internal/trace -run='^$' -fuzz=FuzzReplay -fuzztime=10s
 go test ./internal/pics -run='^$' -fuzz=FuzzProfileJSON -fuzztime=10s
+go test ./internal/serve -run='^$' -fuzz=FuzzSubmit -fuzztime=10s
+
+# Server smoke: boot a real teaserve on an ephemeral port with every
+# documented flag, drive each /v1 endpoint over TCP, check the raw
+# profile bytes against an in-process analysis.RunProgram, and verify
+# SIGTERM shuts it down cleanly (exit 0).
+go build -o bin/teaserve ./cmd/teaserve
+go run ./scripts/servesmoke -bin bin/teaserve
 
 # Chaos smoke: the fault-injection sweep with a fixed seed — every
 # fault kind against every technique; exits nonzero on any contract
