@@ -2,7 +2,7 @@ GO      ?= go
 BINDIR  := bin
 TEALINT := $(BINDIR)/tealint
 
-.PHONY: all build test race vet lint check chaos fuzz bench serve smoke load clean
+.PHONY: all build test race vet lint check chaos fuzz bench bench-checkpoint serve smoke load clean
 
 all: build
 
@@ -75,6 +75,29 @@ load:
 # writes BENCH_<date>.json (see scripts/bench.sh for BENCHTIME/LABEL).
 bench:
 	./scripts/bench.sh
+
+# bench-checkpoint is the before/after evidence for interval-parallel
+# capture: the same BenchmarkSuiteCapture run serially and with
+# checkpointed capture (knobs via env, mirroring teaexp's
+# -checkpoint-interval/-capture-workers flags). teadiff then gates the
+# deterministic trace metrics — the stitched suite capture must be
+# bit-identical to serial. ns/op is the wall-clock column and is never
+# gated: the speedup needs idle cores, and a 1-core host legitimately
+# shows overhead instead.
+CKPT_INTERVAL ?= 50000
+CKPT_WORKERS  ?= 4
+BENCH_DATE    := $(shell date +%Y-%m-%d)
+bench-checkpoint:
+	$(GO) test -bench='^BenchmarkSuiteCapture$$' -benchmem -benchtime=1x -timeout 30m . \
+		| $(GO) run ./cmd/teabench -label checkpoint-baseline \
+			-o BENCH_$(BENCH_DATE)_checkpoint-baseline.json
+	TEA_CHECKPOINT_INTERVAL=$(CKPT_INTERVAL) TEA_CAPTURE_WORKERS=$(CKPT_WORKERS) \
+		$(GO) test -bench='^BenchmarkSuiteCapture$$' -benchmem -benchtime=1x -timeout 30m . \
+		| $(GO) run ./cmd/teabench -label checkpoint \
+			-o BENCH_$(BENCH_DATE)_checkpoint.json
+	$(GO) run ./cmd/teadiff -mode bench \
+		-baseline BENCH_$(BENCH_DATE)_checkpoint-baseline.json \
+		-current BENCH_$(BENCH_DATE)_checkpoint.json
 
 clean:
 	rm -rf $(BINDIR)

@@ -8,8 +8,10 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"os"
+	"strconv"
 	"testing"
 
 	"repro/internal/analysis"
@@ -361,4 +363,44 @@ func BenchmarkJitterAblation(b *testing.B) {
 	avg := rows[len(rows)-1]
 	b.ReportMetric(100*avg.WithJitter, "jittered_err_%")
 	b.ReportMetric(100*avg.WithoutJitter, "fixed_err_%")
+}
+
+// BenchmarkSuiteCapture measures raw trace capture for the whole suite
+// under the capture-parallelism knobs from the environment
+// (TEA_CHECKPOINT_INTERVAL / TEA_CAPTURE_WORKERS, mirroring cmd/teaexp
+// flags; unset means serial capture). `make bench-checkpoint` runs it
+// both ways into BENCH_<date>_checkpoint-baseline.json and
+// BENCH_<date>_checkpoint.json. Every reported metric is a
+// deterministic function of the captured trace bytes, so `teadiff
+// -mode bench` passing on the pair proves the stitched captures are
+// byte-identical to serial; ns/op carries the wall-clock story and is
+// informational (a single-core host shows overhead, not speedup).
+func BenchmarkSuiteCapture(b *testing.B) {
+	ckptInterval, _ := strconv.ParseUint(os.Getenv("TEA_CHECKPOINT_INTERVAL"), 10, 64)
+	workers, _ := strconv.Atoi(os.Getenv("TEA_CAPTURE_WORKERS"))
+	rc := benchConfig()
+	var traceBytes, cycles, digest uint64
+	for i := 0; i < b.N; i++ {
+		traceBytes, cycles = 0, 0
+		digest = 14695981039346656037 // FNV-1a offset basis
+		for _, w := range workloads.All() {
+			p := w.Build(rc.Iters(w))
+			data, st, err := analysis.CaptureTraceCheckpointed(
+				context.Background(), p, rc, ckptInterval, workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			traceBytes += uint64(len(data))
+			cycles += st.Cycles
+			for _, by := range data {
+				digest = (digest ^ uint64(by)) * 1099511628211
+			}
+		}
+	}
+	b.ReportMetric(float64(traceBytes), "trace_bytes")
+	b.ReportMetric(float64(cycles), "suite_cycles")
+	// Two exact-in-float64 halves: equal halves mean equal 64-bit
+	// digests, i.e. byte-identical suite traces.
+	b.ReportMetric(float64(digest>>32), "trace_fnv_hi")
+	b.ReportMetric(float64(digest&0xffffffff), "trace_fnv_lo")
 }

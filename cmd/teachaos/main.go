@@ -1,8 +1,10 @@
 // Command teachaos runs the fault-injection chaos suite against the
 // capture/replay pipeline and reports every mutant's disposition. The
-// contract it enforces: every fault yields either byte-identical
+// contract it enforces: every fault — a mutated trace stream or a
+// corrupted serialized checkpoint — yields either byte-identical
 // profiles or a typed error — never a crash, a hang, or a silently
-// wrong profile.
+// wrong profile (a corrupt checkpoint must fail decoding rather than
+// restore a core that would record a diverged trace).
 //
 //	teachaos [-seed n] [-workload name|all] [-scale f] [-v]
 //

@@ -78,6 +78,8 @@ func captureKey(p *program.Program, rc RunConfig) tracestore.Key {
 	h.Uint(rc.Seed)
 	h.Float(rc.Scale)
 	h.CPUConfig(rc.Core)
+	h.Uint(rc.CheckpointInterval)
+	h.Uint(uint64(rc.CaptureWorkers))
 	return h.Sum()
 }
 
@@ -93,6 +95,10 @@ func captureKey(p *program.Program, rc RunConfig) tracestore.Key {
 func captureConfig(rc RunConfig) RunConfig {
 	rc.Interval, rc.Jitter, rc.Seed = 0, 0, 0
 	rc.Scale = 0
+	// The checkpoint knobs steer how a capture is produced, never what
+	// it contains (the parallel path is byte-identical to serial, by
+	// verification), so parallel and serial captures share one entry.
+	rc.CheckpointInterval, rc.CaptureWorkers = 0, 0
 	return rc
 }
 
@@ -106,8 +112,10 @@ func captureConfig(rc RunConfig) RunConfig {
 func capturedTrace(ctx context.Context, p *program.Program, rc RunConfig) ([]byte, *cpu.Stats, error) {
 	crc := captureConfig(rc)
 	entry, err := TraceStore().GetOrPut(captureKey(p, crc), func() ([]byte, error) {
+		// One increment per workload simulated, regardless of how many
+		// interval segments the parallel path splits the work into.
 		captureCount.Add(1)
-		data, stats, err := CaptureTrace(ctx, p, crc)
+		data, stats, err := CaptureTraceCheckpointed(ctx, p, crc, rc.CheckpointInterval, rc.CaptureWorkers)
 		if err != nil {
 			return nil, err
 		}

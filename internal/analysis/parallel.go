@@ -1,0 +1,351 @@
+// Interval-parallel capture: the expensive cycle-accurate simulation
+// behind CaptureTrace, split across a bounded worker pool.
+//
+// A cheap functional-warming pass (internal/checkpoint) walks the
+// program once and snapshots restorable core state every
+// CheckpointInterval committed instructions; each worker then restores
+// a core from its checkpoint, runs a cycle-accurate warmup window up to
+// its segment boundary, and records its interval into a private trace
+// segment. The segments are stitched (internal/trace) into one stream
+// whose bytes are identical to a serial capture's.
+//
+// Byte-identity is proved per capture, not assumed: segment 0 runs from
+// reset and is exact by construction; every other segment's state
+// fingerprint at its start boundary must equal its predecessor's
+// fingerprint at the same boundary (cpu.Fingerprint covers all
+// forward-relevant core state, translation-invariantly). Equality
+// chains exactness forward across all segments. Any mismatch — or any
+// worker failure — falls back to a plain serial capture, so the
+// parallel path can change wall-clock time but never bytes.
+package analysis
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cpu"
+	"repro/internal/program"
+	"repro/internal/simerr"
+	"repro/internal/trace"
+)
+
+// Parallel-capture counters, exposed via /v1/stats on teaserve.
+var (
+	parallelCaptures  atomic.Uint64
+	parallelSegments  atomic.Uint64
+	parallelFallbacks atomic.Uint64
+)
+
+// ParallelCaptures returns how many captures the interval-parallel path
+// has completed (stitched and verified) in this process.
+func ParallelCaptures() uint64 { return parallelCaptures.Load() }
+
+// ParallelSegments returns how many trace segments the
+// interval-parallel path has simulated in this process.
+func ParallelSegments() uint64 { return parallelSegments.Load() }
+
+// ParallelFallbacks returns how many captures started on the
+// interval-parallel path but fell back to serial capture (fingerprint
+// mismatch or worker failure).
+func ParallelFallbacks() uint64 { return parallelFallbacks.Load() }
+
+// gateProbe is a switchable pass-through probe. Workers attach it
+// before stepping and arm it (set inner) only once their core reaches
+// the segment's start boundary, so warmup cycles are simulated but
+// never recorded.
+type gateProbe struct {
+	inner cpu.Probe
+}
+
+func (g *gateProbe) OnCycle(ci *cpu.CycleInfo) {
+	if g.inner != nil {
+		g.inner.OnCycle(ci)
+	}
+}
+
+func (g *gateProbe) OnFetch(r cpu.Ref, cycle uint64) {
+	if g.inner != nil {
+		g.inner.OnFetch(r, cycle)
+	}
+}
+
+func (g *gateProbe) OnDispatch(r cpu.Ref, cycle uint64) {
+	if g.inner != nil {
+		g.inner.OnDispatch(r, cycle)
+	}
+}
+
+func (g *gateProbe) OnCommit(r cpu.Ref, cycle uint64) {
+	if g.inner != nil {
+		g.inner.OnCommit(r, cycle)
+	}
+}
+
+func (g *gateProbe) OnSquash(r cpu.Ref, cycle uint64) {
+	if g.inner != nil {
+		g.inner.OnSquash(r, cycle)
+	}
+}
+
+func (g *gateProbe) OnDone(totalCycles uint64) {
+	if g.inner != nil {
+		g.inner.OnDone(totalCycles)
+	}
+}
+
+// segment is one worker's output: a complete (self-contained, digest-
+// verified) v3 trace of its interval, the fingerprints bracketing it,
+// and the statistics observed at arm and stop so the serial run's
+// totals can be reconstructed as a sum of deltas.
+type segment struct {
+	data      []byte
+	startFP   uint64 // fingerprint at the start boundary (segments > 0)
+	endFP     uint64 // fingerprint at the end boundary (interior segments)
+	armCycle  uint64 // local cycle count when recording started
+	stopCycle uint64 // local cycle count when recording stopped
+	armStats  cpu.Stats
+	stopStats cpu.Stats
+}
+
+// captureSegment simulates segment s of the generation's schedule.
+// Segment 0 runs from reset; segment s>0 restores checkpoint s-1 and
+// warms up to its start boundary before arming its writer. Interior
+// segments record through the step that crosses their end boundary
+// (matching the warmup cut of the next segment, which discards through
+// that same step); the final segment records to completion.
+func captureSegment(ctx context.Context, p *program.Program, cfg cpu.Config, gen *checkpoint.Generation, s int) (*segment, error) {
+	var (
+		c    *cpu.CPU
+		base uint64
+		err  error
+	)
+	if s == 0 {
+		c = cpu.New(cfg, p)
+	} else {
+		if c, err = gen.RestoreCPU(cfg, p, s-1); err != nil {
+			return nil, err
+		}
+		base = gen.Checkpoints[s-1].Seq
+	}
+	gate := &gateProbe{}
+	c.Attach(gate)
+
+	const ctxCheckInterval = 4096
+	var steps uint64
+	checkCtx := func() error {
+		if steps%ctxCheckInterval == 0 {
+			if cause := context.Cause(ctx); cause != nil {
+				return simerr.Wrap(simerr.ErrCanceled,
+					simerr.Snapshot{Program: p.Name, Seq: base + c.Stats.Committed},
+					cause, "parallel capture canceled")
+			}
+		}
+		steps++
+		return nil
+	}
+	// stepTo advances until the absolute committed-instruction count
+	// reaches boundary, evaluating between steps — the step that
+	// crosses the boundary completes, and its records belong to
+	// whatever the gate held during it.
+	stepTo := func(boundary uint64) (finished bool, err error) {
+		for base+c.Stats.Committed < boundary {
+			if err := checkCtx(); err != nil {
+				return false, err
+			}
+			if !c.Step() {
+				if e := c.Err(); e != nil {
+					return false, e
+				}
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+
+	seg := &segment{}
+	if s > 0 {
+		finished, err := stepTo(gen.Boundary(s - 1))
+		if err != nil {
+			return nil, err
+		}
+		if finished {
+			return nil, simerr.New(simerr.ErrInternal,
+				simerr.Snapshot{Program: p.Name, Seq: base + c.Stats.Committed},
+				"segment %d finished during warmup before boundary %d", s, gen.Boundary(s-1))
+		}
+		seg.startFP = c.Fingerprint()
+	}
+	seg.armStats = c.Stats
+	seg.armCycle = c.Stats.Cycles
+
+	var buf bytes.Buffer
+	tw := trace.NewWriter(&buf)
+	gate.inner = tw
+
+	if s < len(gen.Checkpoints) {
+		finished, err := stepTo(gen.Boundary(s))
+		if err != nil {
+			return nil, err
+		}
+		if finished {
+			return nil, simerr.New(simerr.ErrInternal,
+				simerr.Snapshot{Program: p.Name, Seq: base + c.Stats.Committed},
+				"segment %d finished before its end boundary %d", s, gen.Boundary(s))
+		}
+		seg.endFP = c.Fingerprint()
+	} else {
+		for {
+			if err := checkCtx(); err != nil {
+				return nil, err
+			}
+			if !c.Step() {
+				break
+			}
+		}
+		if e := c.Err(); e != nil {
+			return nil, e
+		}
+	}
+	seg.stopStats = c.Stats
+	seg.stopCycle = c.Stats.Cycles
+	// Close the segment stream so it carries its own done record and
+	// digest; stitching verifies and then strips it.
+	tw.OnDone(c.Stats.Cycles)
+	if err := tw.Err(); err != nil {
+		return nil, simerr.Wrap(simerr.ErrInternal,
+			simerr.Snapshot{Program: p.Name}, err, "segment trace capture failed")
+	}
+	seg.data = buf.Bytes()
+	return seg, nil
+}
+
+// captureSegments runs all segments on a bounded worker pool. The first
+// failure cancels the remaining workers; the returned error prefers a
+// root-cause failure over the induced cancellations.
+func captureSegments(ctx context.Context, p *program.Program, cfg cpu.Config, gen *checkpoint.Generation, workers int) ([]*segment, error) {
+	n := len(gen.Checkpoints) + 1
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	segs := make([]*segment, n)
+	errs := make([]error, n)
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg     sync.WaitGroup
+		cursor atomic.Int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(cursor.Add(1)) - 1
+				if s >= n {
+					return
+				}
+				seg, err := captureSegment(wctx, p, cfg, gen, s)
+				if err != nil {
+					errs[s] = err
+					cancel()
+					return
+				}
+				segs[s] = seg
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, e := range errs {
+		if e != nil && !errors.Is(e, simerr.ErrCanceled) {
+			return nil, e
+		}
+	}
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	return segs, nil
+}
+
+// CaptureTraceCheckpointed is CaptureTrace accelerated by
+// interval-parallel capture when interval > 0: checkpoints are
+// generated every interval committed instructions and the intervals are
+// simulated concurrently on up to workers goroutines (0 = GOMAXPROCS),
+// then stitched. The returned bytes and statistics are identical to a
+// serial CaptureTrace — verified per capture by fingerprint chaining,
+// with automatic serial fallback — so callers may treat the two paths
+// as interchangeable. interval == 0 (or a program too short to split)
+// is exactly the serial path.
+func CaptureTraceCheckpointed(ctx context.Context, p *program.Program, rc RunConfig, interval uint64, workers int) ([]byte, *cpu.Stats, error) {
+	if interval < 2 {
+		return CaptureTrace(ctx, p, rc)
+	}
+	gen, err := checkpoint.Generate(ctx, p, rc.Core, checkpoint.Plan{Interval: interval})
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(gen.Checkpoints) == 0 {
+		// Too short to split; one segment would just be a serial run.
+		return CaptureTrace(ctx, p, rc)
+	}
+
+	fallback := func(ctx context.Context, cause error) ([]byte, *cpu.Stats, error) {
+		// A cancellation must surface as one, never as a silent retry.
+		if c := context.Cause(ctx); c != nil && cause != nil {
+			return nil, nil, cause
+		}
+		parallelFallbacks.Add(1)
+		return CaptureTrace(ctx, p, rc)
+	}
+
+	segs, err := captureSegments(ctx, p, rc.Core, gen, workers)
+	if err != nil {
+		return fallback(ctx, err)
+	}
+
+	// Verify the fingerprint chain: segment 0 is exact from reset, so
+	// end-equals-start equality at every boundary proves every
+	// segment's records match the serial run's.
+	for s := 1; s < len(segs); s++ {
+		if segs[s-1].endFP != segs[s].startFP {
+			return fallback(ctx, nil)
+		}
+	}
+
+	// Stitch: segment s's local cycles are shifted onto the global
+	// clock by the cycles all prior segments recorded.
+	offsets := make([]uint64, len(segs))
+	datas := make([][]byte, len(segs))
+	var total cpu.Stats
+	var globalArm uint64
+	for s, seg := range segs {
+		offsets[s] = globalArm - seg.armCycle
+		globalArm += seg.stopCycle - seg.armCycle
+		datas[s] = seg.data
+		total.Add(seg.stopStats.Sub(seg.armStats))
+	}
+	if total.Committed != gen.Total || total.Cycles != globalArm {
+		// The segments disagree with the functional pass about the
+		// run's shape; trust neither.
+		return fallback(ctx, nil)
+	}
+
+	var buf bytes.Buffer
+	if err := trace.Stitch(ctx, &buf, datas, offsets, total.Cycles); err != nil {
+		return fallback(ctx, err)
+	}
+	parallelCaptures.Add(1)
+	parallelSegments.Add(uint64(len(segs)))
+	return buf.Bytes(), &total, nil
+}

@@ -1,0 +1,81 @@
+// Checkpoint support: exportable predictor state and a canonical
+// fingerprint encoding. Unlike the memory hierarchy, every bit of
+// predictor state is durable (there is no transient timing state), so
+// State/SetState round-trip the predictor exactly and CanonState is a
+// plain flattening.
+package branch
+
+import "repro/internal/simerr"
+
+// TaggedEntryState is one exported tagged-table entry.
+type TaggedEntryState struct {
+	Tag    uint32
+	Ctr    int8
+	Useful uint8
+}
+
+// PredictorState is the exported state of the TAGE-lite predictor:
+// bimodal counters, every tagged table, and the global history
+// register. Statistics are not part of it.
+type PredictorState struct {
+	Bimodal []int8
+	Tables  [][]TaggedEntryState
+	History uint64
+}
+
+// State exports the predictor's contents.
+func (p *Predictor) State() PredictorState {
+	st := PredictorState{
+		Bimodal: append([]int8(nil), p.bimodal...),
+		Tables:  make([][]TaggedEntryState, len(p.tables)),
+		History: p.history,
+	}
+	for i, t := range p.tables {
+		es := make([]TaggedEntryState, len(t))
+		for j, e := range t {
+			es[j] = TaggedEntryState{Tag: e.tag, Ctr: e.ctr, Useful: e.useful}
+		}
+		st.Tables[i] = es
+	}
+	return st
+}
+
+// SetState restores contents exported by State on a predictor built
+// from the same configuration.
+func (p *Predictor) SetState(st PredictorState) error {
+	if len(st.Bimodal) != len(p.bimodal) || len(st.Tables) != len(p.tables) {
+		return simerr.New(simerr.ErrInvalidConfig, simerr.Snapshot{},
+			"branch: predictor state (%d bimodal, %d tables) does not fit predictor (%d bimodal, %d tables)",
+			len(st.Bimodal), len(st.Tables), len(p.bimodal), len(p.tables))
+	}
+	for i, es := range st.Tables {
+		if len(es) != len(p.tables[i]) {
+			return simerr.New(simerr.ErrInvalidConfig, simerr.Snapshot{},
+				"branch: predictor state table %d has %d entries, predictor has %d",
+				i, len(es), len(p.tables[i]))
+		}
+	}
+	copy(p.bimodal, st.Bimodal)
+	for i, es := range st.Tables {
+		for j, e := range es {
+			p.tables[i][j] = taggedEntry{tag: e.Tag, ctr: e.Ctr, useful: e.Useful}
+		}
+	}
+	p.history = st.History
+	return nil
+}
+
+// CanonState appends the predictor's canonical encoding: history, then
+// every bimodal counter, then every tagged-table entry in table order.
+func (p *Predictor) CanonState(dst []uint64) []uint64 {
+	dst = append(dst, p.history)
+	for _, ctr := range p.bimodal {
+		dst = append(dst, uint64(uint8(ctr)))
+	}
+	for _, t := range p.tables {
+		for _, e := range t {
+			dst = append(dst, uint64(e.tag), uint64(uint8(e.ctr)), uint64(e.useful))
+		}
+	}
+	return dst
+}

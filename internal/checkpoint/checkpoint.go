@@ -1,0 +1,168 @@
+// Package checkpoint generates, serializes, and restores mid-run core
+// state, enabling interval-parallel capture: a cheap functional pass
+// walks the program once, emitting a Snapshot every Interval committed
+// instructions; workers then reconstruct a core from each checkpoint
+// (cpu.Restore), run a cycle-accurate warmup window up to their
+// segment boundary, and simulate their interval concurrently.
+//
+// Boundaries are counted in *committed instructions*, not cycles: the
+// generation pass is functional and has no cycle clock, and committed
+// instructions are the one coordinate the functional and cycle-level
+// views share exactly (every committed-path instruction commits
+// exactly once, in sequence order). A checkpoint for boundary B is
+// taken Warmup instructions early, at B-Warmup, so the restored core
+// reaches B with a cycle-accurately re-established pipeline, MSHRs,
+// and timing state; the capture layer verifies convergence by
+// fingerprint before trusting any stitched bytes (see
+// internal/analysis).
+package checkpoint
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/cpu"
+	"repro/internal/emu"
+	"repro/internal/program"
+	"repro/internal/simerr"
+)
+
+// DefaultWarmup is the default cycle-accurate warmup window, in
+// committed instructions, run from each checkpoint before its segment
+// boundary. It comfortably exceeds the core's instruction window (a
+// 192-entry ROB) and the longest structure-refill transient (a DRAM
+// round trip is ~100 cycles ≈ a few hundred instructions at suite
+// IPCs), which is what the warmup must heal: the functional warming
+// pass mismodels only window-local effects (out-of-order data-cache
+// access order, post-commit store drains, squash refetches).
+const DefaultWarmup = 2048
+
+// Plan sizes the checkpoint schedule.
+type Plan struct {
+	// Interval is the segment length in committed instructions.
+	Interval uint64
+	// Warmup is the warmup window in committed instructions (0 =
+	// DefaultWarmup). It is clamped to Interval/2 so checkpoint k
+	// stays strictly inside segment k-1.
+	Warmup uint64
+}
+
+// Normalized returns the plan with defaults applied.
+func (p Plan) Normalized() Plan {
+	if p.Warmup == 0 {
+		p.Warmup = DefaultWarmup
+	}
+	if p.Warmup > p.Interval/2 {
+		p.Warmup = p.Interval / 2
+	}
+	return p
+}
+
+// Checkpoint is one restorable mid-run state.
+type Checkpoint struct {
+	// Seq is the commit boundary the snapshot sits at: Seq
+	// instructions have committed (Snap.Arch.Seq == Seq). The segment
+	// boundary it serves is Seq + the plan's warmup.
+	Seq uint64
+	// Snap is the quiescent core state.
+	Snap *cpu.Snapshot
+	// MemDelta holds the memory words changed since the previous
+	// checkpoint (since reset for the first), sorted by address.
+	// Applying deltas 0..k to a fresh image of the program's data
+	// reconstructs memory at checkpoint k.
+	MemDelta []emu.MemDelta
+}
+
+// Generation is the result of one functional pass.
+type Generation struct {
+	// Checkpoints holds one entry per interior boundary, in order.
+	Checkpoints []*Checkpoint
+	// Total is the program's total committed-instruction count.
+	Total uint64
+	// Plan is the normalized plan the pass ran under.
+	Plan Plan
+}
+
+// Generate runs the functional-warming pass over the whole program and
+// returns checkpoints at Seq = k*Interval - Warmup for k = 1, 2, ...
+// Checkpoints whose segment would start at or beyond the program's end
+// are dropped. Typed failures (runaway program, invalid opcode) are
+// returned as errors.
+func Generate(ctx context.Context, p *program.Program, cfg cpu.Config, plan Plan) (gen *Generation, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			var se *simerr.Error
+			if e, ok := v.(error); ok && errors.As(e, &se) {
+				gen, err = nil, se
+				return
+			}
+			//tealint:ignore nakedpanic re-raise of a foreign panic the simerr filter above did not claim
+			panic(v)
+		}
+	}()
+	plan = plan.Normalized()
+	if plan.Interval < 2 {
+		return nil, simerr.New(simerr.ErrInvalidConfig, simerr.Snapshot{Program: p.Name},
+			"checkpoint: interval %d is too small", plan.Interval)
+	}
+
+	s := emu.NewStream(p)
+	s.Memory().TrackDirty()
+	w := cpu.NewWarmer(cfg)
+	g := &Generation{Plan: plan}
+
+	const ctxCheckInterval = 1 << 16
+	next := plan.Interval - plan.Warmup
+	var n uint64
+	for {
+		if n%ctxCheckInterval == 0 {
+			if cause := context.Cause(ctx); cause != nil {
+				return nil, simerr.Wrap(simerr.ErrCanceled, simerr.Snapshot{Program: p.Name, Seq: n},
+					cause, "checkpoint generation canceled")
+			}
+		}
+		d := s.Next()
+		if d == nil {
+			break
+		}
+		w.Observe(d)
+		s.Release(d.Seq + 1)
+		n++
+		if n == next {
+			g.Checkpoints = append(g.Checkpoints, &Checkpoint{
+				Seq:      n,
+				Snap:     w.Snapshot(s.ArchState()),
+				MemDelta: s.Memory().TakeDirty(),
+			})
+			next += plan.Interval
+		}
+	}
+	g.Total = n
+
+	// Drop checkpoints whose segment boundary is at or past the end:
+	// their segment would record nothing.
+	for len(g.Checkpoints) > 0 {
+		last := g.Checkpoints[len(g.Checkpoints)-1]
+		if last.Seq+plan.Warmup < g.Total {
+			break
+		}
+		g.Checkpoints = g.Checkpoints[:len(g.Checkpoints)-1]
+	}
+	return g, nil
+}
+
+// Boundary returns the segment boundary checkpoint k serves.
+func (g *Generation) Boundary(k int) uint64 {
+	return g.Checkpoints[k].Seq + g.Plan.Warmup
+}
+
+// RestoreCPU reconstructs a core at checkpoint k: a fresh memory image
+// of the program's initial data with delta batches 0..k applied, and
+// the snapshot's state installed over it.
+func (g *Generation) RestoreCPU(cfg cpu.Config, p *program.Program, k int) (*cpu.CPU, error) {
+	img := emu.NewMemory(p.Data)
+	for i := 0; i <= k; i++ {
+		img.Apply(g.Checkpoints[i].MemDelta)
+	}
+	return cpu.Restore(cfg, p, img, g.Checkpoints[k].Snap)
+}

@@ -1,0 +1,146 @@
+package checkpoint
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/simerr"
+	"repro/internal/workloads"
+)
+
+func testProgram(t *testing.T, name string, iters int) (*cpu.Config, *Generation, uint64) {
+	t.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.Build(iters)
+	cfg := cpu.DefaultConfig()
+	gen, err := Generate(context.Background(), p, cfg, Plan{Interval: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &cfg, gen, gen.Total
+}
+
+// TestPlanNormalized pins the warmup-tolerance rules: a zero warmup
+// defaults to DefaultWarmup, and any warmup is clamped to half the
+// interval so checkpoint k always lands strictly after boundary k-1 —
+// segments own disjoint instruction ranges by construction.
+func TestPlanNormalized(t *testing.T) {
+	cases := []struct {
+		in   Plan
+		want Plan
+	}{
+		{Plan{Interval: 100000}, Plan{Interval: 100000, Warmup: DefaultWarmup}},
+		{Plan{Interval: 100000, Warmup: 64}, Plan{Interval: 100000, Warmup: 64}},
+		{Plan{Interval: 1000}, Plan{Interval: 1000, Warmup: 500}},
+		{Plan{Interval: 1000, Warmup: 900}, Plan{Interval: 1000, Warmup: 500}},
+		{Plan{Interval: 3}, Plan{Interval: 3, Warmup: 1}},
+	}
+	for _, c := range cases {
+		if got := c.in.Normalized(); got != c.want {
+			t.Errorf("Normalized(%+v) = %+v; want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestGenerateSchedule pins the checkpoint schedule: checkpoint k sits
+// Warmup instructions before boundary (k+1)*Interval, and checkpoints
+// whose warmup window would reach past the end of the program are
+// dropped (their segment would have nothing left to record).
+func TestGenerateSchedule(t *testing.T) {
+	_, gen, total := testProgram(t, "mcf", 200)
+	if len(gen.Checkpoints) == 0 {
+		t.Fatalf("no checkpoints for a %d-instruction program at interval %d", total, gen.Plan.Interval)
+	}
+	for k, cp := range gen.Checkpoints {
+		boundary := uint64(k+1) * gen.Plan.Interval
+		if got := gen.Boundary(k); got != boundary {
+			t.Errorf("Boundary(%d) = %d; want %d", k, got, boundary)
+		}
+		if cp.Seq != boundary-gen.Plan.Warmup {
+			t.Errorf("checkpoint %d at seq %d; want boundary %d - warmup %d = %d",
+				k, cp.Seq, boundary, gen.Plan.Warmup, boundary-gen.Plan.Warmup)
+		}
+		if cp.Seq+gen.Plan.Warmup >= total {
+			t.Errorf("checkpoint %d warms past the end of the program (%d+%d >= %d)",
+				k, cp.Seq, gen.Plan.Warmup, total)
+		}
+		if cp.Snap == nil {
+			t.Fatalf("checkpoint %d has no snapshot", k)
+		}
+		if cp.Snap.Arch.Seq != cp.Seq {
+			t.Errorf("checkpoint %d: architectural seq %d != checkpoint seq %d",
+				k, cp.Snap.Arch.Seq, cp.Seq)
+		}
+	}
+}
+
+// TestGenerateInvalidInterval pins the typed rejection of unusable
+// plans.
+func TestGenerateInvalidInterval(t *testing.T) {
+	w, err := workloads.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.Build(5)
+	for _, interval := range []uint64{0, 1} {
+		_, err := Generate(context.Background(), p, cpu.DefaultConfig(), Plan{Interval: interval})
+		if !errors.Is(err, simerr.ErrInvalidConfig) {
+			t.Errorf("interval %d: got %v; want ErrInvalidConfig", interval, err)
+		}
+	}
+}
+
+// TestGenerateCanceled pins that cancellation mid-pass surfaces as a
+// typed ErrCanceled, never a partial Generation.
+func TestGenerateCanceled(t *testing.T) {
+	w, err := workloads.ByName("deepsjeng")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.Build(500)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	gen, err := Generate(ctx, p, cpu.DefaultConfig(), Plan{Interval: 400})
+	if !errors.Is(err, simerr.ErrCanceled) {
+		t.Fatalf("got %v; want ErrCanceled", err)
+	}
+	if gen != nil {
+		t.Error("canceled Generate returned a partial Generation")
+	}
+}
+
+// TestRestoreCPURunsToCompletion is the minimal restore contract: a
+// core restored from any checkpoint finishes the program with exactly
+// the committed instructions that remained at its boundary.
+func TestRestoreCPURunsToCompletion(t *testing.T) {
+	w, err := workloads.ByName("exchange2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.Build(60)
+	cfg := cpu.DefaultConfig()
+	gen, err := Generate(context.Background(), p, cfg, Plan{Interval: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gen.Checkpoints) == 0 {
+		t.Fatal("program too short for the plan")
+	}
+	for k, cp := range gen.Checkpoints {
+		c, err := gen.RestoreCPU(cfg, p, k)
+		if err != nil {
+			t.Fatalf("restore %d: %v", k, err)
+		}
+		if _, err := c.RunContext(context.Background()); err != nil {
+			t.Fatalf("restored core %d: %v", k, err)
+		}
+		if got, want := c.Stats.Committed, gen.Total-cp.Seq; got != want {
+			t.Errorf("restored core %d committed %d instructions; want %d", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,355 @@
+// Binary serialization of checkpoints. The format is a versioned,
+// varint-packed stream with an FNV-1a integrity digest over everything
+// that precedes it, so a truncated or bit-flipped snapshot fails
+// decoding with a typed *simerr.Error (simerr.ErrDecode) instead of
+// restoring a subtly wrong core — the same contract the v3 trace
+// format honors, and the one the chaos harness enforces.
+package checkpoint
+
+import (
+	"encoding/binary"
+
+	"repro/internal/branch"
+	"repro/internal/cpu"
+	"repro/internal/emu"
+	"repro/internal/mem"
+	"repro/internal/simerr"
+)
+
+// Format constants.
+const (
+	// Magic identifies a serialized checkpoint ("TEAC"heckpoint).
+	Magic = "TEAC"
+	// FormatVersion is bumped on any encoding change.
+	FormatVersion = 1
+)
+
+const (
+	digestOffset uint64 = 14695981039346656037
+	digestPrime  uint64 = 1099511628211
+)
+
+func digest(b []byte) uint64 {
+	h := digestOffset
+	for _, c := range b {
+		h = (h ^ uint64(c)) * digestPrime
+	}
+	return h
+}
+
+type encoder struct{ b []byte }
+
+func (e *encoder) u(v uint64)   { e.b = binary.AppendUvarint(e.b, v) }
+func (e *encoder) i(v int64)    { e.b = binary.AppendVarint(e.b, v) }
+func (e *encoder) str(s string) { e.u(uint64(len(s))); e.b = append(e.b, s...) }
+func (e *encoder) flag(v bool) {
+	if v {
+		e.b = append(e.b, 1)
+	} else {
+		e.b = append(e.b, 0)
+	}
+}
+
+func (e *encoder) cache(st mem.CacheState) {
+	e.str(st.Name)
+	e.u(st.Stamp)
+	e.u(uint64(len(st.Lines)))
+	for _, set := range st.Lines {
+		e.u(uint64(len(set)))
+		for _, l := range set {
+			e.u(l.Tag)
+			e.flag(l.Valid)
+			e.flag(l.Dirty)
+			e.u(l.LRU)
+		}
+	}
+}
+
+func (e *encoder) tlb(st mem.TLBState) {
+	e.str(st.Name)
+	e.u(st.Stamp)
+	e.u(uint64(len(st.Entries)))
+	for _, set := range st.Entries {
+		e.u(uint64(len(set)))
+		for _, en := range set {
+			e.u(en.Page)
+			e.flag(en.Valid)
+			e.u(en.LRU)
+		}
+	}
+}
+
+// Encode serializes the checkpoint.
+func (c *Checkpoint) Encode() []byte {
+	e := &encoder{b: make([]byte, 0, 1<<16)}
+	e.b = append(e.b, Magic...)
+	e.b = append(e.b, FormatVersion)
+	e.u(c.Seq)
+
+	// Architectural state.
+	for _, r := range c.Snap.Arch.Regs {
+		e.u(r)
+	}
+	e.i(int64(c.Snap.Arch.PCIndex))
+	e.u(c.Snap.Arch.Seq)
+
+	// Front-end durable state.
+	e.u(c.Snap.LastLine)
+	e.u(uint64(len(c.Snap.RAS)))
+	for _, idx := range c.Snap.RAS {
+		e.i(int64(idx))
+	}
+	e.u(uint64(len(c.Snap.BTB)))
+	for _, pc := range c.Snap.BTB {
+		e.u(pc)
+	}
+
+	// Memory hierarchy.
+	e.cache(c.Snap.Hier.L1I)
+	e.cache(c.Snap.Hier.L1D)
+	e.cache(c.Snap.Hier.LLC)
+	e.tlb(c.Snap.Hier.ITLB)
+	e.tlb(c.Snap.Hier.DTLB)
+	e.tlb(c.Snap.Hier.L2TLB)
+
+	// Predictor.
+	e.u(c.Snap.Pred.History)
+	e.u(uint64(len(c.Snap.Pred.Bimodal)))
+	for _, ctr := range c.Snap.Pred.Bimodal {
+		e.b = append(e.b, byte(ctr))
+	}
+	e.u(uint64(len(c.Snap.Pred.Tables)))
+	for _, t := range c.Snap.Pred.Tables {
+		e.u(uint64(len(t)))
+		for _, en := range t {
+			e.u(uint64(en.Tag))
+			e.b = append(e.b, byte(en.Ctr), en.Useful)
+		}
+	}
+
+	// Memory deltas.
+	e.u(uint64(len(c.MemDelta)))
+	for _, d := range c.MemDelta {
+		e.u(d.Addr)
+		e.u(d.Val)
+	}
+
+	var sum [8]byte
+	binary.LittleEndian.PutUint64(sum[:], digest(e.b))
+	return append(e.b, sum[:]...)
+}
+
+type decoder struct {
+	b   []byte
+	pos int
+	err *simerr.Error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = simerr.New(simerr.ErrDecode, simerr.Snapshot{}, "checkpoint: "+format, args...)
+	}
+}
+
+func (d *decoder) u() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.pos:])
+	if n <= 0 {
+		d.fail("truncated varint at offset %d", d.pos)
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decoder) i() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.pos:])
+	if n <= 0 {
+		d.fail("truncated varint at offset %d", d.pos)
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos >= len(d.b) {
+		d.fail("truncated at offset %d", d.pos)
+		return 0
+	}
+	c := d.b[d.pos]
+	d.pos++
+	return c
+}
+
+func (d *decoder) flag() bool { return d.byte() != 0 }
+
+func (d *decoder) str() string {
+	n := d.u()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)-d.pos) {
+		d.fail("string length %d exceeds remaining %d bytes", n, len(d.b)-d.pos)
+		return ""
+	}
+	s := string(d.b[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s
+}
+
+// count validates a collection length against the bytes that remain,
+// assuming at least min bytes per element, so a corrupt length cannot
+// drive allocation or a long loop.
+func (d *decoder) count(min int) int {
+	n := d.u()
+	if d.err != nil {
+		return 0
+	}
+	if min < 1 {
+		min = 1
+	}
+	if n > uint64((len(d.b)-d.pos)/min+1) {
+		d.fail("count %d exceeds remaining %d bytes", n, len(d.b)-d.pos)
+		return 0
+	}
+	return int(n)
+}
+
+func (d *decoder) cache() mem.CacheState {
+	st := mem.CacheState{Name: d.str(), Stamp: d.u()}
+	nsets := d.count(4)
+	st.Lines = make([][]mem.CacheLineState, 0, nsets)
+	for i := 0; i < nsets && d.err == nil; i++ {
+		ways := d.count(4)
+		set := make([]mem.CacheLineState, 0, ways)
+		for j := 0; j < ways && d.err == nil; j++ {
+			set = append(set, mem.CacheLineState{
+				Tag: d.u(), Valid: d.flag(), Dirty: d.flag(), LRU: d.u(),
+			})
+		}
+		st.Lines = append(st.Lines, set)
+	}
+	return st
+}
+
+func (d *decoder) tlb() mem.TLBState {
+	st := mem.TLBState{Name: d.str(), Stamp: d.u()}
+	nsets := d.count(3)
+	st.Entries = make([][]mem.TLBEntryState, 0, nsets)
+	for i := 0; i < nsets && d.err == nil; i++ {
+		ways := d.count(3)
+		set := make([]mem.TLBEntryState, 0, ways)
+		for j := 0; j < ways && d.err == nil; j++ {
+			set = append(set, mem.TLBEntryState{Page: d.u(), Valid: d.flag(), LRU: d.u()})
+		}
+		st.Entries = append(st.Entries, set)
+	}
+	return st
+}
+
+// Decode parses a serialized checkpoint, verifying the magic, version,
+// and integrity digest. Every failure is a typed *simerr.Error of kind
+// simerr.ErrDecode.
+func Decode(data []byte) (*Checkpoint, error) {
+	if len(data) < len(Magic)+1+8 {
+		return nil, simerr.New(simerr.ErrDecode, simerr.Snapshot{},
+			"checkpoint: %d bytes is too short for a checkpoint", len(data))
+	}
+	if string(data[:len(Magic)]) != Magic {
+		return nil, simerr.New(simerr.ErrDecode, simerr.Snapshot{}, "checkpoint: bad magic")
+	}
+	if data[len(Magic)] != FormatVersion {
+		return nil, simerr.New(simerr.ErrDecode, simerr.Snapshot{},
+			"checkpoint: unsupported version %d (want %d)", data[len(Magic)], FormatVersion)
+	}
+	payload, sum := data[:len(data)-8], data[len(data)-8:]
+	if binary.LittleEndian.Uint64(sum) != digest(payload) {
+		return nil, simerr.New(simerr.ErrDecode, simerr.Snapshot{}, "checkpoint: integrity digest mismatch")
+	}
+
+	d := &decoder{b: payload, pos: len(Magic) + 1}
+	c := &Checkpoint{Snap: &cpu.Snapshot{}}
+	c.Seq = d.u()
+
+	for i := range c.Snap.Arch.Regs {
+		c.Snap.Arch.Regs[i] = d.u()
+	}
+	c.Snap.Arch.PCIndex = int(d.i())
+	c.Snap.Arch.Seq = d.u()
+
+	c.Snap.LastLine = d.u()
+	nras := d.count(1)
+	for i := 0; i < nras && d.err == nil; i++ {
+		c.Snap.RAS = append(c.Snap.RAS, int(d.i()))
+	}
+	nbtb := d.count(1)
+	if nbtb > 0 {
+		c.Snap.BTB = make([]uint64, 0, nbtb)
+		for i := 0; i < nbtb && d.err == nil; i++ {
+			c.Snap.BTB = append(c.Snap.BTB, d.u())
+		}
+	}
+
+	c.Snap.Hier.L1I = d.cache()
+	c.Snap.Hier.L1D = d.cache()
+	c.Snap.Hier.LLC = d.cache()
+	c.Snap.Hier.ITLB = d.tlb()
+	c.Snap.Hier.DTLB = d.tlb()
+	c.Snap.Hier.L2TLB = d.tlb()
+
+	c.Snap.Pred.History = d.u()
+	nbim := d.count(1)
+	c.Snap.Pred.Bimodal = make([]int8, 0, nbim)
+	for i := 0; i < nbim && d.err == nil; i++ {
+		c.Snap.Pred.Bimodal = append(c.Snap.Pred.Bimodal, int8(d.byte()))
+	}
+	ntab := d.count(1)
+	c.Snap.Pred.Tables = make([][]branch.TaggedEntryState, 0, ntab)
+	for i := 0; i < ntab && d.err == nil; i++ {
+		nent := d.count(3)
+		t := make([]branch.TaggedEntryState, 0, nent)
+		for j := 0; j < nent && d.err == nil; j++ {
+			tag := d.u()
+			if tag > 1<<32-1 {
+				d.fail("predictor tag %d overflows 32 bits", tag)
+				break
+			}
+			t = append(t, branch.TaggedEntryState{Tag: uint32(tag), Ctr: int8(d.byte()), Useful: d.byte()})
+		}
+		c.Snap.Pred.Tables = append(c.Snap.Pred.Tables, t)
+	}
+
+	ndelta := d.count(2)
+	if ndelta > 0 {
+		c.MemDelta = make([]emu.MemDelta, 0, ndelta)
+	}
+	for i := 0; i < ndelta && d.err == nil; i++ {
+		c.MemDelta = append(c.MemDelta, emu.MemDelta{Addr: d.u(), Val: d.u()})
+	}
+
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.pos != len(payload) {
+		return nil, simerr.New(simerr.ErrDecode, simerr.Snapshot{},
+			"checkpoint: %d trailing bytes after payload", len(payload)-d.pos)
+	}
+	if c.Snap.Arch.Seq != c.Seq {
+		return nil, simerr.New(simerr.ErrDecode, simerr.Snapshot{},
+			"checkpoint: boundary seq %d disagrees with architectural seq %d", c.Seq, c.Snap.Arch.Seq)
+	}
+	if c.Snap.Arch.PCIndex < -1 {
+		return nil, simerr.New(simerr.ErrDecode, simerr.Snapshot{},
+			"checkpoint: negative PC index %d", c.Snap.Arch.PCIndex)
+	}
+	return c, nil
+}

@@ -1,0 +1,226 @@
+package checkpoint
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/branch"
+	"repro/internal/cpu"
+	"repro/internal/emu"
+	"repro/internal/mem"
+	"repro/internal/simerr"
+	"repro/internal/workloads"
+)
+
+// realCheckpoint generates a checkpoint from an actual functional pass,
+// so roundtrip and corruption tests run against representative data.
+func realCheckpoint(t *testing.T) *Checkpoint {
+	t.Helper()
+	w, err := workloads.ByName("deepsjeng")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.Build(100)
+	gen, err := Generate(context.Background(), p, cpu.DefaultConfig(), Plan{Interval: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gen.Checkpoints) == 0 {
+		t.Fatal("program too short for the plan")
+	}
+	return gen.Checkpoints[len(gen.Checkpoints)-1]
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	cp := realCheckpoint(t)
+	data := cp.Encode()
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(cp, got) {
+		t.Error("decoded checkpoint differs from the original")
+	}
+	// Encoding must be deterministic: the same checkpoint always
+	// serializes to the same bytes (content-addressed storage depends
+	// on it).
+	if string(cp.Encode()) != string(data) {
+		t.Error("Encode is not deterministic")
+	}
+}
+
+// TestDecodeCorruption pins the corruption contract: any truncation or
+// bit flip of a serialized checkpoint must fail Decode with a typed
+// *simerr.Error of kind ErrDecode — never a panic, never a silently
+// wrong checkpoint (which would eventually surface as a wrong profile).
+func TestDecodeCorruption(t *testing.T) {
+	data := realCheckpoint(t).Encode()
+	rng := rand.New(rand.NewSource(1))
+
+	decodeMutant := func(name string, mut []byte) {
+		t.Helper()
+		defer func() {
+			if v := recover(); v != nil {
+				t.Errorf("%s: Decode panicked: %v", name, v)
+			}
+		}()
+		cp, err := Decode(mut)
+		if err == nil {
+			t.Errorf("%s: corrupt checkpoint decoded successfully", name)
+			return
+		}
+		if cp != nil {
+			t.Errorf("%s: Decode returned both a checkpoint and an error", name)
+		}
+		var se *simerr.Error
+		if !errors.As(err, &se) || !errors.Is(err, simerr.ErrDecode) {
+			t.Errorf("%s: want typed ErrDecode, got %v", name, err)
+		}
+	}
+
+	// Truncations: every prefix of the header region, then a sample of
+	// longer prefixes.
+	for n := 0; n < len(Magic)+1+8 && n < len(data); n++ {
+		decodeMutant(fmt.Sprintf("truncate@%d", n), append([]byte(nil), data[:n]...))
+	}
+	for i := 0; i < 128; i++ {
+		n := rng.Intn(len(data))
+		decodeMutant(fmt.Sprintf("truncate@%d", n), append([]byte(nil), data[:n]...))
+	}
+
+	// Single-bit flips: header, digest trailer, and a body sample. The
+	// integrity digest makes every one of them detectable.
+	positions := []int{0, 1, 2, 3, 4, len(data) - 8, len(data) - 1}
+	for i := 0; i < 256; i++ {
+		positions = append(positions, rng.Intn(len(data)))
+	}
+	for _, pos := range positions {
+		mut := append([]byte(nil), data...)
+		mut[pos] ^= byte(1) << uint(rng.Intn(8))
+		decodeMutant(fmt.Sprintf("bitflip@%d", pos), mut)
+	}
+}
+
+// populatedCheckpoint builds a synthetic checkpoint in which every
+// slice and table has at least one element, so the sensitivity walk
+// below can reach every leaf field.
+func populatedCheckpoint() *Checkpoint {
+	cp := &Checkpoint{
+		Seq: 7,
+		Snap: &cpu.Snapshot{
+			BTB:      []uint64{0x40},
+			RAS:      []int{3},
+			LastLine: 0x11,
+		},
+		MemDelta: []emu.MemDelta{{Addr: 0x1000, Val: 42}},
+	}
+	cp.Snap.Arch = emu.ArchState{PCIndex: 2, Seq: 7}
+	cp.Snap.Arch.Regs[1] = 9
+	cacheState := func(name string) mem.CacheState {
+		return mem.CacheState{
+			Name:  name,
+			Stamp: 5,
+			Lines: [][]mem.CacheLineState{{{Tag: 0x2, Valid: true, Dirty: true, LRU: 4}}},
+		}
+	}
+	tlbState := func(name string) mem.TLBState {
+		return mem.TLBState{
+			Name:    name,
+			Stamp:   3,
+			Entries: [][]mem.TLBEntryState{{{Page: 0x6, Valid: true, LRU: 2}}},
+		}
+	}
+	cp.Snap.Hier = mem.HierarchyState{
+		L1I: cacheState("L1I"), L1D: cacheState("L1D"), LLC: cacheState("LLC"),
+		ITLB: tlbState("ITLB"), DTLB: tlbState("DTLB"), L2TLB: tlbState("L2TLB"),
+	}
+	cp.Snap.Pred = branch.PredictorState{
+		Bimodal: []int8{1},
+		Tables:  [][]branch.TaggedEntryState{{{Tag: 0x9, Ctr: 1, Useful: 1}}},
+		History: 0x5,
+	}
+	return cp
+}
+
+// TestEncodeSensitivity is the checkpoint analog of the capture-key
+// reflection test: every leaf field reachable from a Checkpoint —
+// through structs, pointers, slices, and arrays — must influence the
+// encoded bytes. A field added to the architectural, memory-hierarchy,
+// or predictor state structs without extending Encode/Decode shows up
+// here as a new leaf whose mutation leaves the encoding unchanged, and
+// fails the test by name.
+func TestEncodeSensitivity(t *testing.T) {
+	cp := populatedCheckpoint()
+	base := string(cp.Encode())
+
+	var walk func(path string, v reflect.Value)
+	walk = func(path string, v reflect.Value) {
+		switch v.Kind() {
+		case reflect.Pointer:
+			if v.IsNil() {
+				t.Fatalf("%s: fixture leaves this nil; populate it", path)
+			}
+			walk(path, v.Elem())
+		case reflect.Struct:
+			for i := 0; i < v.NumField(); i++ {
+				walk(path+"."+v.Type().Field(i).Name, v.Field(i))
+			}
+		case reflect.Slice, reflect.Array:
+			if v.Len() == 0 {
+				t.Fatalf("%s: fixture leaves this empty; populate it so element fields are checked", path)
+			}
+			walk(path+"[0]", v.Index(0))
+		default:
+			if !mutateLeaf(v) {
+				t.Fatalf("%s: unsupported kind %s — extend mutateLeaf", path, v.Kind())
+			}
+			if got := string(cp.Encode()); got == base {
+				t.Errorf("mutating %s did not change the encoding — field not serialized", path)
+			}
+			if !mutateBack(v) {
+				t.Fatalf("%s: cannot restore", path)
+			}
+			if got := string(cp.Encode()); got != base {
+				t.Fatalf("%s: mutation did not restore cleanly", path)
+			}
+		}
+	}
+	walk("Checkpoint", reflect.ValueOf(cp).Elem())
+}
+
+func mutateLeaf(v reflect.Value) bool {
+	switch v.Kind() {
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(v.Uint() + 1)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(v.Int() + 1)
+	case reflect.Bool:
+		v.SetBool(!v.Bool())
+	case reflect.String:
+		v.SetString(v.String() + "x")
+	default:
+		return false
+	}
+	return true
+}
+
+func mutateBack(v reflect.Value) bool {
+	switch v.Kind() {
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(v.Uint() - 1)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(v.Int() - 1)
+	case reflect.Bool:
+		v.SetBool(!v.Bool())
+	case reflect.String:
+		s := v.String()
+		v.SetString(s[:len(s)-1])
+	default:
+		return false
+	}
+	return true
+}

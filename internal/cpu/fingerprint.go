@@ -1,0 +1,177 @@
+// Canonical state fingerprints: a translation-invariant hash of every
+// piece of core state that can influence future trace records. Two
+// cores with equal fingerprints — one mid-way through a serial run,
+// one restored from a checkpoint and warmed up to the same commit
+// boundary — will emit identical trace records from that point on, up
+// to a constant cycle offset.
+//
+// Translation invariance is the load-bearing property: a restored core
+// runs on its own cycle clock (starting at 0), so every absolute cycle
+// stamp is reduced to an offset from the current cycle, LRU stamps are
+// reduced to in-set ranks (mem/branch CanonState), and pointer-valued
+// dependency wiring is reduced to producer sequence numbers. State
+// with no forward influence is deliberately excluded: statistics, the
+// run guards (MaxCycles, watchdog anchor), recycling pools whose
+// storage is fully overwritten on allocation, per-cycle scratch, and
+// the functional stream's register/memory contents (which are a pure
+// function of the committed sequence number and therefore equal
+// whenever the sequence numbers are). The checkpoint state-coverage
+// test (internal/checkpoint) pins this classification field by field.
+package cpu
+
+const (
+	fpOffset = 14695981039346656037
+	fpPrime  = 1099511628211
+)
+
+// Fingerprint hashes the core's canonical state. The capture layer
+// compares the fingerprint at the end of segment k with the one at the
+// start of segment k+1; equality chains exactness forward from the
+// from-reset segment 0.
+func (c *CPU) Fingerprint() uint64 {
+	dst := c.canonState(make([]uint64, 0, 4096))
+	h := uint64(fpOffset)
+	for _, v := range dst {
+		h = (h ^ v) * fpPrime
+	}
+	return h
+}
+
+// CanonState appends the core's full canonical state vector — the
+// exact values Fingerprint hashes. Exported for the checkpoint
+// equivalence tests, which compare vectors element-wise to localize a
+// divergence instead of just detecting one.
+func (c *CPU) CanonState(dst []uint64) []uint64 { return c.canonState(dst) }
+
+func b2u(v bool) uint64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// rel reduces an absolute cycle stamp to an offset from now. Unset
+// stamps (0 — the clock starts at 1, so no real stamp is 0) stay 0;
+// everything else becomes a wrapping difference, equal across two
+// cores whenever the stamp's age is equal.
+func rel(v, cycle uint64) uint64 {
+	if v == 0 {
+		return 0
+	}
+	return v - cycle
+}
+
+// relFuture reduces a busy-until style stamp: only its future part
+// affects behavior, so past values canonicalize to 0.
+func relFuture(v, cycle uint64) uint64 {
+	if v > cycle {
+		return v - cycle
+	}
+	return 0
+}
+
+// srcCanon canonicalizes one dependency wire: 0 when the operand reads
+// as architecturally ready (nil, recycled producer, or completed
+// producer), producer seq+1 otherwise.
+func (c *CPU) srcCanon(p *UOp, gen uint32) uint64 {
+	if p == nil || p.gen != gen || p.doneAt(c.cycle) {
+		return 0
+	}
+	return p.Seq() + 1
+}
+
+// canonUOp appends one µop's full canonical state.
+func (c *CPU) canonUOp(dst []uint64, u *UOp) []uint64 {
+	flags := b2u(u.dispatched) | b2u(u.issued)<<1 | b2u(u.completed)<<2 |
+		b2u(u.committed)<<3 | b2u(u.squashed)<<4 | b2u(u.Mispredicted)<<5 |
+		b2u(u.translated)<<6 | b2u(u.hasValue)<<7 | b2u(u.drainStarted)<<8
+	return append(dst,
+		u.Seq()+1, uint64(u.PSV), flags,
+		rel(u.FetchCycle, c.cycle), rel(u.DispatchCycle, c.cycle),
+		rel(u.IssueCycle, c.cycle), rel(u.CompleteCycle, c.cycle),
+		rel(u.CommitCycle, c.cycle), rel(u.aguDone, c.cycle),
+		rel(u.tlbDone, c.cycle), rel(u.drainDone, c.cycle),
+		c.srcCanon(u.src1, u.src1Gen), c.srcCanon(u.src2, u.src2Gen),
+		uint64(u.valueFromSeq+1))
+}
+
+// canonSeqList appends a queue as an ordered list of sequence numbers;
+// used for queues whose µops are fully canonicalized via the ROB.
+func canonSeqList(dst []uint64, q []*UOp) []uint64 {
+	dst = append(dst, uint64(len(q)))
+	for _, u := range q {
+		dst = append(dst, u.Seq()+1)
+	}
+	return dst
+}
+
+func (c *CPU) canonState(dst []uint64) []uint64 {
+	// In-flight window. ROB µops carry full state; issue/load queues
+	// reference ROB entries, so their order (which drives issue
+	// selection) is captured as sequence lists. The fetch buffer, store
+	// queue, and drain queue can hold µops outside the ROB
+	// (pre-dispatch, and committed stores awaiting their drain), so
+	// they carry full state too.
+	dst = append(dst, uint64(c.rob.len()))
+	for i := 0; i < c.rob.len(); i++ {
+		dst = c.canonUOp(dst, c.rob.at(i))
+	}
+	dst = append(dst, uint64(len(c.fetchBuf)))
+	for _, u := range c.fetchBuf {
+		dst = c.canonUOp(dst, u)
+	}
+	dst = append(dst, uint64(len(c.sq)))
+	for _, u := range c.sq {
+		dst = c.canonUOp(dst, u)
+	}
+	dst = append(dst, uint64(len(c.drainQ)))
+	for _, u := range c.drainQ {
+		dst = c.canonUOp(dst, u)
+	}
+	dst = canonSeqList(dst, c.iqInt)
+	dst = canonSeqList(dst, c.iqMem)
+	dst = canonSeqList(dst, c.iqFP)
+	dst = canonSeqList(dst, c.lq)
+	dst = canonSeqList(dst, c.pendingLoads)
+
+	// Front-end and serialization state.
+	var await, block, next uint64
+	if c.awaitBranch != nil {
+		await = c.awaitBranch.Seq() + 1
+	}
+	if c.blockDispatch != nil {
+		block = c.blockDispatch.Seq() + 1
+	}
+	if c.fetchNext != nil {
+		next = c.fetchNext.Seq + 1
+	}
+	var last uint64
+	if c.haveLast {
+		last = c.lastRef.Seq + 1
+	}
+	dst = append(dst, await, block, next, last,
+		b2u(c.pendDRL1)|b2u(c.pendDRTLB)<<1|b2u(c.streamDry)<<2|b2u(c.flushActive)<<3,
+		c.lastLine,
+		relFuture(c.fetchResume, c.cycle),
+		relFuture(c.divBusyUntil, c.cycle),
+		relFuture(c.fdivBusyUntil, c.cycle),
+		c.pendingOverhead)
+
+	// Return-address stack and BTB (nil canonicalizes as all zeros).
+	dst = append(dst, uint64(len(c.ras)))
+	for _, idx := range c.ras {
+		dst = append(dst, uint64(idx))
+	}
+	if c.cfg.BTBEntries > 0 {
+		if c.btb == nil {
+			for i := 0; i < c.cfg.BTBEntries; i++ {
+				dst = append(dst, 0)
+			}
+		} else {
+			dst = append(dst, c.btb...)
+		}
+	}
+
+	dst = c.bp.CanonState(dst)
+	return c.hier.CanonState(dst, c.cycle)
+}

@@ -1,0 +1,126 @@
+// Checkpoint support: the quiescent-state snapshot and the Restore
+// path that reconstructs a core mid-run from one.
+//
+// A Snapshot is taken at a *quiescent commit boundary*: every fetched
+// instruction has committed, the pipeline is empty, no fill or drain
+// is in flight. The checkpoint-generation pass (internal/checkpoint)
+// reaches such boundaries trivially because it is functional — it has
+// no pipeline at all — and commits instructions one at a time in
+// program order. The quiescing rule is therefore structural: a
+// snapshot carries architectural state (registers, PC, sequence
+// number; the memory image travels separately as dirty-word deltas)
+// plus the durable microarchitectural state that survives across a
+// pipeline drain — cache and TLB contents, predictor tables, BTB, RAS,
+// and the fetch stage's line-dedup register. Everything transient
+// (ROB, queues, MSHRs, timestamps) is empty or zero by construction
+// and is re-established by the warmup window before any trace bytes
+// are recorded.
+package cpu
+
+import (
+	"repro/internal/branch"
+	"repro/internal/emu"
+	"repro/internal/mem"
+	"repro/internal/program"
+	"repro/internal/simerr"
+)
+
+// Snapshot is the serializable state of a core at a quiescent commit
+// boundary. See the file comment for what is — and deliberately is
+// not — included.
+type Snapshot struct {
+	// Arch is the architectural register state of the functional
+	// stream at the boundary.
+	Arch emu.ArchState
+	// Hier is the durable memory-hierarchy state.
+	Hier mem.HierarchyState
+	// Pred is the branch-predictor state.
+	Pred branch.PredictorState
+	// BTB is the branch target buffer contents (nil when the core has
+	// not allocated one — equivalent to all-zero entries).
+	BTB []uint64
+	// RAS is the return-address stack, bottom first.
+	RAS []int
+	// LastLine is the fetch stage's line-dedup register (the I-line of
+	// the most recently fetched instruction, or ^0 after a redirect).
+	LastLine uint64
+}
+
+// Restore reconstructs a core mid-run from a snapshot: the functional
+// stream resumes at the snapshot's architectural state over the given
+// memory image (which the caller must have reconstructed to match the
+// boundary — base image plus dirty-word deltas), and the durable
+// microarchitectural state is installed. The returned core is
+// quiescent: cycle 0, empty pipeline, ready to Step.
+func Restore(cfg Config, p *program.Program, img *emu.Memory, snap *Snapshot) (*CPU, error) {
+	c := &CPU{
+		cfg:                  cfg,
+		prog:                 p,
+		stream:               emu.NewStreamAt(p, img, snap.Arch),
+		hier:                 mem.NewHierarchy(cfg.Mem),
+		bp:                   branch.New(cfg.BP),
+		rob:                  newROB(cfg.ROBEntries),
+		lastLine:             snap.LastLine,
+		MaxCycles:            cfg.MaxCycles,
+		WatchdogCommitCycles: cfg.WatchdogCommitCycles,
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = DefaultMaxCycles
+	}
+	if c.WatchdogCommitCycles == 0 {
+		c.WatchdogCommitCycles = DefaultWatchdogCommitCycles
+	}
+	if err := c.hier.SetState(snap.Hier); err != nil {
+		return nil, err
+	}
+	if err := c.bp.SetState(snap.Pred); err != nil {
+		return nil, err
+	}
+	if snap.BTB != nil {
+		if cfg.BTBEntries != len(snap.BTB) {
+			return nil, simerr.New(simerr.ErrInvalidConfig, simerr.Snapshot{Program: p.Name},
+				"cpu: snapshot BTB has %d entries, config wants %d", len(snap.BTB), cfg.BTBEntries)
+		}
+		c.btb = append([]uint64(nil), snap.BTB...)
+	}
+	if len(snap.RAS) > rasEntries {
+		return nil, simerr.New(simerr.ErrInvalidConfig, simerr.Snapshot{Program: p.Name},
+			"cpu: snapshot RAS has %d entries, maximum is %d", len(snap.RAS), rasEntries)
+	}
+	c.ras = append([]int(nil), snap.RAS...)
+	return c, nil
+}
+
+// Sub returns the field-wise difference s - prev. Every Stats field is
+// a monotone counter, so the difference of two observations of one run
+// is the activity between them — the basis for reconstructing a serial
+// run's statistics as the sum of per-segment deltas.
+func (s Stats) Sub(prev Stats) Stats {
+	d := Stats{
+		Cycles:      s.Cycles - prev.Cycles,
+		Committed:   s.Committed - prev.Committed,
+		Mispredicts: s.Mispredicts - prev.Mispredicts,
+		BTBMisses:   s.BTBMisses - prev.BTBMisses,
+		Violations:  s.Violations - prev.Violations,
+		Squashed:    s.Squashed - prev.Squashed,
+		Flushes:     s.Flushes - prev.Flushes,
+	}
+	for i := range s.StateCycles {
+		d.StateCycles[i] = s.StateCycles[i] - prev.StateCycles[i]
+	}
+	return d
+}
+
+// Add accumulates a delta produced by Sub into s.
+func (s *Stats) Add(d Stats) {
+	s.Cycles += d.Cycles
+	s.Committed += d.Committed
+	s.Mispredicts += d.Mispredicts
+	s.BTBMisses += d.BTBMisses
+	s.Violations += d.Violations
+	s.Squashed += d.Squashed
+	s.Flushes += d.Flushes
+	for i := range s.StateCycles {
+		s.StateCycles[i] += d.StateCycles[i]
+	}
+}

@@ -1,0 +1,145 @@
+// Functional warming: the checkpoint-generation pass's model of the
+// durable front-end state the cycle core would have accumulated by a
+// given commit boundary. The Warmer replays fetchStage's *state
+// updates* — I-cache/I-TLB touches with line dedup and next-line
+// prefetch, predictor lookups and updates, RAS pushes/pops, BTB
+// installs — plus the data-side cache/TLB touches of loads, stores,
+// and prefetches, all in program order, without any timing.
+//
+// This is an approximation, and a deliberate one. The cycle core
+// touches the data cache in issue order (out-of-order within the
+// instruction window), drains stores post-commit, and re-touches
+// structures when a serializing flush or memory-ordering squash causes
+// a refetch; the Warmer does everything exactly once in program order.
+// The discrepancies are bounded by the instruction window and decay
+// under the cycle-accurate warmup window each parallel segment runs
+// before recording — and the segment fingerprint chain (capture layer)
+// verifies convergence before stitched bytes are trusted.
+package cpu
+
+import (
+	"repro/internal/branch"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Warmer accumulates durable microarchitectural state by observing the
+// functional instruction stream in program order.
+type Warmer struct {
+	cfg      Config
+	hier     *mem.Hierarchy
+	bp       *branch.Predictor
+	ras      []int
+	btb      []uint64
+	lastLine uint64
+	shift    uint
+}
+
+// NewWarmer builds a warmer for the given core configuration, starting
+// from cold structures (the same reset state a fresh core has).
+func NewWarmer(cfg Config) *Warmer {
+	w := &Warmer{
+		cfg:      cfg,
+		hier:     mem.NewHierarchy(cfg.Mem),
+		bp:       branch.New(cfg.BP),
+		lastLine: invalidLine,
+		shift:    6,
+	}
+	for lb := cfg.Mem.L1I.LineBytes; lb > 64; lb >>= 1 {
+		w.shift++
+	}
+	return w
+}
+
+// Observe feeds one committed-path instruction to the warmer. It must
+// be called in program order for every instruction from reset (or from
+// the previous Observe) to the checkpoint boundary.
+func (w *Warmer) Observe(d *emu.Inst) {
+	// I-side: fetchStage touches the hierarchy once per new I-line.
+	if line := d.PC >> w.shift; line != w.lastLine {
+		w.hier.WarmFetch(d.PC)
+		w.lastLine = line
+	}
+
+	op := d.Static.Op
+	mispredicted := false
+	switch {
+	case isa.IsCondBranch(op):
+		pred, prov := w.bp.Predict(d.PC)
+		w.bp.Update(d.PC, prov, pred, d.Taken)
+		mispredicted = pred != d.Taken
+	case op == isa.OpCall:
+		if len(w.ras) >= rasEntries {
+			copy(w.ras, w.ras[1:])
+			w.ras = w.ras[:rasEntries-1]
+		}
+		w.ras = append(w.ras, d.Index+1)
+	case op == isa.OpRet:
+		predicted := -1
+		if n := len(w.ras); n > 0 {
+			predicted = w.ras[n-1]
+			w.ras = w.ras[:n-1]
+		}
+		mispredicted = predicted != d.NextIndex
+	}
+
+	switch {
+	case mispredicted:
+		// The front-end redirects after the branch resolves; the line
+		// dedup register is invalidated, and — as in fetchStage, which
+		// stalls before its BTB block on a mispredict — no BTB install
+		// happens.
+		w.lastLine = invalidLine
+	case d.Taken && isa.IsBranch(op):
+		// Correctly-predicted taken branch: ends the fetch packet and
+		// installs its BTB entry (returns are served by the RAS).
+		w.lastLine = invalidLine
+		if op != isa.OpRet && w.cfg.BTBEntries > 0 {
+			if w.btb == nil {
+				w.btb = make([]uint64, w.cfg.BTBEntries)
+			}
+			idx := (d.PC >> 2) % uint64(len(w.btb))
+			if w.btb[idx] != d.PC {
+				w.btb[idx] = d.PC
+			}
+		}
+	}
+
+	// A serializing µop flushes the pipeline at commit: the fetched-ahead
+	// window is squashed, the stream rewinds, and the line-dedup register
+	// is invalidated, so the next instruction re-touches its I-line even
+	// when it shares the serializing µop's line.
+	if isa.IsSerializing(op) {
+		w.lastLine = invalidLine
+	}
+
+	// D-side: loads and stores touch the D-TLB and D-cache (stores via
+	// their post-commit drain write); software prefetches fill the LLC
+	// only.
+	switch {
+	case isa.IsLoad(op):
+		w.hier.WarmData(d.MemAddr, false)
+	case isa.IsStore(op):
+		w.hier.WarmData(d.MemAddr, true)
+	case op == isa.OpPrefetch:
+		w.hier.WarmPrefetch(d.MemAddr)
+	}
+}
+
+// Snapshot packages the warmed state with the given architectural
+// state into a restorable checkpoint. The warmer remains usable; the
+// snapshot deep-copies everything it shares.
+func (w *Warmer) Snapshot(arch emu.ArchState) *Snapshot {
+	snap := &Snapshot{
+		Arch:     arch,
+		Hier:     w.hier.State(),
+		Pred:     w.bp.State(),
+		RAS:      append([]int(nil), w.ras...),
+		LastLine: w.lastLine,
+	}
+	if w.btb != nil {
+		snap.BTB = append([]uint64(nil), w.btb...)
+	}
+	return snap
+}

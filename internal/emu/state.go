@@ -1,0 +1,87 @@
+// Checkpoint support: exportable architectural state and dirty-word
+// tracking for the functional memory. A Stream is the single source of
+// architectural truth in the simulator (the cycle core only models
+// timing), so a checkpoint of (registers, PC, sequence number, memory
+// words) taken at a commit boundary is exact by construction — there
+// is no approximation on the architectural side.
+package emu
+
+import (
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/xiter"
+)
+
+// ArchState is the exported architectural register state of a Stream
+// at a quiescent point: every delivered instruction has been released
+// (no rewind window is open).
+type ArchState struct {
+	Regs [isa.NumRegs]uint64
+	// PCIndex is the static index of the next instruction (-1 after a
+	// halt).
+	PCIndex int
+	// Seq is the sequence number the next instruction will carry —
+	// equal to the number of instructions executed so far.
+	Seq uint64
+}
+
+// ArchState exports the stream's architectural state. It must be
+// called at a quiescent point; buffered undelivered instructions would
+// otherwise be lost on restore.
+func (s *Stream) ArchState() ArchState {
+	return ArchState{Regs: s.regs, PCIndex: s.pcIndex, Seq: s.seq}
+}
+
+// NewStreamAt returns a stream resumed mid-program from an exported
+// architectural state and a memory image matching it (the words as
+// they were after the st.Seq-th instruction executed). The caller owns
+// mem; the stream stores into it directly.
+func NewStreamAt(p *program.Program, mem *Memory, st ArchState) *Stream {
+	return &Stream{
+		prog:     p,
+		mem:      mem,
+		regs:     st.Regs,
+		pcIndex:  st.PCIndex,
+		seq:      st.Seq,
+		bufBase:  st.Seq,
+		MaxInsts: 2_000_000_000,
+	}
+}
+
+// MemDelta is one changed memory word.
+type MemDelta struct {
+	Addr uint64 // word-aligned
+	Val  uint64
+}
+
+// TrackDirty turns on dirty-word tracking: subsequent stores record
+// their word address until the next TakeDirty call.
+func (m *Memory) TrackDirty() {
+	if m.dirty == nil {
+		m.dirty = make(map[uint64]struct{})
+	}
+}
+
+// TakeDirty returns the words stored to since tracking started (or
+// since the previous TakeDirty), sorted by address, and resets the
+// dirty set. The values are the words' current contents, so applying
+// successive TakeDirty batches in order to a copy of the initial image
+// reconstructs this memory at each batch boundary.
+func (m *Memory) TakeDirty() []MemDelta {
+	if len(m.dirty) == 0 {
+		return nil
+	}
+	deltas := make([]MemDelta, 0, len(m.dirty))
+	for _, a := range xiter.SortedKeys(m.dirty) {
+		deltas = append(deltas, MemDelta{Addr: a, Val: m.words[a]})
+	}
+	m.dirty = make(map[uint64]struct{})
+	return deltas
+}
+
+// Apply writes a delta batch into the memory.
+func (m *Memory) Apply(deltas []MemDelta) {
+	for _, d := range deltas {
+		m.words[d.Addr] = d.Val
+	}
+}

@@ -1,0 +1,307 @@
+// Checkpoint support: exportable state, functional warming, and
+// canonical fingerprints for every stateful component of the memory
+// hierarchy.
+//
+// The state types deliberately capture only *architecturally durable*
+// microarchitectural state — tag arrays, LRU stamps, dirty bits, TLB
+// contents. Transient timing state (outstanding MSHR fills, the DRAM
+// bandwidth slot) is excluded: checkpoints are taken at a quiescent
+// commit boundary by a functional pass that has no cycle clock, so a
+// restored hierarchy starts with no fills in flight. The per-interval
+// warmup window re-establishes transient state before any trace bytes
+// are recorded, and the canonical fingerprint (which *does* cover live
+// MSHRs and the DRAM slot, translation-invariantly) verifies that it
+// converged.
+package mem
+
+import "repro/internal/simerr"
+
+// CacheLineState is one exported cache line.
+type CacheLineState struct {
+	Tag   uint64
+	Valid bool
+	Dirty bool
+	// LRU is the raw last-use stamp; only its order matters, and stamps
+	// are unique within a cache, so restoring raw values preserves
+	// replacement behavior exactly.
+	LRU uint64
+}
+
+// CacheState is the exported durable state of one cache: the full tag
+// array plus the stamp counter. MSHRs and statistics are not part of
+// it (see the package comment above).
+type CacheState struct {
+	Name  string
+	Lines [][]CacheLineState
+	Stamp uint64
+}
+
+// State exports the cache's durable state.
+func (c *Cache) State() CacheState {
+	st := CacheState{Name: c.cfg.Name, Stamp: c.stamp, Lines: make([][]CacheLineState, len(c.sets))}
+	for i, set := range c.sets {
+		ls := make([]CacheLineState, len(set))
+		for j, l := range set {
+			ls[j] = CacheLineState{Tag: l.tag, Valid: l.valid, Dirty: l.dirty, LRU: l.lru}
+		}
+		st.Lines[i] = ls
+	}
+	return st
+}
+
+// SetState restores durable state exported by State on a cache with
+// the same geometry. MSHRs are cleared: a restored cache has no fills
+// in flight.
+func (c *Cache) SetState(st CacheState) error {
+	if st.Name != c.cfg.Name || len(st.Lines) != len(c.sets) {
+		return simerr.New(simerr.ErrInvalidConfig, simerr.Snapshot{},
+			"mem: cache state %q (%d sets) does not fit cache %q (%d sets)",
+			st.Name, len(st.Lines), c.cfg.Name, len(c.sets))
+	}
+	for i, ls := range st.Lines {
+		if len(ls) != len(c.sets[i]) {
+			return simerr.New(simerr.ErrInvalidConfig, simerr.Snapshot{},
+				"mem: cache state %q set %d has %d ways, cache has %d",
+				st.Name, i, len(ls), len(c.sets[i]))
+		}
+		for j, l := range ls {
+			c.sets[i][j] = line{tag: l.Tag, valid: l.Valid, dirty: l.Dirty, lru: l.LRU}
+		}
+	}
+	c.stamp = st.Stamp
+	c.mshrs = c.mshrs[:0]
+	return nil
+}
+
+// Warm models one program-order access for functional warming: it
+// updates the tag array, LRU order, and dirty bits exactly as a
+// demand access would, but performs no MSHR accounting, no fill
+// timing, and no statistics. It reports whether the access missed, so
+// callers can propagate the warm to the next level.
+func (c *Cache) Warm(addr uint64, write bool) (miss bool) {
+	block := c.BlockOf(addr)
+	set := c.setOf(block)
+	tag := c.tagOf(block)
+	c.stamp++
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.stamp
+			if write {
+				set[i].dirty = true
+			}
+			return false
+		}
+	}
+	c.install(block, write)
+	return true
+}
+
+// TLBEntryState is one exported TLB entry.
+type TLBEntryState struct {
+	Page  uint64
+	Valid bool
+	LRU   uint64
+}
+
+// TLBState is the exported state of one TLB.
+type TLBState struct {
+	Name    string
+	Entries [][]TLBEntryState
+	Stamp   uint64
+}
+
+// State exports the TLB's contents.
+func (t *TLB) State() TLBState {
+	st := TLBState{Name: t.cfg.Name, Stamp: t.stamp, Entries: make([][]TLBEntryState, len(t.sets))}
+	for i, set := range t.sets {
+		es := make([]TLBEntryState, len(set))
+		for j, e := range set {
+			es[j] = TLBEntryState{Page: e.page, Valid: e.valid, LRU: e.lru}
+		}
+		st.Entries[i] = es
+	}
+	return st
+}
+
+// SetState restores contents exported by State on a TLB with the same
+// geometry.
+func (t *TLB) SetState(st TLBState) error {
+	if st.Name != t.cfg.Name || len(st.Entries) != len(t.sets) {
+		return simerr.New(simerr.ErrInvalidConfig, simerr.Snapshot{},
+			"mem: TLB state %q (%d sets) does not fit TLB %q (%d sets)",
+			st.Name, len(st.Entries), t.cfg.Name, len(t.sets))
+	}
+	for i, es := range st.Entries {
+		if len(es) != len(t.sets[i]) {
+			return simerr.New(simerr.ErrInvalidConfig, simerr.Snapshot{},
+				"mem: TLB state %q set %d has %d ways, TLB has %d",
+				st.Name, i, len(es), len(t.sets[i]))
+		}
+		for j, e := range es {
+			t.sets[i][j] = tlbEntry{page: e.Page, valid: e.Valid, lru: e.LRU}
+		}
+	}
+	t.stamp = st.Stamp
+	return nil
+}
+
+// HierarchyState is the exported durable state of a core's full memory
+// system: all three caches, both L1 TLBs, and the shared L2 TLB. The
+// DRAM bandwidth slot is transient timing state and is deliberately
+// absent (see the package comment).
+type HierarchyState struct {
+	L1I, L1D, LLC     CacheState
+	ITLB, DTLB, L2TLB TLBState
+}
+
+// State exports the hierarchy's durable state.
+func (h *Hierarchy) State() HierarchyState {
+	return HierarchyState{
+		L1I: h.l1i.State(), L1D: h.l1d.State(), LLC: h.llc.State(),
+		ITLB: h.itlb.State(), DTLB: h.dtlb.State(), L2TLB: h.walk.l2.State(),
+	}
+}
+
+// SetState restores state exported by State on a hierarchy built from
+// the same configuration.
+func (h *Hierarchy) SetState(st HierarchyState) error {
+	for _, step := range []error{
+		h.l1i.SetState(st.L1I), h.l1d.SetState(st.L1D), h.llc.SetState(st.LLC),
+		h.itlb.SetState(st.ITLB), h.dtlb.SetState(st.DTLB), h.walk.l2.SetState(st.L2TLB),
+	} {
+		if step != nil {
+			return step
+		}
+	}
+	return nil
+}
+
+// WarmFetch models the durable-state side effects of an instruction
+// fetch of the line holding pc, mirroring Fetch: I-TLB (walking into
+// the L2 TLB on a miss), L1I, LLC on an L1I miss, and the next-line
+// prefetch the demand miss would have triggered.
+func (h *Hierarchy) WarmFetch(pc uint64) {
+	if !h.itlb.Lookup(pc) {
+		h.walk.Resolve(pc)
+	}
+	if h.l1i.Warm(pc, false) {
+		h.llc.Warm(pc, false)
+		if h.cfg.NextLinePrefetch {
+			next := pc + uint64(h.cfg.L1I.LineBytes)
+			if !h.l1i.Lookup(next) {
+				if h.l1i.Warm(next, false) {
+					h.llc.Warm(next, false)
+				}
+			}
+		}
+	}
+}
+
+// WarmData models the durable-state side effects of a data access of
+// the line holding addr, mirroring TranslateData + Data: D-TLB (and L2
+// TLB on a miss), L1D, LLC on an L1D miss.
+func (h *Hierarchy) WarmData(addr uint64, write bool) {
+	if !h.dtlb.Lookup(addr) {
+		h.walk.Resolve(addr)
+	}
+	if h.l1d.Warm(addr, write) {
+		h.llc.Warm(addr, false)
+	}
+}
+
+// WarmPrefetch models a software prefetch, mirroring PrefetchLLC: the
+// line is brought into the LLC only, and an LLC hit leaves LRU state
+// untouched (PrefetchLLC's hit path is a Lookup, not an Access).
+func (h *Hierarchy) WarmPrefetch(addr uint64) {
+	if !h.llc.Lookup(addr) {
+		h.llc.Warm(addr, false)
+	}
+}
+
+// CanonState appends a translation-invariant canonical encoding of the
+// cache's state at the given cycle: per set, per way in index order,
+// (valid, tag, dirty, LRU rank within the set's valid lines), then the
+// live MSHRs (ready > cycle) sorted by block with cycle-relative ready
+// times. Raw stamps are reduced to in-set ranks and absolute fill
+// cycles to deltas so that two caches reached via different absolute
+// clocks — a serial run versus a restored segment — canonicalize
+// equally exactly when their future behavior is identical.
+func (c *Cache) CanonState(dst []uint64, cycle uint64) []uint64 {
+	for _, set := range c.sets {
+		for i := range set {
+			l := set[i]
+			var valid, dirty, rank uint64
+			if l.valid {
+				valid = 1
+				for j := range set {
+					if set[j].valid && set[j].lru < l.lru {
+						rank++
+					}
+				}
+			}
+			if l.dirty {
+				dirty = 1
+			}
+			var tag uint64
+			if l.valid {
+				tag = l.tag
+			}
+			dst = append(dst, valid, tag, dirty, rank)
+		}
+	}
+	live := make([]mshr, 0, len(c.mshrs))
+	for _, m := range c.mshrs {
+		if m.ready > cycle {
+			live = append(live, m)
+		}
+	}
+	for i := 1; i < len(live); i++ {
+		for j := i; j > 0 && live[j-1].block > live[j].block; j-- {
+			live[j-1], live[j] = live[j], live[j-1]
+		}
+	}
+	dst = append(dst, uint64(len(live)))
+	for _, m := range live {
+		dst = append(dst, m.block, m.ready-cycle)
+	}
+	return dst
+}
+
+// CanonState appends the TLB's canonical encoding: per set, per way in
+// index order, (valid, page, LRU rank within the set's valid entries).
+func (t *TLB) CanonState(dst []uint64) []uint64 {
+	for _, set := range t.sets {
+		for i := range set {
+			e := set[i]
+			var valid, page, rank uint64
+			if e.valid {
+				valid = 1
+				page = e.page
+				for j := range set {
+					if set[j].valid && set[j].lru < e.lru {
+						rank++
+					}
+				}
+			}
+			dst = append(dst, valid, page, rank)
+		}
+	}
+	return dst
+}
+
+// CanonState appends the DRAM's canonical encoding: how far the
+// bandwidth slot is booked past the given cycle (0 when idle).
+func (d *DRAM) CanonState(dst []uint64, cycle uint64) []uint64 {
+	return append(dst, d.QueueDelay(cycle))
+}
+
+// CanonState appends the whole hierarchy's canonical encoding.
+func (h *Hierarchy) CanonState(dst []uint64, cycle uint64) []uint64 {
+	dst = h.l1i.CanonState(dst, cycle)
+	dst = h.l1d.CanonState(dst, cycle)
+	dst = h.llc.CanonState(dst, cycle)
+	dst = h.itlb.CanonState(dst)
+	dst = h.dtlb.CanonState(dst)
+	dst = h.walk.l2.CanonState(dst)
+	return h.dram.CanonState(dst, cycle)
+}

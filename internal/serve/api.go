@@ -149,8 +149,17 @@ type StatsView struct {
 	RejectedQueue uint64 `json:"rejected_queue"`
 	// Captures counts actual simulations performed process-wide; the
 	// gap between completed jobs and captures is the cross-tenant dedup
-	// win.
+	// win. A capture counts once per workload regardless of how many
+	// checkpointed segments recorded it.
 	Captures uint64 `json:"captures"`
+	// ParallelCaptures counts captures that completed via stitched
+	// checkpoint segments; ParallelSegments is the total segments those
+	// captures recorded; ParallelFallbacks counts checkpointed captures
+	// that reverted to serial after a fingerprint mismatch (the result
+	// is still exact — the fallback is the accuracy backstop).
+	ParallelCaptures  uint64 `json:"parallel_captures"`
+	ParallelSegments  uint64 `json:"parallel_segments"`
+	ParallelFallbacks uint64 `json:"parallel_fallbacks"`
 	// TraceStore is the shared cache tier's traffic.
 	TraceStore StoreStatsView `json:"tracestore"`
 	// Tenants breaks traffic down per tenant.
@@ -337,9 +346,12 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := StoreSnapshot()
 	view := StatsView{
-		Workers:  s.cfg.Workers,
-		QueueCap: s.cfg.QueueDepth,
-		Captures: analysis.CaptureCount(),
+		Workers:           s.cfg.Workers,
+		QueueCap:          s.cfg.QueueDepth,
+		Captures:          analysis.CaptureCount(),
+		ParallelCaptures:  analysis.ParallelCaptures(),
+		ParallelSegments:  analysis.ParallelSegments(),
+		ParallelFallbacks: analysis.ParallelFallbacks(),
 		TraceStore: StoreStatsView{
 			Hits: snap.Hits, DiskHits: snap.DiskHits, Misses: snap.Misses,
 			Puts: snap.Puts, Evictions: snap.Evictions, DiskRejects: snap.DiskRejects,

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"context"
+	"io"
+
+	"repro/internal/cpu"
+	"repro/internal/simerr"
+)
+
+// stitchProbe forwards a replayed segment's events into a destination
+// Writer, shifting every cycle stamp by a constant offset and
+// suppressing the segment's completion hook (the stitched stream gets
+// exactly one done record, written by the caller). Because the Writer
+// re-derives its delta encoding and integrity digest from the logical
+// values it is fed, the stitched stream is byte-identical to one
+// recorded serially whenever the forwarded record sequence is.
+type stitchProbe struct {
+	cpu.BaseProbe
+	w      *Writer
+	offset uint64
+}
+
+func (s *stitchProbe) OnFetch(r cpu.Ref, cycle uint64)    { s.w.OnFetch(r, cycle+s.offset) }
+func (s *stitchProbe) OnDispatch(r cpu.Ref, cycle uint64) { s.w.OnDispatch(r, cycle+s.offset) }
+func (s *stitchProbe) OnCommit(r cpu.Ref, cycle uint64)   { s.w.OnCommit(r, cycle+s.offset) }
+func (s *stitchProbe) OnSquash(r cpu.Ref, cycle uint64)   { s.w.OnSquash(r, cycle+s.offset) }
+
+func (s *stitchProbe) OnCycle(ci *cpu.CycleInfo) {
+	// The replay's CycleInfo is pooled; shift a shallow copy (the
+	// Committed slice is shared, which is fine — the Writer does not
+	// retain it).
+	shifted := *ci
+	shifted.Cycle = ci.Cycle + s.offset
+	s.w.OnCycle(&shifted)
+}
+
+// OnDone suppresses the segment's completion record.
+func (s *stitchProbe) OnDone(uint64) {}
+
+// AppendSegment replays one complete segment trace into dst, shifting
+// every cycle by offset. The segment's own done record is verified (a
+// corrupt segment fails with simerr.ErrDecode) but not forwarded.
+func AppendSegment(ctx context.Context, dst *Writer, segment []byte, offset uint64) error {
+	_, err := ReplayBytes(ctx, segment, &stitchProbe{w: dst, offset: offset})
+	return err
+}
+
+// Stitch splices per-interval segment traces into one serial-equivalent
+// stream. Segment i's cycle stamps are shifted by offsets[i] (the
+// global cycle at which its interval began, i.e. the cycle count
+// accumulated by all prior segments), and the stitched stream is closed
+// with a single done record carrying totalCycles. When the segments'
+// record sequences match what a serial run would have emitted — which
+// the capture layer verifies by fingerprint chaining before calling
+// Stitch — the output bytes are identical to a serial capture's,
+// digest included.
+func Stitch(ctx context.Context, out io.Writer, segments [][]byte, offsets []uint64, totalCycles uint64) error {
+	if len(segments) != len(offsets) {
+		return simerr.New(simerr.ErrInvalidConfig, simerr.Snapshot{},
+			"trace: %d segments but %d offsets", len(segments), len(offsets))
+	}
+	w := NewWriter(out)
+	for i, seg := range segments {
+		if err := AppendSegment(ctx, w, seg, offsets[i]); err != nil {
+			return err
+		}
+	}
+	w.OnDone(totalCycles)
+	return w.Err()
+}
