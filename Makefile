@@ -36,13 +36,16 @@ lint: $(TEALINT)
 check:
 	./scripts/check.sh
 
-# chaos runs the fault-injection sweep: every mutated trace and
+# chaos runs the fault-injection sweeps: every mutated trace and
 # pathological program must yield byte-identical profiles or a typed
-# error — never a crash, hang, or silently wrong result. Fixed seed,
-# so a failure reproduces exactly.
+# error — never a crash, hang, or silently wrong result — and the
+# -disk sweep attacks the job journal (torn tail, bit flip, ENOSPC,
+# EIO, slow I/O) expecting recovery or degraded mode, never wrong
+# bytes. Fixed seed, so a failure reproduces exactly.
 chaos:
 	$(GO) build -o $(BINDIR)/teachaos ./cmd/teachaos
 	$(BINDIR)/teachaos -seed 1 -workload all -scale 0.05
+	$(BINDIR)/teachaos -disk
 
 # fuzz gives each robustness fuzz target a short budget (CI smoke; run
 # longer locally with go test -fuzz).
@@ -58,11 +61,14 @@ serve:
 	$(GO) build -o $(BINDIR)/teaserve ./cmd/teaserve
 	$(BINDIR)/teaserve $(SERVE_FLAGS)
 
-# smoke runs the end-to-end server check against a freshly built
-# binary: every endpoint, byte-identical profiles, clean SIGTERM.
+# smoke runs the end-to-end server checks against a freshly built
+# binary: every endpoint, byte-identical profiles, clean SIGTERM —
+# then the crash-recovery smoke (SIGKILL mid-run, restart on the same
+# journal, byte-identical recovered results).
 smoke:
 	$(GO) build -o $(BINDIR)/teaserve ./cmd/teaserve
 	$(GO) run ./scripts/servesmoke -bin $(BINDIR)/teaserve
+	$(GO) run ./scripts/crashsmoke -bin $(BINDIR)/teaserve
 
 # load drives a load test against an already-running server (start one
 # with `make serve SERVE_FLAGS="-queue 2048 -quota-rate 0"`) and writes

@@ -8,11 +8,17 @@
 //	        -concurrency 1000 -scale 0.05 -label serve -o BENCH_serve.json
 //
 // Every submission that is shed with 429 honors the server's
-// Retry-After before retrying, so the run also exercises the
-// cooperative-backpressure contract. The process exits nonzero if any
-// job fails, any response is a 5xx, or the transport errors — i.e. a
-// clean exit is evidence of zero server panics under the run's
-// concurrency.
+// Retry-After before retrying; a 429 without the header, and transient
+// transport errors (connection refused/reset while the server restarts
+// or sheds load), back off exponentially with full jitter so a
+// thundering herd of blocked workers does not re-converge on the same
+// instant. The run therefore exercises the cooperative-backpressure
+// contract end to end. Transport retries re-POST the submission, which
+// can double-submit if the first request died after admission — fine
+// for a load generator, where the duplicate is just one more job. The
+// process exits nonzero if any job fails, any response is a 5xx, or
+// transport retries are exhausted — i.e. a clean exit is evidence of
+// zero server panics under the run's concurrency.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"runtime"
@@ -36,7 +43,8 @@ type jobResult struct {
 	status     string
 	latencyMs  float64 // accepted -> terminal
 	retries429 int
-	transport  bool // transport-level failure (server gone)
+	retriesNet int  // transient transport errors retried with backoff
+	transport  bool // transport-level failure (retries exhausted)
 	code5xx    bool
 }
 
@@ -65,6 +73,7 @@ type loadResults struct {
 	Failed        int     `json:"failed"`
 	Canceled      int     `json:"canceled"`
 	Rejections429 int     `json:"rejections_429"`
+	NetRetries    int     `json:"net_retries"`
 	Transport     int     `json:"transport_errors"`
 	Server5xx     int     `json:"server_5xx"`
 	P50Ms         float64 `json:"p50_ms"`
@@ -93,6 +102,7 @@ func main() {
 	techniquesCSV := flag.String("techniques", "tea", "comma-separated techniques per job")
 	scale := flag.Float64("scale", 0.05, "config.scale for every job")
 	poll := flag.Duration("poll", 25*time.Millisecond, "job status poll interval")
+	seed := flag.Int64("seed", 1, "seed for the retry-jitter PRNG (per-worker streams derive from it)")
 	label := flag.String("label", "serve", "label recorded in the report")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
@@ -120,6 +130,9 @@ func main() {
 	start := time.Now()
 	for p := 0; p < par; p++ {
 		wg.Add(1)
+		// Each worker owns a PRNG stream so jitter needs no locking and a
+		// given (seed, worker) pair replays the same delays.
+		rng := rand.New(rand.NewSource(*seed + int64(p)))
 		go func() {
 			defer wg.Done()
 			for i := range work {
@@ -128,7 +141,7 @@ func main() {
 					workload:   names[i%len(names)],
 					techniques: techniques,
 					scale:      *scale,
-				}, *poll)
+				}, *poll, rng)
 			}
 		}()
 	}
@@ -160,9 +173,10 @@ func main() {
 	} else {
 		os.Stdout.Write(doc)
 	}
-	fmt.Fprintf(os.Stderr, "teaload: %d/%d done in %.1fs  p50=%.0fms p99=%.0fms  captures=%d dedup=%.1f%%\n",
+	fmt.Fprintf(os.Stderr, "teaload: %d/%d done in %.1fs  p50=%.0fms p99=%.0fms  captures=%d dedup=%.1f%%  retries: 429=%d net=%d\n",
 		rep.Results.Completed, *jobs, rep.Results.WallSeconds,
-		rep.Results.P50Ms, rep.Results.P99Ms, rep.Server.Captures, rep.Server.CacheRate*100)
+		rep.Results.P50Ms, rep.Results.P99Ms, rep.Server.Captures, rep.Server.CacheRate*100,
+		rep.Results.Rejections429, rep.Results.NetRetries)
 	if rep.Results.Failed > 0 || rep.Results.Server5xx > 0 || rep.Results.Transport > 0 {
 		fmt.Fprintln(os.Stderr, "teaload: FAIL — job failures, 5xx responses, or transport errors (see report)")
 		os.Exit(1)
@@ -176,9 +190,29 @@ type jobSpec struct {
 	scale      float64
 }
 
-// runJob submits one job — honoring Retry-After across 429 rejections —
-// then polls it to a terminal state.
-func runJob(client *http.Client, base string, spec jobSpec, poll time.Duration) jobResult {
+// Backoff tuning: transient failures retry with full jitter — a sleep
+// drawn uniformly from [0, min(backoffCap, backoffBase<<attempt)] — so
+// concurrent workers that failed together spread back out instead of
+// retrying in lockstep.
+const (
+	backoffBase = 50 * time.Millisecond
+	backoffCap  = 2 * time.Second
+	maxNetRetry = 8 // transient transport errors before giving up
+)
+
+// backoff returns a full-jitter delay for the given attempt number.
+func backoff(rng *rand.Rand, attempt int) time.Duration {
+	d := backoffBase << uint(attempt)
+	if d <= 0 || d > backoffCap {
+		d = backoffCap
+	}
+	return time.Duration(rng.Int63n(int64(d) + 1))
+}
+
+// runJob submits one job — honoring Retry-After across 429 rejections,
+// jittered-backoff retrying 429s without the header and transient
+// transport errors — then polls it to a terminal state.
+func runJob(client *http.Client, base string, spec jobSpec, poll time.Duration, rng *rand.Rand) jobResult {
 	var res jobResult
 	body, _ := json.Marshal(map[string]any{
 		"tenant":     spec.tenant,
@@ -191,9 +225,14 @@ func runJob(client *http.Client, base string, spec jobSpec, poll time.Duration) 
 	for attempt := 0; ; attempt++ {
 		resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
 		if err != nil {
-			res.transport = true
-			res.status = "transport_error"
-			return res
+			if res.retriesNet >= maxNetRetry {
+				res.transport = true
+				res.status = "transport_error"
+				return res
+			}
+			res.retriesNet++
+			time.Sleep(backoff(rng, res.retriesNet))
+			continue
 		}
 		data, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
@@ -209,7 +248,11 @@ func runJob(client *http.Client, base string, spec jobSpec, poll time.Duration) 
 			id = sub.ID
 		case resp.StatusCode == http.StatusTooManyRequests && attempt < 120:
 			res.retries429++
-			time.Sleep(retryAfter(resp))
+			if d, ok := retryAfter(resp); ok {
+				time.Sleep(d)
+			} else {
+				time.Sleep(backoff(rng, attempt))
+			}
 			continue
 		case resp.StatusCode >= 500:
 			res.code5xx = true
@@ -223,13 +266,21 @@ func runJob(client *http.Client, base string, spec jobSpec, poll time.Duration) 
 	}
 
 	accepted := time.Now()
+	netErrs := 0
 	for {
 		resp, err := client.Get(base + "/v1/jobs/" + id)
 		if err != nil {
-			res.transport = true
-			res.status = "transport_error"
-			return res
+			if netErrs >= maxNetRetry {
+				res.transport = true
+				res.status = "transport_error"
+				return res
+			}
+			netErrs++
+			res.retriesNet++
+			time.Sleep(backoff(rng, netErrs))
+			continue
 		}
+		netErrs = 0
 		data, _ := io.ReadAll(resp.Body)
 		code := resp.StatusCode
 		resp.Body.Close()
@@ -254,13 +305,14 @@ func runJob(client *http.Client, base string, spec jobSpec, poll time.Duration) 
 	}
 }
 
-// retryAfter parses the server's backoff hint, defaulting to one
-// second.
-func retryAfter(resp *http.Response) time.Duration {
+// retryAfter parses the server's backoff hint; ok is false when the
+// header is absent or unusable (the caller falls back to jittered
+// exponential backoff).
+func retryAfter(resp *http.Response) (time.Duration, bool) {
 	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-		return time.Duration(secs) * time.Second
+		return time.Duration(secs) * time.Second, true
 	}
-	return time.Second
+	return 0, false
 }
 
 // statsDoc is the subset of /v1/stats teaload reads.
@@ -302,6 +354,7 @@ func summarize(results []jobResult, wall time.Duration, cfg loadConfig, before, 
 			out.Failed++
 		}
 		out.Rejections429 += r.retries429
+		out.NetRetries += r.retriesNet
 		if r.transport {
 			out.Transport++
 		}

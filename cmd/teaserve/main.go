@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/journal"
 	"repro/internal/serve"
 )
 
@@ -46,10 +47,26 @@ func main() {
 	memBudget := flag.Int64("mem-budget", analysis.DefaultStoreBudget, "trace-store memory-tier budget in bytes")
 	tracecache := flag.String("tracecache", os.Getenv("TEA_TRACE_CACHE"),
 		"directory for the persistent trace cache (\"\" disables the disk tier)")
+	journalDir := flag.String("journal-dir", os.Getenv("TEA_JOURNAL_DIR"),
+		"directory for the job journal; jobs survive restarts (\"\" runs memory-only)")
+	recoverJobs := flag.Bool("recover", true,
+		"replay the journal on startup; -recover=false rotates the old WAL aside and starts clean")
 	flag.Parse()
 
+	if *journalDir != "" && !*recoverJobs {
+		// Starting clean: move the previous WAL out of the way (kept as
+		// .prev for post-mortems) so New opens an empty journal. Result
+		// files are only reachable through WAL records, so they are
+		// simply orphaned and overwritten as IDs are reused.
+		wal := journal.WALPath(*journalDir)
+		if err := os.Rename(wal, wal+".prev"); err != nil && !os.IsNotExist(err) {
+			fmt.Fprintln(os.Stderr, "teaserve: -recover=false:", err)
+			os.Exit(1)
+		}
+	}
+
 	analysis.SetTraceStore(analysis.NewTraceStore(*memBudget, *tracecache))
-	s := serve.New(serve.Config{
+	s, err := serve.New(serve.Config{
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		TenantRate:   *quotaRate,
@@ -59,7 +76,18 @@ func main() {
 		MaxIters:     *maxIters,
 		MaxScale:     *maxScale,
 		KeepFinished: *keepFinished,
+		JournalDir:   *journalDir,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
 	})
+	if err != nil {
+		// A journal that fails to open (mid-stream corruption, an alien
+		// file) is an operator decision, not something to guess at:
+		// refuse to start rather than silently discard job history.
+		fmt.Fprintln(os.Stderr, "teaserve:", err)
+		os.Exit(1)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -104,5 +132,8 @@ func main() {
 	cancelRun()
 	<-poolDone
 	<-serveErr // Serve has returned http.ErrServerClosed by now
+	if err := s.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "teaserve: journal close:", err)
+	}
 	fmt.Println("teaserve: shutdown complete")
 }

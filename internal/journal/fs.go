@@ -1,0 +1,145 @@
+// Filesystem abstraction under the journal. Every byte the journal
+// moves — WAL appends, result files, recovery reads — goes through the
+// FS interface, so the fault-injection harness (internal/faultinject)
+// can stand in a filesystem that tears writes, flips bits, runs out of
+// space, or returns EIO, and the recovery and degraded-mode contracts
+// can be proven rather than assumed. The production implementation is
+// OSFS, a thin wrapper over package os that adds two things: fsync
+// discipline (WriteFile syncs before close; File exposes Sync for the
+// WAL's append-then-sync protocol) and typed errors (every failure is
+// a *simerr.Error of kind simerr.ErrIO, the signal the service layer
+// maps to memory-only degradation).
+package journal
+
+import (
+	"io"
+	"os"
+
+	"repro/internal/simerr"
+)
+
+// FS is the filesystem surface the journal requires. Implementations
+// must be safe for concurrent use by independent operations; the
+// journal itself serializes writes to any single file.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// ReadFile returns the full contents of name.
+	ReadFile(name string) ([]byte, error)
+	// WriteFile writes data to name, replacing it, and syncs the file
+	// before returning. It need not be atomic — callers that require
+	// atomicity write a temp name and Rename.
+	WriteFile(name string, data []byte) error
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// Truncate cuts name to size bytes (the torn-tail repair).
+	Truncate(name string, size int64) error
+	// OpenAppend opens name for appending, creating it if absent.
+	OpenAppend(name string) (File, error)
+	// Stat reports whether name exists.
+	Stat(name string) (exists bool, err error)
+}
+
+// File is an append handle: writes land at the end, Sync makes them
+// durable.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// OSFS is the production FS over package os. The zero value is ready.
+type OSFS struct{}
+
+// wrapIO types a filesystem failure; nil stays nil so call sites can
+// wrap unconditionally.
+func wrapIO(op, name string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return simerr.Wrap(simerr.ErrIO, simerr.Snapshot{Detail: name}, err, "%s %s", op, name)
+}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error {
+	return wrapIO("mkdir", dir, os.MkdirAll(dir, 0o755))
+}
+
+// ReadFile implements FS. A missing file is reported as ErrIO wrapping
+// the os error, so callers can still errors.Is(err, os.ErrNotExist).
+func (OSFS) ReadFile(name string) ([]byte, error) {
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, wrapIO("read", name, err)
+	}
+	return data, nil
+}
+
+// WriteFile implements FS: create/replace, write, fsync, close.
+func (OSFS) WriteFile(name string, data []byte) error {
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return wrapIO("create", name, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return wrapIO("write", name, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return wrapIO("sync", name, err)
+	}
+	return wrapIO("close", name, f.Close())
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldname, newname string) error {
+	return wrapIO("rename", oldname, os.Rename(oldname, newname))
+}
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error {
+	return wrapIO("remove", name, os.Remove(name))
+}
+
+// Truncate implements FS.
+func (OSFS) Truncate(name string, size int64) error {
+	return wrapIO("truncate", name, os.Truncate(name, size))
+}
+
+// Stat implements FS.
+func (OSFS) Stat(name string) (bool, error) {
+	_, err := os.Stat(name)
+	if err == nil {
+		return true, nil
+	}
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	return false, wrapIO("stat", name, err)
+}
+
+// osFile adapts *os.File to File with typed errors.
+type osFile struct {
+	f    *os.File
+	name string
+}
+
+func (o *osFile) Write(p []byte) (int, error) {
+	n, err := o.f.Write(p)
+	return n, wrapIO("append", o.name, err)
+}
+
+func (o *osFile) Sync() error  { return wrapIO("sync", o.name, o.f.Sync()) }
+func (o *osFile) Close() error { return wrapIO("close", o.name, o.f.Close()) }
+
+// OpenAppend implements FS.
+func (OSFS) OpenAppend(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, wrapIO("open", name, err)
+	}
+	return &osFile{f: f, name: name}, nil
+}

@@ -1,0 +1,269 @@
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/simerr"
+)
+
+func mustOpen(t *testing.T, dir string) (*Journal, *Recovery) {
+	t.Helper()
+	j, rec, err := Open(dir, OSFS{})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return j, rec
+}
+
+func appendRec(t *testing.T, j *Journal, typ, job string, data any) {
+	t.Helper()
+	var raw json.RawMessage
+	if data != nil {
+		b, err := json.Marshal(data)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		raw = b
+	}
+	if err := j.Append(Record{Type: typ, JobID: job, TimeUnixMs: 42, Data: raw}); err != nil {
+		t.Fatalf("Append(%s/%s): %v", typ, job, err)
+	}
+}
+
+// A brand-new journal opens empty, and a reopened empty journal stays
+// empty — the empty-journal recovery edge case.
+func TestOpenEmpty(t *testing.T) {
+	dir := t.TempDir()
+	j, rec := mustOpen(t, dir)
+	if len(rec.Records) != 0 || rec.TornBytes != 0 {
+		t.Fatalf("fresh journal recovered %d records, %d torn bytes", len(rec.Records), rec.TornBytes)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2, rec2 := mustOpen(t, dir)
+	defer j2.Close()
+	if len(rec2.Records) != 0 || rec2.TornBytes != 0 {
+		t.Fatalf("reopened empty journal recovered %d records, %d torn bytes", len(rec2.Records), rec2.TornBytes)
+	}
+}
+
+// An existing zero-byte WAL (crash between create and header write)
+// must be repaired into a working journal, not left headerless.
+func TestOpenZeroByteWAL(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(WALPath(dir), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, rec := mustOpen(t, dir)
+	if len(rec.Records) != 0 {
+		t.Fatalf("zero-byte WAL recovered %d records", len(rec.Records))
+	}
+	appendRec(t, j, "submitted", "j-000001", nil)
+	j.Close()
+
+	_, rec2 := mustOpen(t, dir)
+	if len(rec2.Records) != 1 {
+		t.Fatalf("after repair want 1 record, got %d", len(rec2.Records))
+	}
+}
+
+// Records written before a clean close replay in order with payloads
+// intact.
+func TestRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	appendRec(t, j, "submitted", "j-000001", map[string]string{"tenant": "acme"})
+	appendRec(t, j, "running", "j-000001", nil)
+	appendRec(t, j, "done", "j-000001", map[string]int{"profiles": 2})
+	j.Close()
+
+	_, rec := mustOpen(t, dir)
+	if len(rec.Records) != 3 {
+		t.Fatalf("want 3 records, got %d", len(rec.Records))
+	}
+	wantTypes := []string{"submitted", "running", "done"}
+	for i, r := range rec.Records {
+		if r.Type != wantTypes[i] || r.JobID != "j-000001" {
+			t.Fatalf("record %d = %s/%s, want %s/j-000001", i, r.Type, r.JobID, wantTypes[i])
+		}
+	}
+	var payload map[string]string
+	if err := json.Unmarshal(rec.Records[0].Data, &payload); err != nil || payload["tenant"] != "acme" {
+		t.Fatalf("payload roundtrip: %v / %v", payload, err)
+	}
+}
+
+// A torn final record — the crash-mid-append signature — is truncated
+// and reported; the intact prefix survives and the journal keeps
+// working.
+func TestTornFinalRecordTruncated(t *testing.T) {
+	for _, cut := range []int{1, 5, 9} { // inside varint/payload/digest territory
+		dir := t.TempDir()
+		j, _ := mustOpen(t, dir)
+		appendRec(t, j, "submitted", "j-000001", nil)
+		appendRec(t, j, "done", "j-000001", nil)
+		j.Close()
+
+		wal := WALPath(dir)
+		data, err := os.ReadFile(wal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(wal, data[:len(data)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		j2, rec := mustOpen(t, dir)
+		if len(rec.Records) != 1 || rec.Records[0].Type != "submitted" {
+			t.Fatalf("cut=%d: want the 1 intact record, got %+v", cut, rec.Records)
+		}
+		if rec.TornBytes == 0 {
+			t.Fatalf("cut=%d: torn tail not reported", cut)
+		}
+		// The repair is durable: appends after truncation land cleanly.
+		appendRec(t, j2, "done", "j-000001", nil)
+		j2.Close()
+		_, rec3 := mustOpen(t, dir)
+		if len(rec3.Records) != 2 || rec3.TornBytes != 0 {
+			t.Fatalf("cut=%d: post-repair replay got %d records, %d torn bytes",
+				cut, len(rec3.Records), rec3.TornBytes)
+		}
+	}
+}
+
+// A bit flip in a fully-present record is mid-stream corruption, not a
+// torn tail: Open must fail with a typed decode error, not truncate
+// history or return garbage.
+func TestMidStreamCorruptionFailsTyped(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	appendRec(t, j, "submitted", "j-000001", nil)
+	appendRec(t, j, "done", "j-000001", nil)
+	j.Close()
+
+	wal := WALPath(dir)
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit inside the first record's payload (well past the
+	// 5-byte header and length varint).
+	data[10] ^= 0x40
+	if err := os.WriteFile(wal, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, err = Open(dir, OSFS{})
+	if err == nil {
+		t.Fatal("Open accepted a bit-flipped record")
+	}
+	if !errors.Is(err, simerr.ErrDecode) {
+		t.Fatalf("corruption error = %v, want simerr.ErrDecode", err)
+	}
+	var se *simerr.Error
+	if !errors.As(err, &se) {
+		t.Fatalf("corruption error is not a *simerr.Error: %v", err)
+	}
+}
+
+// A file that is not a TEA journal (bad magic / bad version) fails
+// typed instead of being silently clobbered.
+func TestAlienFileRejected(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(WALPath(dir), []byte("not a journal at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := Open(dir, OSFS{})
+	if !errors.Is(err, simerr.ErrDecode) {
+		t.Fatalf("alien file error = %v, want simerr.ErrDecode", err)
+	}
+
+	dir2 := t.TempDir()
+	hdr := append([]byte(Magic), 99) // future version
+	if err := os.WriteFile(WALPath(dir2), hdr, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Open(dir2, OSFS{})
+	if !errors.Is(err, simerr.ErrDecode) {
+		t.Fatalf("future-version error = %v, want simerr.ErrDecode", err)
+	}
+}
+
+// Result files roundtrip byte-identically and verify against their
+// journaled ref.
+func TestResultRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	defer j.Close()
+
+	payload := []byte(`{"profile":"bytes"}`)
+	ref, err := j.WriteResult("j-000001", "tea", payload)
+	if err != nil {
+		t.Fatalf("WriteResult: %v", err)
+	}
+	got, err := j.ReadResult(ref)
+	if err != nil {
+		t.Fatalf("ReadResult: %v", err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("result bytes changed: %q vs %q", got, payload)
+	}
+}
+
+// A missing result file is a typed I/O failure; a corrupted one is a
+// typed decode failure; a ref that tries to escape results/ is
+// rejected. None of them yield unverified bytes.
+func TestResultVerification(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	defer j.Close()
+
+	ref, err := j.WriteResult("j-000002", "fbi", []byte("original bytes"))
+	if err != nil {
+		t.Fatalf("WriteResult: %v", err)
+	}
+
+	// Corrupt the file on disk.
+	path := filepath.Join(dir, "results", ref.File)
+	if err := os.WriteFile(path, []byte("original bytez"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.ReadResult(ref); !errors.Is(err, simerr.ErrDecode) {
+		t.Fatalf("corrupt result error = %v, want simerr.ErrDecode", err)
+	}
+
+	// Remove it entirely.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.ReadResult(ref); !errors.Is(err, simerr.ErrIO) {
+		t.Fatalf("missing result error = %v, want simerr.ErrIO", err)
+	}
+
+	// Path traversal in a (hypothetically corrupted) ref.
+	bad := ref
+	bad.File = "../wal.teaj"
+	if _, err := j.ReadResult(bad); !errors.Is(err, simerr.ErrDecode) {
+		t.Fatalf("traversal ref error = %v, want simerr.ErrDecode", err)
+	}
+}
+
+// Append on a closed journal fails typed rather than panicking.
+func TestAppendAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	j.Close()
+	err := j.Append(Record{Type: "submitted", JobID: "j-000003"})
+	if !errors.Is(err, simerr.ErrIO) {
+		t.Fatalf("append-after-close error = %v, want simerr.ErrIO", err)
+	}
+}

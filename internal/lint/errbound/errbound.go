@@ -63,6 +63,7 @@ var boundaryPackages = []string{
 	"internal/tracestore",
 	"internal/pics",
 	"internal/serve",
+	"internal/journal",
 }
 
 // verdict classifies one error origin.

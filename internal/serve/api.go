@@ -23,6 +23,7 @@ const (
 	kindRunaway        = "runaway"         // 422 simerr.ErrRunaway
 	kindDeadlock       = "deadlock"        // 422 simerr.ErrDeadlock
 	kindDecode         = "decode"          // 500 simerr.ErrDecode (internal cache path; users cannot submit traces)
+	kindIO             = "io"              // 500 simerr.ErrIO (journal / result-file disk failure)
 	kindCanceled       = "canceled"        // 503 simerr.ErrCanceled (job bodies only)
 	kindInternal       = "internal"        // 500 simerr.ErrInternal or any unclassified error
 	kindBadRequest     = "bad_request"     // 400 malformed request body
@@ -66,7 +67,7 @@ func statusForKind(kind string) int {
 		return http.StatusConflict
 	case kindCanceled:
 		return http.StatusServiceUnavailable
-	default: // kindDecode, kindInternal
+	default: // kindDecode, kindIO, kindInternal
 		return http.StatusInternalServerError
 	}
 }
@@ -86,6 +87,8 @@ func errorBody(err error) *ErrorBody {
 		kind = kindDeadlock
 	case errors.Is(err, simerr.ErrDecode):
 		kind = kindDecode
+	case errors.Is(err, simerr.ErrIO):
+		kind = kindIO
 	case errors.Is(err, simerr.ErrCanceled):
 		kind = kindCanceled
 	}
@@ -121,8 +124,15 @@ type StoreStatsView struct {
 	Puts uint64 `json:"puts"`
 	// Evictions counts memory-tier LRU evictions.
 	Evictions uint64 `json:"evictions"`
-	// DiskRejects counts corrupt disk entries discarded.
+	// DiskRejects counts corrupt disk entries discarded (the sum of the
+	// two splits below).
 	DiskRejects uint64 `json:"disk_rejects"`
+	// DiskRejectsFraming counts disk entries rejected by the framing
+	// check (bad magic, truncation, digest mismatch).
+	DiskRejectsFraming uint64 `json:"disk_rejects_framing"`
+	// DiskRejectsPayload counts disk entries that framed correctly but
+	// failed the store's payload validator.
+	DiskRejectsPayload uint64 `json:"disk_rejects_payload"`
 	// HitRate is (hits+disk_hits)/(hits+disk_hits+misses), 0 when idle.
 	// Note that singleflight waiters joining an in-progress capture
 	// count as misses here; Captures vs completed jobs is the truer
@@ -162,8 +172,27 @@ type StatsView struct {
 	ParallelFallbacks uint64 `json:"parallel_fallbacks"`
 	// TraceStore is the shared cache tier's traffic.
 	TraceStore StoreStatsView `json:"tracestore"`
+	// Durability is the journaling and recovery section.
+	Durability DurabilityView `json:"durability"`
 	// Tenants breaks traffic down per tenant.
 	Tenants map[string]TenantStats `json:"tenants"`
+}
+
+// DurabilityView is the /v1/stats durability section.
+type DurabilityView struct {
+	// Mode is the current durability mode (see HealthView.Mode).
+	Mode string `json:"mode"`
+	// DegradedReason explains a degraded mode (empty otherwise).
+	DegradedReason string `json:"degraded_reason,omitempty"`
+	// JournalAppends / JournalAppendErrors count WAL record appends and
+	// their failures (the first failure degrades the server).
+	JournalAppends      uint64 `json:"journal_appends"`
+	JournalAppendErrors uint64 `json:"journal_append_errors"`
+	// ResultWrites / ResultWriteErrors count result-file persists.
+	ResultWrites      uint64 `json:"result_writes"`
+	ResultWriteErrors uint64 `json:"result_write_errors"`
+	// Recovery reports what the startup replay found.
+	Recovery RecoveryStats `json:"recovery"`
 }
 
 // streamRecord is one NDJSON line of GET /v1/jobs/{id}/stream.
@@ -191,6 +220,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	mux.HandleFunc("/", s.handleNotFound)
 	return mux
 }
@@ -260,6 +290,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeErrorKind(w, kindConflict, "job %s is already %s", j.id, j.view(false).Status)
 		return
 	}
+	s.journalAppend(j, recCancel, nil)
 	writeJSON(w, http.StatusAccepted, j.view(false))
 }
 
@@ -355,12 +386,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		TraceStore: StoreStatsView{
 			Hits: snap.Hits, DiskHits: snap.DiskHits, Misses: snap.Misses,
 			Puts: snap.Puts, Evictions: snap.Evictions, DiskRejects: snap.DiskRejects,
+			DiskRejectsFraming: snap.DiskRejectsFraming, DiskRejectsPayload: snap.DiskRejectsPayload,
 		},
 	}
 	if looked := snap.Hits + snap.DiskHits + snap.Misses; looked > 0 {
 		view.TraceStore.HitRate = float64(snap.Hits+snap.DiskHits) / float64(looked)
 	}
+	view.Durability.Mode = s.Mode()
 	s.mu.Lock()
+	view.Durability.DegradedReason = s.dur.degradedReason
+	view.Durability.JournalAppends = s.dur.appends
+	view.Durability.JournalAppendErrors = s.dur.appendErrors
+	view.Durability.ResultWrites = s.dur.resultWrites
+	view.Durability.ResultWriteErrors = s.dur.resultErrors
+	view.Durability.Recovery = s.dur.recovery
 	view.QueueDepth = len(s.queue)
 	view.Submitted = s.stats.submitted
 	view.RejectedQuota = s.stats.rejectedQuota
@@ -377,8 +416,47 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, view)
 }
 
+// HealthView is the GET /v1/healthz body — liveness: the process is up
+// and answering; always 200. Mode tells an operator whether durability
+// is active ("durable"), never configured ("memory-only"), or switched
+// off by a runtime disk fault ("degraded"). Degraded is a liveness OK:
+// the server still serves correct bytes from memory.
+type HealthView struct {
+	Status string `json:"status"`
+	Mode   string `json:"mode"`
+}
+
+// ReadyView is the GET /v1/readyz body — readiness: whether this
+// instance should receive new traffic. Not-ready (503) when the
+// admission queue is saturated or durability has degraded; existing
+// jobs and reads keep working either way.
+type ReadyView struct {
+	Ready      bool   `json:"ready"`
+	Mode       string `json:"mode"`
+	Reason     string `json:"reason,omitempty"`
+	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_cap"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, HealthView{Status: "ok", Mode: s.Mode()})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	v := ReadyView{Ready: true, Mode: s.Mode(), QueueDepth: len(s.queue), QueueCap: s.cfg.QueueDepth}
+	switch {
+	case v.Mode == ModeDegraded:
+		v.Ready = false
+		v.Reason = "durability degraded to memory-only after a disk fault"
+	case v.QueueDepth >= v.QueueCap:
+		v.Ready = false
+		v.Reason = "admission queue saturated"
+	}
+	status := http.StatusOK
+	if !v.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, v)
 }
 
 // handleNotFound keeps unknown paths inside the JSON error contract

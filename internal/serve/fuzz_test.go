@@ -49,7 +49,10 @@ func FuzzSubmit(f *testing.F) {
 	// the fuzzer keeps exercising both the accept and shed paths early
 	// on and the full-queue path forever after, without running any
 	// simulations.
-	s := serve.New(serve.Config{QueueDepth: 8, MaxBodyBytes: 1 << 16})
+	s, err := serve.New(serve.Config{QueueDepth: 8, MaxBodyBytes: 1 << 16})
+	if err != nil {
+		f.Fatalf("serve.New: %v", err)
+	}
 	handler := s.Handler()
 
 	allowed := map[int]bool{

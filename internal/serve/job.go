@@ -118,6 +118,14 @@ type job struct {
 	rc         analysis.RunConfig
 	techniques []string
 
+	// req is the validated request, retained for journaling; nil for
+	// display-only shells restored from a broken journal payload.
+	req *JobRequest
+	// journaled gates this job's later journal records behind its
+	// submitted record (closed once that append finished, successfully
+	// or not); nil when journaling is off or the job was recovered.
+	journaled chan struct{}
+
 	mu        sync.Mutex
 	changed   chan struct{} // closed and replaced on every state change
 	status    Status
@@ -392,7 +400,14 @@ func (s *Server) buildJob(req *JobRequest) (*job, error) {
 	if tenant == "" {
 		tenant = "anonymous"
 	}
-	return newJob(tenant, w, p, rc, techniques, s.cfg.Now()), nil
+	j := newJob(tenant, w, p, rc, techniques, s.cfg.Now())
+	// Retain the normalized request so the journal's submitted record
+	// rebuilds this job identically on replay.
+	norm := *req
+	norm.Tenant = tenant
+	norm.Techniques = techniques
+	j.req = &norm
+	return j, nil
 }
 
 // buildProgram materializes an inline ProgramSpec.

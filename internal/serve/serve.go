@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/journal"
 	"repro/internal/tracestore"
 )
 
@@ -74,6 +75,17 @@ type Config struct {
 	// oldest terminal jobs are evicted and their results become 404
 	// (default: 16384).
 	KeepFinished int
+	// JournalDir enables the durability layer: job transitions are
+	// journaled to a WAL under this directory and replayed by New on
+	// startup (empty: memory-only, nothing survives a restart). See
+	// docs/OPERATIONS.md "Durability & recovery".
+	JournalDir string
+	// JournalFS overrides the journal's filesystem — the fault-injection
+	// seam (default: the real filesystem).
+	JournalFS journal.FS
+	// Logf receives operational log lines (recovery summary, degraded-
+	// mode transitions); nil discards them.
+	Logf func(format string, args ...any)
 	// Now is the clock, injectable for tests (default: time.Now).
 	Now func() time.Time
 }
@@ -121,6 +133,9 @@ func (c Config) withDefaults() Config {
 	if c.KeepFinished <= 0 {
 		c.KeepFinished = d.KeepFinished
 	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
 	if c.Now == nil {
 		c.Now = time.Now
 	}
@@ -131,15 +146,17 @@ func (c Config) withDefaults() Config {
 // of a job registry and a worker pool (Run). All methods are safe for
 // concurrent use.
 type Server struct {
-	cfg    Config
-	queue  chan *job
-	quotas *quotaTable
+	cfg     Config
+	queue   chan *job
+	quotas  *quotaTable
+	journal *journal.Journal // nil in memory-only mode
 
 	mu       sync.Mutex
 	jobs     map[string]*job
 	finished []string // terminal job IDs, oldest first (retention ring)
 	seq      uint64
 	stats    counters
+	dur      durability
 }
 
 // counters aggregates service traffic for /v1/stats (guarded by
@@ -166,11 +183,18 @@ type TenantStats struct {
 // values). The server shares the process-wide trace store installed via
 // analysis.SetTraceStore, so its capture dedup spans every tenant — and
 // any disk tier the operator attached.
-func New(cfg Config) *Server {
+//
+// With Config.JournalDir set, New opens (or creates) the job journal
+// and replays it before accepting traffic: terminal jobs come back
+// with byte-identical results, interrupted jobs are re-enqueued. A
+// journal that cannot be opened — mid-stream corruption, an alien
+// file, an unreadable directory — fails New with a typed error rather
+// than silently discarding history; torn tails are repaired, not
+// fatal.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:    cfg,
-		queue:  make(chan *job, cfg.QueueDepth),
 		quotas: newQuotaTable(cfg.TenantRate, cfg.TenantBurst, cfg.Now),
 		jobs:   make(map[string]*job),
 		stats: counters{
@@ -178,6 +202,25 @@ func New(cfg Config) *Server {
 			tenants:  make(map[string]*TenantStats),
 		},
 	}
+	var requeue []*job
+	if cfg.JournalDir != "" {
+		jnl, rec, err := journal.Open(cfg.JournalDir, cfg.JournalFS)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = jnl
+		requeue = s.restore(rec)
+		r := s.dur.recovery
+		cfg.Logf("teaserve: journal %s replayed: %d records (%d torn bytes truncated), %d done / %d failed / %d canceled restored, %d requeued",
+			cfg.JournalDir, r.Replayed, r.TornBytes, r.RestoredDone, r.RestoredFailed, r.RestoredCanceled, r.Requeued)
+	}
+	// Recovered jobs must not consume new submissions' admission
+	// budget: the queue is sized for both.
+	s.queue = make(chan *job, cfg.QueueDepth+len(requeue))
+	for _, j := range requeue {
+		s.queue <- j
+	}
+	return s, nil
 }
 
 // Run operates the worker pool until ctx is canceled, then joins every
@@ -228,29 +271,36 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 		// Canceled while queued; registry already holds the terminal
 		// state.
 		s.noteTransition(StatusQueued, StatusCanceled)
+		s.journalTerminal(j, StatusCanceled, j.view(false).Error)
 		return
 	}
 	s.noteTransition(StatusQueued, StatusRunning)
+	s.journalAppend(j, recRunning, nil)
 
 	br, err := analysis.RunProgramContext(jctx, j.w, j.prog, j.rc)
 	end := s.cfg.Now()
 	if err != nil {
+		body := errorBody(err)
 		status := StatusFailed
-		if body := errorBody(err); body.Kind == kindCanceled {
+		if body.Kind == kindCanceled {
 			status = StatusCanceled
 		}
-		j.fail(end, errorBody(err), status)
+		j.fail(end, body, status)
 		s.noteTerminal(j, StatusRunning, status)
+		s.journalTerminal(j, status, body)
 		return
 	}
 	profiles, techErrs, rerr := renderProfiles(br, j.techniques)
 	if rerr != nil {
-		j.fail(end, errorBody(rerr), StatusFailed)
+		body := errorBody(rerr)
+		j.fail(end, body, StatusFailed)
 		s.noteTerminal(j, StatusRunning, StatusFailed)
+		s.journalTerminal(j, StatusFailed, body)
 		return
 	}
 	j.complete(end, profiles, techErrs)
 	s.noteTerminal(j, StatusRunning, StatusDone)
+	s.journalDone(j, profiles, techErrs)
 }
 
 // noteTransition moves one job between status buckets in the counters.
@@ -281,11 +331,17 @@ func (s *Server) noteTerminal(j *job, from, to Status) {
 
 // register admits a validated job: charge the tenant's counters, assign
 // an ID, and enqueue. It reports the admission outcome; on queue-full
-// the job is not registered.
+// the job is not registered (and nothing is journaled — a rejected job
+// must not resurrect on recovery).
 func (s *Server) register(j *job) (ok bool, queueDepth int) {
 	s.mu.Lock()
 	s.seq++
 	j.id = "j-" + pad6(s.seq)
+	if s.journal != nil {
+		// Created before the enqueue so a worker that grabs the job
+		// immediately still orders its records after the submitted one.
+		j.journaled = make(chan struct{})
+	}
 	select {
 	case s.queue <- j:
 	default:
@@ -300,6 +356,7 @@ func (s *Server) register(j *job) (ok bool, queueDepth int) {
 	s.tenantStatsLocked(j.tenant).Submitted++
 	depth := len(s.queue)
 	s.mu.Unlock()
+	s.journalSubmitted(j)
 	return true, depth
 }
 

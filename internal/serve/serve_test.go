@@ -31,7 +31,10 @@ func (ts *testServer) url(path string) string { return ts.http.URL + path }
 // it down with the test.
 func startServer(t *testing.T, cfg serve.Config) *testServer {
 	t.Helper()
-	s := serve.New(cfg)
+	s, err := serve.New(cfg)
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan struct{})
 	go func() {
@@ -52,7 +55,10 @@ func startServer(t *testing.T, cfg serve.Config) *testServer {
 // cancel-while-queued tests.
 func startQueueOnly(t *testing.T, cfg serve.Config) *testServer {
 	t.Helper()
-	s := serve.New(cfg)
+	s, err := serve.New(cfg)
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
 	hs := httptest.NewServer(s.Handler())
 	t.Cleanup(hs.Close)
 	return &testServer{srv: s, http: hs}
@@ -337,7 +343,10 @@ func TestQueueFull(t *testing.T) {
 // DELETE is accepted immediately, and the worker pool finalizes the job
 // as canceled (without running it) once it starts draining.
 func TestCancelQueued(t *testing.T) {
-	s := serve.New(serve.Config{Workers: 1})
+	s, err := serve.New(serve.Config{Workers: 1})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
 	hs := httptest.NewServer(s.Handler())
 	defer hs.Close()
 	ts := &testServer{srv: s, http: hs}

@@ -55,6 +55,13 @@ var (
 	// deadline; the wrapped cause is the context's error, so errors.Is
 	// against context.Canceled / context.DeadlineExceeded also matches.
 	ErrCanceled = errors.New("run canceled")
+	// ErrIO marks a filesystem failure underneath a durability layer
+	// (journal append, result-file write, recovery read): ENOSPC, EIO,
+	// a vanished directory. Unlike ErrDecode — which means bytes were
+	// read but are wrong — ErrIO means the bytes could not be moved at
+	// all; the service reacts by degrading to memory-only operation,
+	// never by serving wrong data.
+	ErrIO = errors.New("disk I/O failure")
 	// ErrInternal marks a recovered internal invariant violation — a
 	// bug in the simulator, not in the input.
 	ErrInternal = errors.New("internal invariant violation")

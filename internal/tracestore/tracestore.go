@@ -56,8 +56,16 @@ type Stats struct {
 	// Evictions counts memory-tier entries dropped by the LRU budget.
 	Evictions uint64
 	// DiskRejects counts disk entries discarded as corrupt, truncated,
-	// or mislabeled (each also counts as a miss).
+	// or mislabeled (each also counts as a miss). It is always the sum
+	// of the framing/payload splits below.
 	DiskRejects uint64
+	// DiskRejectsFraming counts rejects from the framing check: short
+	// file, bad magic or version, key mismatch.
+	DiskRejectsFraming uint64
+	// DiskRejectsPayload counts rejects from the caller's payload
+	// validator — the entry framed correctly but its contents were not
+	// a decodable trace.
+	DiskRejectsPayload uint64
 }
 
 // Store is the two-tier content-addressed cache. All methods are safe
@@ -236,6 +244,7 @@ func (s *Store) loadDisk(key Key) ([]byte, bool) {
 	if err := checkDiskEntry(key, raw); err != nil {
 		os.Remove(s.path(key))
 		s.stats.DiskRejects++
+		s.stats.DiskRejectsFraming++
 		return nil, false
 	}
 	payload := raw[len(diskMagic)+1+len(key):]
@@ -243,6 +252,7 @@ func (s *Store) loadDisk(key Key) ([]byte, bool) {
 		if err := s.validate(payload); err != nil {
 			os.Remove(s.path(key))
 			s.stats.DiskRejects++
+			s.stats.DiskRejectsPayload++
 			return nil, false
 		}
 	}

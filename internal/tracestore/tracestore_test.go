@@ -127,10 +127,11 @@ func TestDiskCorruptionIsAMiss(t *testing.T) {
 	}
 	cases := []struct {
 		name    string
+		payload bool // reject attributed to the payload validator, not framing
 		corrupt func(path string) error
 	}{
-		{"truncated header", func(p string) error { return os.WriteFile(p, []byte{'T', 'E'}, 0o644) }},
-		{"bad magic", func(p string) error {
+		{"truncated header", false, func(p string) error { return os.WriteFile(p, []byte{'T', 'E'}, 0o644) }},
+		{"bad magic", false, func(p string) error {
 			raw, err := os.ReadFile(p)
 			if err != nil {
 				return err
@@ -138,7 +139,7 @@ func TestDiskCorruptionIsAMiss(t *testing.T) {
 			raw[0] = 'X'
 			return os.WriteFile(p, raw, 0o644)
 		}},
-		{"bad version", func(p string) error {
+		{"bad version", false, func(p string) error {
 			raw, err := os.ReadFile(p)
 			if err != nil {
 				return err
@@ -146,7 +147,7 @@ func TestDiskCorruptionIsAMiss(t *testing.T) {
 			raw[4] = 0xFF
 			return os.WriteFile(p, raw, 0o644)
 		}},
-		{"key mismatch", func(p string) error {
+		{"key mismatch", false, func(p string) error {
 			raw, err := os.ReadFile(p)
 			if err != nil {
 				return err
@@ -154,7 +155,7 @@ func TestDiskCorruptionIsAMiss(t *testing.T) {
 			raw[5] ^= 0xFF
 			return os.WriteFile(p, raw, 0o644)
 		}},
-		{"truncated payload", func(p string) error {
+		{"truncated payload", true, func(p string) error {
 			raw, err := os.ReadFile(p)
 			if err != nil {
 				return err
@@ -181,8 +182,21 @@ func TestDiskCorruptionIsAMiss(t *testing.T) {
 			if _, ok := s.Get(key); ok {
 				t.Fatal("corrupt disk entry served as a hit")
 			}
-			if st := s.Snapshot(); st.DiskRejects != 1 || st.Misses != 1 {
+			st := s.Snapshot()
+			if st.DiskRejects != 1 || st.Misses != 1 {
 				t.Fatalf("stats = %+v; want 1 disk reject and 1 miss", st)
+			}
+			// The reject is attributed to exactly one split, and the
+			// splits always sum to the total.
+			wantFraming, wantPayload := uint64(1), uint64(0)
+			if tc.payload {
+				wantFraming, wantPayload = 0, 1
+			}
+			if st.DiskRejectsFraming != wantFraming || st.DiskRejectsPayload != wantPayload {
+				t.Fatalf("stats = %+v; want framing=%d payload=%d", st, wantFraming, wantPayload)
+			}
+			if st.DiskRejectsFraming+st.DiskRejectsPayload != st.DiskRejects {
+				t.Fatalf("stats = %+v; splits do not sum to DiskRejects", st)
 			}
 			if _, err := os.Stat(path); !os.IsNotExist(err) {
 				t.Fatal("corrupt entry file was not deleted")

@@ -41,11 +41,21 @@ go test ./internal/analysis -count=1 \
 go build -o bin/teaserve ./cmd/teaserve
 go run ./scripts/servesmoke -bin bin/teaserve
 
+# Crash-recovery smoke: boot teaserve with a job journal, finish one
+# job, submit a batch, SIGKILL mid-run, restart on the same journal —
+# the finished job's profile must come back byte-identical and every
+# interrupted job must complete byte-identical after recovery.
+go run ./scripts/crashsmoke -bin bin/teaserve
+
 # Chaos smoke: the fault-injection sweep with a fixed seed — every
 # fault kind against every technique; exits nonzero on any contract
-# violation (crash, hang, or silently wrong profile).
+# violation (crash, hang, or silently wrong profile). The -disk sweep
+# then attacks the job journal (torn tail, bit flip, ENOSPC, EIO, slow
+# I/O): never a crash, never wrong bytes, degraded mode on runtime
+# write failure.
 go build -o bin/teachaos ./cmd/teachaos
 ./bin/teachaos -seed 1 -workload bwaves -scale 0.05
+./bin/teachaos -disk
 
 # Benchmark smoke + regression gate: one iteration of every figure/table
 # benchmark keeps the harness compiling and running (full runs: make
