@@ -2,7 +2,7 @@ GO      ?= go
 BINDIR  := bin
 TEALINT := $(BINDIR)/tealint
 
-.PHONY: all build test race vet lint check chaos fuzz bench bench-checkpoint serve smoke load clean
+.PHONY: all build test race vet lint check chaos fuzz bench bench-checkpoint bench-codec serve smoke load clean
 
 all: build
 
@@ -104,6 +104,20 @@ bench-checkpoint:
 	$(GO) run ./cmd/teadiff -mode bench \
 		-baseline BENCH_$(BENCH_DATE)_checkpoint-baseline.json \
 		-current BENCH_$(BENCH_DATE)_checkpoint.json
+
+# bench-codec is the committed evidence for trace format v4: encode and
+# decode versus the retired v3 codec over the same pre-recorded event
+# sequence (no simulation in the timed loop), plus the suite-wide byte
+# totals. teadiff gates the deterministic metrics — byte totals, record
+# counts, compression ratios, and the v4 digest halves must be
+# bit-identical to the committed baseline; ns/op carries the
+# encode/decode throughput story and is informational.
+CODEC_BASELINE ?= BENCH_2026-08-08_codec.json
+bench-codec:
+	$(GO) test ./internal/trace -run='^$$' -bench='^BenchmarkCodec' -benchmem -benchtime=10x -timeout 30m \
+		| $(GO) run ./cmd/teabench -label codec -o BENCH_$(BENCH_DATE)_codec.json
+	$(GO) run ./cmd/teadiff -mode bench \
+		-baseline $(CODEC_BASELINE) -current BENCH_$(BENCH_DATE)_codec.json
 
 clean:
 	rm -rf $(BINDIR)

@@ -1,10 +1,14 @@
 // Command teachaos runs the fault-injection chaos suite against the
 // capture/replay pipeline and reports every mutant's disposition. The
-// contract it enforces: every fault — a mutated trace stream or a
-// corrupted serialized checkpoint — yields either byte-identical
-// profiles or a typed error — never a crash, a hang, or a silently
-// wrong profile (a corrupt checkpoint must fail decoding rather than
-// restore a core that would record a diverged trace).
+// trace mutants cover record-level damage (truncation, bit flips,
+// record swaps) and v4-codec-targeted damage: corrupted pattern-table
+// tokens (token@N) and column boundaries (collen@N length prefixes,
+// colswap@A.B cross-column byte swaps). The contract it enforces:
+// every fault — a mutated trace stream or a corrupted serialized
+// checkpoint — yields either byte-identical profiles or a typed error
+// — never a crash, a hang, or a silently wrong profile (a corrupt
+// checkpoint must fail decoding rather than restore a core that would
+// record a diverged trace).
 //
 //	teachaos [-seed n] [-workload name|all] [-scale f] [-disk] [-v]
 //

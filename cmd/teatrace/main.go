@@ -1,50 +1,124 @@
 // Command teatrace records a benchmark's execution as a binary cycle
-// trace and replays traces offline — the TraceDoctor capture-once /
-// analyze-many workflow of Section 4 as a standalone tool.
+// trace, replays traces offline — the TraceDoctor capture-once /
+// analyze-many workflow of Section 4 as a standalone tool — and
+// inspects a trace's codec statistics.
 //
 //	teatrace -record lbm.trace -bench lbm -scale 0.5
 //	teatrace -replay lbm.trace -tech TEA -top 5
 //	teatrace -replay lbm.trace -tech IBS
+//	teatrace -stats lbm.trace
+//	teatrace -stats cache/3fd2...a1.tea -json
+//
+// -stats accepts either a raw trace stream or a tracestore disk-tier
+// entry (the TEAC framing and stats envelope are unwrapped
+// automatically) and prints the per-record-kind byte histogram, the
+// pattern-table hit rate, and the v4-vs-v3 compression ratio.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/pics"
 	"repro/internal/profilers"
 	"repro/internal/trace"
+	"repro/internal/tracestore"
 	"repro/internal/workloads"
 )
 
 func main() {
 	record := flag.String("record", "", "record the benchmark to this trace file")
 	replay := flag.String("replay", "", "replay this trace file")
+	stats := flag.String("stats", "", "print codec statistics for this trace file or tracestore entry")
 	bench := flag.String("bench", "lbm", "benchmark to record")
 	tech := flag.String("tech", "TEA", "technique for replay: TEA, NCI-TEA, IBS, SPE, RIS")
 	interval := flag.Uint64("interval", 256, "sampling interval in cycles")
 	top := flag.Int("top", 5, "instructions to print after replay")
 	scale := flag.Float64("scale", 0.5, "workload size multiplier")
+	asJSON := flag.Bool("json", false, "emit -stats output as JSON")
 	flag.Parse()
 
 	switch {
-	case *record != "" && *replay == "":
+	case *record != "" && *replay == "" && *stats == "":
 		if err := doRecord(*record, *bench, *scale); err != nil {
 			fmt.Fprintln(os.Stderr, "teatrace:", err)
 			os.Exit(1)
 		}
-	case *replay != "" && *record == "":
+	case *replay != "" && *record == "" && *stats == "":
 		if err := doReplay(*replay, *tech, *interval, *top); err != nil {
 			fmt.Fprintln(os.Stderr, "teatrace:", err)
 			os.Exit(1)
 		}
+	case *stats != "" && *record == "" && *replay == "":
+		if err := doStats(*stats, *asJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "teatrace:", err)
+			os.Exit(1)
+		}
 	default:
-		fmt.Fprintln(os.Stderr, "usage: teatrace -record FILE -bench NAME | teatrace -replay FILE -tech NAME")
+		fmt.Fprintln(os.Stderr, "usage: teatrace -record FILE -bench NAME | teatrace -replay FILE -tech NAME | teatrace -stats FILE [-json]")
 		os.Exit(2)
 	}
+}
+
+// unwrapStream accepts a raw v4 trace stream, a tracestore disk-tier
+// entry (TEAC framing + stats envelope), or a bare cache entry (stats
+// envelope only) and returns the trace stream inside.
+func unwrapStream(raw []byte) ([]byte, string) {
+	if len(raw) >= 5 && string(raw[:4]) == "TEAT" {
+		return raw, "raw trace"
+	}
+	if _, payload, err := tracestore.PayloadFromDiskEntry(raw); err == nil {
+		if _, data, err := analysis.DecodeCachedEntry(payload); err == nil {
+			return data, "tracestore disk entry"
+		}
+	}
+	if _, data, err := analysis.DecodeCachedEntry(raw); err == nil {
+		return data, "cache entry"
+	}
+	return raw, "raw trace"
+}
+
+func doStats(path string, asJSON bool) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	data, kind := unwrapStream(raw)
+	st, err := trace.ScanStats(data)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		out := struct {
+			*trace.CodecStats
+			PatternHitRate   float64 `json:"pattern_hit_rate"`
+			CompressionRatio float64 `json:"compression_ratio"`
+		}{st, st.PatternHitRate(), st.CompressionRatio()}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	fmt.Printf("%s (%s): %d cycles, %d records in %d blocks\n",
+		path, kind, st.TotalCycles, st.Records, st.Blocks)
+	fmt.Printf("encoded %d bytes, logical (v3-equivalent) %d bytes -> %.2fx compression\n",
+		st.EncodedBytes, st.LogicalBytes, st.CompressionRatio())
+	fmt.Printf("pattern table: %d matched of %d records (%.1f%% hit rate), %d match + %d literal tokens\n",
+		st.MatchedRecords, st.Records-1, 100*st.PatternHitRate(), st.MatchTokens, st.LitTokens)
+	fmt.Printf("\n%-10s %12s %16s\n", "kind", "records", "logical bytes")
+	for _, k := range []string{"fetch", "dispatch", "commit", "squash", "cycle"} {
+		fmt.Printf("%-10s %12d %16d\n", k, st.KindRecords[k], st.KindBytes[k])
+	}
+	fmt.Printf("\n%-10s %12s\n", "column", "bytes")
+	fmt.Printf("%-10s %12d\n", "tokens", st.TokenBytes)
+	for _, name := range trace.ColumnNames {
+		fmt.Printf("%-10s %12d\n", name, st.Columns[name])
+	}
+	return nil
 }
 
 func doRecord(path, bench string, scale float64) error {

@@ -62,6 +62,54 @@ var captureCount atomic.Uint64
 // path has performed in this process.
 func CaptureCount() uint64 { return captureCount.Load() }
 
+// Codec totals: every finished capture writer (serial or stitched)
+// folds its trace.Counters in here, so operators can see suite-wide
+// logical-vs-encoded bytes — the basis for sizing the disk tier — on
+// /v1/stats without re-scanning any stream.
+var (
+	codecCaptures atomic.Uint64
+	codecRecords  atomic.Uint64
+	codecMatched  atomic.Uint64
+	codecLogical  atomic.Uint64
+	codecEncoded  atomic.Uint64
+)
+
+// CodecTotals is the process-wide aggregate of trace codec work.
+type CodecTotals struct {
+	Captures       uint64 // capture streams written
+	Records        uint64 // records across those streams
+	MatchedRecords uint64 // records absorbed by the pattern table
+	LogicalBytes   uint64 // v3-equivalent record-at-a-time bytes
+	EncodedBytes   uint64 // v4 bytes actually produced
+}
+
+// CompressionRatio is suite-wide logical over encoded bytes.
+func (t CodecTotals) CompressionRatio() float64 {
+	if t.EncodedBytes == 0 {
+		return 0
+	}
+	return float64(t.LogicalBytes) / float64(t.EncodedBytes)
+}
+
+func addCodecCounters(c trace.Counters) {
+	codecCaptures.Add(1)
+	codecRecords.Add(c.Records)
+	codecMatched.Add(c.MatchedRecords)
+	codecLogical.Add(c.LogicalBytes)
+	codecEncoded.Add(c.EncodedBytes)
+}
+
+// CodecTotalStats returns the process-wide codec totals.
+func CodecTotalStats() CodecTotals {
+	return CodecTotals{
+		Captures:       codecCaptures.Load(),
+		Records:        codecRecords.Load(),
+		MatchedRecords: codecMatched.Load(),
+		LogicalBytes:   codecLogical.Load(),
+		EncodedBytes:   codecEncoded.Load(),
+	}
+}
+
 // captureKey derives the content address of one capture: a SHA-256
 // over the trace format version, the program's complete contents, and
 // every RunConfig field. The cachekey analyzer enforces the "every
@@ -164,6 +212,14 @@ func decodeEntry(entry []byte) (*cpu.Stats, []byte, error) {
 			"trace cache entry: stats")
 	}
 	return &stats, entry[w+int(n):], nil
+}
+
+// DecodeCachedEntry splits a trace-store entry into its run statistics
+// and raw trace stream without validating the stream (callers that need
+// validation replay or Verify it). `teatrace -stats` uses it to inspect
+// cache entries directly.
+func DecodeCachedEntry(entry []byte) (*cpu.Stats, []byte, error) {
+	return decodeEntry(entry)
 }
 
 // validateEntry is the disk-tier validator: an entry is served only if

@@ -11,6 +11,8 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/program"
+	"repro/internal/trace"
+	"repro/internal/tracestore"
 	"repro/internal/workloads"
 )
 
@@ -101,6 +103,37 @@ func bumpValue(v reflect.Value) bool {
 		return false
 	}
 	return true
+}
+
+// TestCaptureKeyFormatVersionSensitivity pins cache invalidation on a
+// codec change: the capture key hashes trace.FormatVersion first, so a
+// process running the v4 columnar codec can never be served a v3-era
+// disk entry — their keys differ. The reflection walk above cannot
+// mutate a package constant, so this re-derives the key under the
+// retired version number and checks it moved, and pins the current
+// version so a future bump is a deliberate act (new committed codec
+// baselines, not a silent cache flush).
+func TestCaptureKeyFormatVersionSensitivity(t *testing.T) {
+	if trace.FormatVersion != 4 {
+		t.Fatalf("trace.FormatVersion = %d, want 4 — a version bump must update this pin and the committed BENCH_*_codec.json baselines", trace.FormatVersion)
+	}
+	rc := testRC()
+	_, p := testProgram(t, rc)
+	base := captureKey(p, rc)
+
+	h := tracestore.NewHasher()
+	h.Uint(trace.FormatVersion - 1) // the retired v3 in an otherwise identical key
+	h.Program(p)
+	h.Uint(rc.Interval)
+	h.Uint(rc.Jitter)
+	h.Uint(rc.Seed)
+	h.Float(rc.Scale)
+	h.CPUConfig(rc.Core)
+	h.Uint(rc.CheckpointInterval)
+	h.Uint(uint64(rc.CaptureWorkers))
+	if h.Sum() == base {
+		t.Error("capture key is not sensitive to trace.FormatVersion — a codec change would serve stale cached captures")
+	}
 }
 
 // TestCaptureKeyProgramSensitivity: the key must also cover the program

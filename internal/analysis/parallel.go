@@ -342,9 +342,11 @@ func CaptureTraceCheckpointed(ctx context.Context, p *program.Program, rc RunCon
 	}
 
 	var buf bytes.Buffer
-	if err := trace.Stitch(ctx, &buf, datas, offsets, total.Cycles); err != nil {
+	counters, err := trace.Stitch(ctx, &buf, datas, offsets, total.Cycles)
+	if err != nil {
 		return fallback(ctx, err)
 	}
+	addCodecCounters(counters)
 	parallelCaptures.Add(1)
 	parallelSegments.Add(uint64(len(segs)))
 	return buf.Bytes(), &total, nil

@@ -283,6 +283,7 @@ func CaptureTrace(ctx context.Context, p *program.Program, rc RunConfig) ([]byte
 		return nil, nil, simerr.Wrap(simerr.ErrInternal,
 			simerr.Snapshot{Program: p.Name}, err, "in-memory trace capture failed")
 	}
+	addCodecCounters(tw.Counters())
 	return buf.Bytes(), stats, nil
 }
 

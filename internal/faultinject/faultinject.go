@@ -1,9 +1,10 @@
 // Package faultinject is the chaos harness for the capture/replay
 // pipeline. It deterministically mutates recorded traces (truncation,
-// bit flips, record reordering), corrupts serialized checkpoints, and
-// builds pathological programs (self-loops, never-hitting loads,
-// maximal dependency chains), then asserts the pipeline's robustness
-// contract on every mutant:
+// bit flips, record reordering, and v4-codec-targeted damage to
+// pattern tables and column boundaries), corrupts serialized
+// checkpoints, and builds pathological programs (self-loops,
+// never-hitting loads, maximal dependency chains), then asserts the
+// pipeline's robustness contract on every mutant:
 //
 //	every fault yields either a byte-identical profile or a typed
 //	*simerr.Error — never a panic, never a hang, never a silently
@@ -53,6 +54,14 @@ type Config struct {
 	BitFlips int
 	// Swaps is the number of adjacent-record-swap mutants.
 	Swaps int
+	// TokenFaults is the number of pattern-table mutants: seeded byte
+	// corruptions inside block token spans, where a damaged match token
+	// (length or distance) desynchronizes the v4 columnar framing.
+	TokenFaults int
+	// ColumnFaults is the number of column-boundary mutants: corrupted
+	// column length prefixes and cross-column byte swaps, the faults
+	// that make one column's bytes parse as another's.
+	ColumnFaults int
 	// CheckpointTruncations is the number of truncated serialized-
 	// checkpoint mutants.
 	CheckpointTruncations int
@@ -72,6 +81,8 @@ func DefaultConfig(seed uint64) Config {
 		MidTruncations:        16,
 		BitFlips:              64,
 		Swaps:                 16,
+		TokenFaults:           32,
+		ColumnFaults:          32,
 		CheckpointTruncations: 32,
 		CheckpointBitFlips:    32,
 		Timeout:               60 * time.Second,
@@ -154,7 +165,85 @@ func TraceFaults(data []byte, cfg Config) ([]Fault, error) {
 			Data: mut,
 		})
 	}
+	faults = append(faults, codecFaults(data, cfg, rng)...)
 	return faults, nil
+}
+
+// codecFaults derives the v4-codec-targeted mutants from the stream's
+// structural layout: pattern-table corruptions inside block token
+// spans, column length-prefix damage, and cross-column byte swaps.
+// These are the faults record-level truncation cannot produce — a
+// damaged match token or length prefix leaves every byte in place but
+// shifts how the decoder slices them, so the contract (typed decode
+// error or byte-identical profile, never a silently wrong one) leans
+// entirely on the decoder's framing guards and the integrity digest.
+func codecFaults(data []byte, cfg Config, rng *rand.Rand) []Fault {
+	lay, err := trace.ParseLayout(data)
+	if err != nil || len(lay.Blocks) == 0 {
+		return nil
+	}
+	var faults []Fault
+
+	// Pattern-table faults: corrupt a byte inside a seeded block's
+	// token span. Half are bit flips (mangled run lengths / match
+	// distances), half overwrite with 0xFF (forces a huge varint,
+	// usually an out-of-range match distance).
+	for i := 0; i < cfg.TokenFaults; i++ {
+		b := lay.Blocks[rng.Intn(len(lay.Blocks))]
+		if b.TokenSpan.End <= b.TokenSpan.LenStart {
+			continue
+		}
+		pos := b.TokenSpan.LenStart + rng.Intn(b.TokenSpan.End-b.TokenSpan.LenStart)
+		mut := append([]byte(nil), data...)
+		if i%2 == 0 {
+			mut[pos] ^= byte(1) << uint(rng.Intn(8))
+		} else {
+			mut[pos] = 0xFF
+		}
+		if bytes.Equal(mut, data) {
+			continue
+		}
+		faults = append(faults, Fault{
+			Name: fmt.Sprintf("token@%d", pos),
+			Data: mut,
+		})
+	}
+
+	// Column-boundary faults: alternate between damaging a column's
+	// length prefix (the framing itself) and swapping one byte across
+	// two columns of the same block (well-formed framing, misplaced
+	// content — only per-column validation or the digest can catch it).
+	for i := 0; i < cfg.ColumnFaults; i++ {
+		b := lay.Blocks[rng.Intn(len(lay.Blocks))]
+		ci := rng.Intn(len(b.Columns))
+		col := b.Columns[ci]
+		mut := append([]byte(nil), data...)
+		var name string
+		if i%2 == 0 {
+			pos := col.LenStart + rng.Intn(max(col.Start-col.LenStart, 1))
+			if i%4 == 0 {
+				mut[pos] ^= byte(1) << uint(rng.Intn(8))
+			} else {
+				mut[pos] = 0xFF
+			}
+			name = fmt.Sprintf("collen@%d", pos)
+		} else {
+			cj := rng.Intn(len(b.Columns))
+			cb := b.Columns[cj]
+			if col.End <= col.Start || cb.End <= cb.Start {
+				continue
+			}
+			pa := col.Start + rng.Intn(col.End-col.Start)
+			pb := cb.Start + rng.Intn(cb.End-cb.Start)
+			mut[pa], mut[pb] = mut[pb], mut[pa]
+			name = fmt.Sprintf("colswap@%d.%d", pa, pb)
+		}
+		if bytes.Equal(mut, data) {
+			continue
+		}
+		faults = append(faults, Fault{Name: name, Data: mut})
+	}
+	return faults
 }
 
 // CheckpointFaults derives the deterministic corrupt-checkpoint set

@@ -133,11 +133,44 @@ type StoreStatsView struct {
 	// DiskRejectsPayload counts disk entries that framed correctly but
 	// failed the store's payload validator.
 	DiskRejectsPayload uint64 `json:"disk_rejects_payload"`
+	// PutBytes counts cumulative encoded payload bytes inserted — what
+	// the disk tier stores on disk. Compare with the codec section's
+	// logical_bytes to size the tier.
+	PutBytes uint64 `json:"put_bytes"`
+	// MemBytes is the memory tier's current payload footprint.
+	MemBytes uint64 `json:"mem_bytes"`
+	// Entries is the memory tier's current entry count.
+	Entries uint64 `json:"entries"`
 	// HitRate is (hits+disk_hits)/(hits+disk_hits+misses), 0 when idle.
 	// Note that singleflight waiters joining an in-progress capture
 	// count as misses here; Captures vs completed jobs is the truer
 	// dedup measure.
 	HitRate float64 `json:"hit_rate"`
+}
+
+// CodecStatsView is the trace-codec section of /v1/stats: suite-wide
+// logical (v3-equivalent) versus encoded (v4) trace bytes across every
+// capture this process has written, and how much of the stream the
+// pattern table absorbed. logical_bytes / encoded_bytes is the
+// compression ratio operators use to size the disk tier and estimate
+// transfer cost.
+type CodecStatsView struct {
+	// Captures counts trace streams written (serial or stitched).
+	Captures uint64 `json:"captures"`
+	// Records counts records across those streams.
+	Records uint64 `json:"records"`
+	// MatchedRecords counts records encoded as pattern-table matches
+	// rather than literals.
+	MatchedRecords uint64 `json:"matched_records"`
+	// LogicalBytes is the v3-equivalent record-at-a-time size of the
+	// same streams.
+	LogicalBytes uint64 `json:"logical_bytes"`
+	// EncodedBytes is the v4 bytes actually produced.
+	EncodedBytes uint64 `json:"encoded_bytes"`
+	// CompressionRatio is logical_bytes/encoded_bytes (0 when idle).
+	CompressionRatio float64 `json:"compression_ratio"`
+	// PatternHitRate is matched_records/records (0 when idle).
+	PatternHitRate float64 `json:"pattern_hit_rate"`
 }
 
 // StatsView is the GET /v1/stats body.
@@ -172,6 +205,8 @@ type StatsView struct {
 	ParallelFallbacks uint64 `json:"parallel_fallbacks"`
 	// TraceStore is the shared cache tier's traffic.
 	TraceStore StoreStatsView `json:"tracestore"`
+	// Codec is the trace-codec compression section.
+	Codec CodecStatsView `json:"codec"`
 	// Durability is the journaling and recovery section.
 	Durability DurabilityView `json:"durability"`
 	// Tenants breaks traffic down per tenant.
@@ -391,6 +426,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if looked := snap.Hits + snap.DiskHits + snap.Misses; looked > 0 {
 		view.TraceStore.HitRate = float64(snap.Hits+snap.DiskHits) / float64(looked)
+	}
+	view.TraceStore.PutBytes = snap.PutBytes
+	view.TraceStore.MemBytes = snap.MemBytes
+	view.TraceStore.Entries = snap.Entries
+	codec := analysis.CodecTotalStats()
+	view.Codec = CodecStatsView{
+		Captures:         codec.Captures,
+		Records:          codec.Records,
+		MatchedRecords:   codec.MatchedRecords,
+		LogicalBytes:     codec.LogicalBytes,
+		EncodedBytes:     codec.EncodedBytes,
+		CompressionRatio: codec.CompressionRatio(),
+	}
+	if codec.Records > 0 {
+		view.Codec.PatternHitRate = float64(codec.MatchedRecords) / float64(codec.Records)
 	}
 	view.Durability.Mode = s.Mode()
 	s.mu.Lock()

@@ -615,6 +615,20 @@ func TestStatsAndHealth(t *testing.T) {
 	if stats.Workers != 1 {
 		t.Errorf("stats workers %d, want 1", stats.Workers)
 	}
+	// The codec section aggregates every capture this process has
+	// written; at least the job above contributed, so the counters must
+	// be live and the v4 encoding strictly smaller than its logical
+	// (v3-equivalent) size.
+	if stats.Codec.Captures < 1 || stats.Codec.Records == 0 {
+		t.Errorf("codec stats idle after a capture: %+v", stats.Codec)
+	}
+	if stats.Codec.EncodedBytes == 0 || stats.Codec.EncodedBytes >= stats.Codec.LogicalBytes {
+		t.Errorf("codec bytes not compressed: encoded %d, logical %d",
+			stats.Codec.EncodedBytes, stats.Codec.LogicalBytes)
+	}
+	if stats.Codec.CompressionRatio <= 1 || stats.Codec.PatternHitRate <= 0 {
+		t.Errorf("codec ratios idle: %+v", stats.Codec)
+	}
 
 	resp, data = getJSON(t, ts.url("/v1/healthz"))
 	if resp.StatusCode != http.StatusOK || !bytes.Contains(data, []byte("ok")) {

@@ -35,8 +35,9 @@ func FuzzReplay(f *testing.F) {
 	valid := fuzzCapture(f)
 	f.Add(valid)
 
-	// Truncations at every record boundary (sampled down to keep the
-	// corpus manageable) — the exact cuts a dying writer produces.
+	// Truncations at every structural boundary (block starts, token
+	// spans, column starts; sampled down to keep the corpus manageable)
+	// — the exact cuts a dying writer produces.
 	offsets, err := RecordOffsets(valid)
 	if err != nil {
 		f.Fatal(err)
@@ -58,8 +59,39 @@ func FuzzReplay(f *testing.F) {
 		f.Add(mut)
 	}
 
-	// Hand-written degenerate streams.
+	// Targeted pattern-table and column-boundary seeds: bit-flips and
+	// byte tweaks inside each block's token span and each column's
+	// length prefix, the regions where v4 framing desynchronizes.
+	if lay, err := ParseLayout(valid); err == nil && len(lay.Blocks) > 0 {
+		b := lay.Blocks[0]
+		targets := []int{b.TokenSpan.LenStart, b.TokenSpan.Start,
+			(b.TokenSpan.Start + b.TokenSpan.End) / 2}
+		for _, c := range b.Columns {
+			targets = append(targets, c.LenStart, c.Start)
+		}
+		for _, pos := range targets {
+			if pos >= len(valid) {
+				continue
+			}
+			mut := append([]byte(nil), valid...)
+			mut[pos] ^= 0x55
+			f.Add(mut)
+			mut2 := append([]byte(nil), valid...)
+			mut2[pos] = 0xFF
+			f.Add(mut2)
+		}
+	}
+
+	// Hand-written degenerate streams: the v4 header alone, a block
+	// claiming records with no columns, a match token with no prior
+	// records, a giant record count, and the old v3 header (must be
+	// rejected as unsupported).
 	f.Add(valid[:min(len(valid), 4096)])
+	f.Add([]byte("TEAT\x04"))
+	f.Add([]byte("TEAT\x04\x10\x01\x01\x00"))
+	f.Add([]byte("TEAT\x04\x10\x01\x01\x02\x03\x01\x00\x00\x00\x00\x00\x00\x00"))
+	f.Add([]byte("TEAT\x04\x10\xff\xff\xff\xff\x0f\x01\x00"))
+	f.Add([]byte("TEAT\x04\x06\x00\x00"))
 	f.Add([]byte("TEAT\x03"))
 	f.Add([]byte("TEAT\x03\x05\x01\x00"))
 	f.Add([]byte{})

@@ -1,0 +1,346 @@
+package trace
+
+import (
+	"context"
+	"encoding/binary"
+
+	"repro/internal/cpu"
+	"repro/internal/events"
+	"repro/internal/simerr"
+)
+
+// Span is one length-prefixed byte region inside a block: LenStart is
+// the offset of the uvarint length prefix, [Start, End) the payload.
+// The fault-injection harness targets both — corrupting a length
+// prefix desynchronizes the block framing, corrupting the payload
+// desynchronizes a column — and either must surface as ErrDecode.
+type Span struct {
+	LenStart int
+	Start    int
+	End      int
+}
+
+// BlockLayout is the structural shape of one columnar block.
+type BlockLayout struct {
+	Start     int // offset of the block tag byte
+	Records   int // record count from the block header
+	Tokens    int // token count from the block header
+	TokenSpan Span
+	Columns   [nCols]Span // indexed like colKinds..colCounts; named by ColumnNames
+	End       int
+}
+
+// StreamLayout is the structural shape of a complete v4 stream: the
+// header, every block, and the done section. It is a framing-level
+// parse — token and column *contents* are not validated (ReplayBytes
+// owns that), so chaos modes can locate regions to corrupt even in
+// streams they have already damaged semantically.
+type StreamLayout struct {
+	HeaderEnd int
+	Blocks    []BlockLayout
+	DoneStart int
+	DoneEnd   int
+}
+
+// ParseLayout walks a complete in-memory v4 stream structurally and
+// returns the offsets of every block, token span, column, and the done
+// section. Framing damage (bad magic, truncated lengths, spans past
+// the buffer) fails with a typed simerr.ErrDecode.
+func ParseLayout(data []byte) (*StreamLayout, error) {
+	layoutErr := func(format string, args ...any) error {
+		return simerr.New(simerr.ErrDecode, simerr.Snapshot{}, format, args...)
+	}
+	if len(data) < 5 || [4]byte(data[:4]) != magic || data[4] != FormatVersion {
+		return nil, layoutErr("trace: bad header")
+	}
+	lay := &StreamLayout{HeaderEnd: 5}
+	pos := 5
+	uv := func() (uint64, bool) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, false
+		}
+		pos += n
+		return v, true
+	}
+	span := func() (Span, bool) {
+		s := Span{LenStart: pos}
+		l, ok := uv()
+		if !ok || l > uint64(len(data)-pos) {
+			return s, false
+		}
+		s.Start = pos
+		pos += int(l)
+		s.End = pos
+		return s, true
+	}
+	for pos < len(data) {
+		tag := data[pos]
+		start := pos
+		pos++
+		switch tag {
+		case blockTag:
+			b := BlockLayout{Start: start}
+			nRec, ok1 := uv()
+			nTok, ok2 := uv()
+			if !ok1 || !ok2 || nRec == 0 || nRec > maxBlockRecords || nTok > nRec {
+				return nil, layoutErr("trace: malformed block header at offset %d", start)
+			}
+			b.Records, b.Tokens = int(nRec), int(nTok)
+			var ok bool
+			if b.TokenSpan, ok = span(); !ok {
+				return nil, layoutErr("trace: truncated token span at offset %d", start)
+			}
+			for c := 0; c < nCols; c++ {
+				if b.Columns[c], ok = span(); !ok {
+					return nil, layoutErr("trace: truncated %s column at offset %d", ColumnNames[c], start)
+				}
+			}
+			b.End = pos
+			lay.Blocks = append(lay.Blocks, b)
+		case recDone:
+			if _, ok := uv(); !ok {
+				return nil, layoutErr("trace: truncated done section at offset %d", start)
+			}
+			if _, ok := uv(); !ok {
+				return nil, layoutErr("trace: truncated integrity digest at offset %d", start)
+			}
+			lay.DoneStart, lay.DoneEnd = start, pos
+			return lay, nil
+		default:
+			return nil, layoutErr("trace: unknown section tag %#x at offset %d", tag, start)
+		}
+	}
+	return nil, layoutErr("trace: no done section")
+}
+
+// RecordOffsets scans a complete in-memory trace and returns the byte
+// offset of every structural boundary: the header end, then for each
+// block its tag, token span, and column starts, and finally the done
+// section. The fault-injection harness uses it to truncate or splice
+// captures at exact structure boundaries; the fuzz seed corpus is built
+// the same way. (Before v4 the stream had per-record boundaries; the
+// columnar format's interesting corruption points are these instead.)
+func RecordOffsets(data []byte) ([]int, error) {
+	lay, err := ParseLayout(data)
+	if err != nil {
+		return nil, err
+	}
+	offsets := []int{lay.HeaderEnd}
+	for _, b := range lay.Blocks {
+		offsets = append(offsets, b.Start, b.TokenSpan.Start)
+		for _, c := range b.Columns {
+			offsets = append(offsets, c.Start)
+		}
+	}
+	offsets = append(offsets, lay.DoneStart)
+	return offsets, nil
+}
+
+// CodecStats describes one v4 stream for operators: how large the
+// stream is on disk versus the v3-equivalent record-at-a-time
+// ("logical") encoding of the same records, where the bytes live
+// (token stream vs each column), how much of the stream the pattern
+// table absorbed, and the per-record-kind breakdown of the logical
+// bytes. Produced by ScanStats and surfaced by `teatrace -stats`.
+type CodecStats struct {
+	Records     uint64 `json:"records"` // includes the done section, mirroring Writer.Records
+	Blocks      uint64 `json:"blocks"`
+	TotalCycles uint64 `json:"total_cycles"`
+
+	LitTokens      uint64 `json:"lit_tokens"`
+	MatchTokens    uint64 `json:"match_tokens"`
+	MatchedRecords uint64 `json:"matched_records"`
+
+	EncodedBytes uint64            `json:"encoded_bytes"`
+	LogicalBytes uint64            `json:"logical_bytes"`
+	TokenBytes   uint64            `json:"token_bytes"`
+	ColumnBytes  [nCols]uint64     `json:"-"`
+	Columns      map[string]uint64 `json:"column_bytes"`
+
+	// Per-kind record counts and v3-equivalent encoded bytes, the
+	// per-record-kind byte histogram (fetch, dispatch, commit, squash,
+	// cycle).
+	KindRecords map[string]uint64 `json:"kind_records"`
+	KindBytes   map[string]uint64 `json:"kind_logical_bytes"`
+}
+
+// PatternHitRate is the fraction of block records covered by match
+// tokens rather than literals.
+func (s CodecStats) PatternHitRate() float64 {
+	rec := s.Records
+	if rec > 0 {
+		rec-- // the done section is not a block record
+	}
+	if rec == 0 {
+		return 0
+	}
+	return float64(s.MatchedRecords) / float64(rec)
+}
+
+// CompressionRatio is logical (v3-equivalent) bytes over encoded (v4)
+// bytes — "how much smaller than format v3 this stream is".
+func (s CodecStats) CompressionRatio() float64 {
+	if s.EncodedBytes == 0 {
+		return 0
+	}
+	return float64(s.LogicalBytes) / float64(s.EncodedBytes)
+}
+
+// kindNames labels record kinds 1..5 for the stats histogram.
+var kindNames = [...]string{
+	recFetch:    "fetch",
+	recDispatch: "dispatch",
+	recCommit:   "commit",
+	recSquash:   "squash",
+	recCycle:    "cycle",
+}
+
+// statsProbe re-derives the v3-equivalent encoding cost of each
+// replayed record: it tracks the same stream-continuous delta state as
+// the writer and sums uvarint sizes per record kind.
+type statsProbe struct {
+	cpu.BaseProbe
+	lastCycle, lastSeq, lastPC uint64
+	kindRecords                [recCycle + 1]uint64
+	kindBytes                  [recCycle + 1]uint64
+	totalCycles                uint64
+}
+
+func (s *statsProbe) deltas(seq, cycle uint64) (ds, dc uint64) {
+	ds = zigzag(int64(seq) - int64(s.lastSeq))
+	dc = cycle - s.lastCycle
+	s.lastSeq, s.lastCycle = seq, cycle
+	return ds, dc
+}
+
+func (s *statsProbe) OnFetch(r cpu.Ref, cycle uint64) {
+	ds, dc := s.deltas(r.Seq, cycle)
+	dp := zigzag(int64(r.PC) - int64(s.lastPC))
+	s.lastPC = r.PC
+	s.kindRecords[recFetch]++
+	s.kindBytes[recFetch] += 1 + uvlen(ds) + uvlen(dp) + uvlen(dc)
+}
+
+func (s *statsProbe) OnDispatch(r cpu.Ref, cycle uint64) {
+	ds, dc := s.deltas(r.Seq, cycle)
+	s.kindRecords[recDispatch]++
+	s.kindBytes[recDispatch] += 1 + uvlen(ds) + uvlen(dc)
+}
+
+func (s *statsProbe) OnCommit(r cpu.Ref, cycle uint64) {
+	ds, dc := s.deltas(r.Seq, cycle)
+	s.kindRecords[recCommit]++
+	s.kindBytes[recCommit] += 1 + uvlen(ds) + uvlen(uint64(r.PSV)) + uvlen(dc)
+}
+
+func (s *statsProbe) OnSquash(r cpu.Ref, cycle uint64) {
+	ds, dc := s.deltas(r.Seq, cycle)
+	s.kindRecords[recSquash]++
+	s.kindBytes[recSquash] += 1 + uvlen(ds) + uvlen(dc)
+}
+
+func (s *statsProbe) OnCycle(ci *cpu.CycleInfo) {
+	dc := ci.Cycle - s.lastCycle
+	s.lastCycle = ci.Cycle
+	b := uint64(2) + uvlen(dc) // kind byte + state byte + cycle delta
+	switch ci.State {
+	case events.Compute:
+		b += uvlen(uint64(len(ci.Committed)))
+		for _, r := range ci.Committed {
+			ds := zigzag(int64(r.Seq) - int64(s.lastSeq))
+			s.lastSeq = r.Seq
+			b += uvlen(ds)
+		}
+	case events.Stalled:
+		ds := zigzag(int64(ci.Head.Seq) - int64(s.lastSeq))
+		s.lastSeq = ci.Head.Seq
+		b += uvlen(ds)
+	case events.Flushed:
+		ds := zigzag(int64(ci.LastCommitted.Seq) - int64(s.lastSeq))
+		s.lastSeq = ci.LastCommitted.Seq
+		b += uvlen(ds)
+	}
+	s.kindRecords[recCycle]++
+	s.kindBytes[recCycle] += b
+}
+
+func (s *statsProbe) OnDone(totalCycles uint64) { s.totalCycles = totalCycles }
+
+// ScanStats replays a complete in-memory v4 stream (validating it end
+// to end, digest included) and returns its codec statistics. A stream
+// that fails replay fails ScanStats with the same typed error.
+//
+//tealint:ctxroot stats pass over an in-memory buffer, bounded by the buffer's length; nothing upstream to cancel it
+func ScanStats(data []byte) (*CodecStats, error) {
+	sp := &statsProbe{}
+	if _, err := ReplayBytes(context.Background(), data, sp); err != nil {
+		return nil, err
+	}
+	lay, err := ParseLayout(data)
+	if err != nil {
+		return nil, err
+	}
+	st := &CodecStats{
+		Blocks:       uint64(len(lay.Blocks)),
+		TotalCycles:  sp.totalCycles,
+		EncodedBytes: uint64(len(data)),
+		Columns:      make(map[string]uint64, nCols),
+		KindRecords:  make(map[string]uint64, recCycle),
+		KindBytes:    make(map[string]uint64, recCycle),
+	}
+	// Logical = header + every record's v3 size + the done record.
+	st.LogicalBytes = 5
+	for k := recFetch; k <= recCycle; k++ {
+		st.Records += sp.kindRecords[k]
+		st.LogicalBytes += sp.kindBytes[k]
+		st.KindRecords[kindNames[k]] = sp.kindRecords[k]
+		st.KindBytes[kindNames[k]] = sp.kindBytes[k]
+	}
+	for _, b := range lay.Blocks {
+		st.TokenBytes += uint64(b.TokenSpan.End - b.TokenSpan.Start)
+		for c := 0; c < nCols; c++ {
+			st.ColumnBytes[c] += uint64(b.Columns[c].End - b.Columns[c].Start)
+		}
+		lit, match, matched, err := countTokens(data[b.TokenSpan.Start:b.TokenSpan.End], b.Tokens)
+		if err != nil {
+			return nil, err
+		}
+		st.LitTokens += lit
+		st.MatchTokens += match
+		st.MatchedRecords += matched
+	}
+	for c := 0; c < nCols; c++ {
+		st.Columns[ColumnNames[c]] = st.ColumnBytes[c]
+	}
+	doneLen := uint64(lay.DoneEnd - lay.DoneStart)
+	st.Records++ // the done section, mirroring Writer.Records
+	st.LogicalBytes += doneLen
+	return st, nil
+}
+
+// countTokens tallies a block's token stream. The stream already
+// passed full replay validation; the guards here only keep the tally
+// loop bounded.
+func countTokens(tokens []byte, nTok int) (lit, match, matched uint64, err error) {
+	tp := 0
+	for k := 0; k < nTok; k++ {
+		v, sz := binary.Uvarint(tokens[tp:])
+		if sz <= 0 {
+			return 0, 0, 0, simerr.New(simerr.ErrDecode, simerr.Snapshot{}, "trace: truncated token")
+		}
+		tp += sz
+		if v&1 == 1 {
+			match++
+			matched += v >> 1
+			if _, sz := binary.Uvarint(tokens[tp:]); sz > 0 {
+				tp += sz
+			} else {
+				return 0, 0, 0, simerr.New(simerr.ErrDecode, simerr.Snapshot{}, "trace: truncated match distance")
+			}
+		} else {
+			lit++
+		}
+	}
+	return lit, match, matched, nil
+}

@@ -50,22 +50,26 @@ func AppendSegment(ctx context.Context, dst *Writer, segment []byte, offset uint
 // stream. Segment i's cycle stamps are shifted by offsets[i] (the
 // global cycle at which its interval began, i.e. the cycle count
 // accumulated by all prior segments), and the stitched stream is closed
-// with a single done record carrying totalCycles. When the segments'
+// with a single done section carrying totalCycles. When the segments'
 // record sequences match what a serial run would have emitted — which
 // the capture layer verifies by fingerprint chaining before calling
 // Stitch — the output bytes are identical to a serial capture's,
-// digest included.
-func Stitch(ctx context.Context, out io.Writer, segments [][]byte, offsets []uint64, totalCycles uint64) error {
+// digest included: the Writer re-derives the delta encoding, the block
+// boundaries (pure functions of the record sequence), the pattern-table
+// match parse, and the digest from the logical values it is fed. The
+// returned Counters describe the stitched stream's codec work, mirroring
+// Writer.Counters on the serial path.
+func Stitch(ctx context.Context, out io.Writer, segments [][]byte, offsets []uint64, totalCycles uint64) (Counters, error) {
 	if len(segments) != len(offsets) {
-		return simerr.New(simerr.ErrInvalidConfig, simerr.Snapshot{},
+		return Counters{}, simerr.New(simerr.ErrInvalidConfig, simerr.Snapshot{},
 			"trace: %d segments but %d offsets", len(segments), len(offsets))
 	}
 	w := NewWriter(out)
 	for i, seg := range segments {
 		if err := AppendSegment(ctx, w, seg, offsets[i]); err != nil {
-			return err
+			return w.Counters(), err
 		}
 	}
 	w.OnDone(totalCycles)
-	return w.Err()
+	return w.Counters(), w.Err()
 }

@@ -6,22 +6,40 @@
 // against it offline, out-of-band from the simulation. This is exactly
 // how the paper evaluates 15 configurations from one FPGA run: capture
 // once, analyze many times.
+//
+// Format v4 (this file and reader.go) applies the redundancy-suppression
+// idea from Arafa et al. ("Redundancy Suppression In Time-Aware Dynamic
+// Binary Instrumentation") to the stream: traces are dominated by
+// repeated loop bodies, whose records are identical *in delta space*
+// even though their absolute sequence numbers and cycles differ. The
+// writer buffers records in delta space, finds recurring record runs
+// with an LZ-style match parse against the records already seen in the
+// block (the per-stream pattern table), and serializes each block as a
+// token stream (literal-run / match tokens) plus seven columnar literal
+// arrays — kinds, cycle deltas, seq deltas, PC deltas, PSVs, commit
+// states, commit counts — so the decoder runs tight per-column varint
+// loops instead of a per-record kind switch. Matched records are never
+// stored at all; the decoder re-materializes them by copying earlier
+// records of the same block.
+//
+// The integrity digest is computed over decoded logical values exactly
+// as in v3, so it is invariant under the encoding change: a v4 stream
+// replays to byte-identical profiles and carries the same digest a v3
+// stream of the same capture would.
 package trace
 
 import (
-	"context"
-	"encoding/binary"
-	"errors"
-	"fmt"
 	"io"
-	"sync"
+	"math/bits"
+
+	"encoding/binary"
 
 	"repro/internal/cpu"
 	"repro/internal/events"
-	"repro/internal/simerr"
 )
 
-// Record kinds.
+// Record kinds. Kinds 1..5 appear inside blocks; recDone tags the
+// stream's final section.
 const (
 	recFetch    = 0x01
 	recDispatch = 0x02
@@ -31,24 +49,29 @@ const (
 	recDone     = 0x06
 )
 
+// blockTag introduces a columnar record block.
+const blockTag = 0x10
+
 // magic identifies a trace stream.
 var magic = [4]byte{'T', 'E', 'A', 'T'}
 
 // FormatVersion is the trace format version. Version 3 added the
-// integrity digest carried by the done record: an FNV-style hash over
+// integrity digest carried by the done section: an FNV-style hash over
 // every record's decoded logical values, letting the reader detect
 // bit-flipped, reordered, or otherwise corrupted streams that still
 // happen to decode — corruption yields a typed simerr.ErrDecode, never
-// a silently wrong profile.
+// a silently wrong profile. Version 4 keeps the digest bit-for-bit (it
+// hashes logical values, not encoding) and replaces the record-at-a-time
+// layout with pattern-matched columnar blocks.
 //
 // The version is exported because it is part of the trace cache key
 // (internal/tracestore): bumping the format invalidates every cached
 // capture, in memory and on disk, without any explicit flush.
-const FormatVersion = 3
+const FormatVersion = 4
 
 // Digest parameters (FNV-1a's 64-bit constants, mixed per value rather
-// than per byte; both sides hash decoded logical values, so the delta
-// encoding does not affect the digest).
+// than per byte; both sides hash decoded logical values, so neither the
+// delta encoding nor the v4 pattern matching affects the digest).
 const (
 	digestOffset = 14695981039346656037
 	digestPrime  = 1099511628211
@@ -68,47 +91,148 @@ const (
 	maxWindow = 1 << 20
 )
 
-// writerBlock is the Writer's block-buffer flush threshold. Records
-// append into one slice with binary.AppendUvarint and the buffer is
-// handed to the underlying io.Writer only once it crosses the
-// threshold, checked at record boundaries — so the encode hot path is
-// pure appends (no per-byte bufio accounting) and a record is never
-// split across two underlying writes.
-const writerBlock = 1 << 16
+// Block geometry. The writer closes a block purely as a function of the
+// logical record sequence (record count and buffered commit-list
+// length), never of wall clock or buffer bytes, so a stitched capture
+// flushes at exactly the same records as a serial one and the streams
+// stay byte-identical.
+const (
+	// blockRecords is the writer's per-block record budget.
+	blockRecords = 1 << 15
+	// maxBlockRecords bounds a decoded block's record count; the
+	// writer stays at blockRecords, the slack tolerates forward
+	// format tweaks without a version bump.
+	maxBlockRecords = 1 << 16
+	// blockListFlush closes a block early when its buffered commit
+	// lists grow past this many entries; with the per-record
+	// maxCommitPerCycle bound it caps materialized list memory at
+	// maxBlockLists per block, on both sides of the codec.
+	blockListFlush = 1 << 15
+	// maxBlockLists bounds the total commit-list elements a decoder
+	// will materialize for one block: a crafted stream cannot use
+	// match tokens to amplify one literal 1024-entry list into an
+	// unbounded allocation (ErrDecode instead).
+	maxBlockLists = blockListFlush + maxCommitPerCycle
+	// minMatch is the shortest record run worth a match token: below
+	// four records the token + distance overhead beats the literals.
+	minMatch = 4
+	// hashBits sizes the pattern table (per-block match candidates).
+	hashBits = 16
+)
 
-// Writer is a cpu.Probe that serializes the probe event stream.
+// nCols is the number of literal columns in a block, in serialization
+// order: kinds, cycle deltas, seq deltas, PC deltas, PSVs, commit
+// states, commit counts.
+const nCols = 7
+
+// Column indices into a block's literal columns.
+const (
+	colKinds = iota
+	colCycles
+	colSeqs
+	colPCs
+	colPSVs
+	colStates
+	colCounts
+)
+
+// ColumnNames names the literal columns in serialization order, for
+// stats output and chaos-mode labels.
+var ColumnNames = [nCols]string{"kinds", "cycles", "seqs", "pcs", "psvs", "states", "counts"}
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// uvlen is the encoded size of v as a uvarint — used to account the
+// v3-equivalent "logical" stream size without materializing it.
+func uvlen(v uint64) uint64 { return uint64(bits.Len64(v|1)+6) / 7 }
+
+// Counters reports what the writer did, for compression stats: the
+// logical (v3-equivalent record-at-a-time) size versus the encoded v4
+// size, and how much of the stream the pattern table absorbed.
+type Counters struct {
+	Records        uint64 // records serialized (including the done section)
+	Blocks         uint64 // columnar blocks emitted
+	LitTokens      uint64 // literal-run tokens
+	MatchTokens    uint64 // match tokens
+	MatchedRecords uint64 // records covered by match tokens
+	LogicalBytes   uint64 // exact v3 encoding size of the same record sequence
+	EncodedBytes   uint64 // bytes actually written (v4)
+}
+
+// Writer is a cpu.Probe that serializes the probe event stream as
+// format v4. Probe hooks delta-encode into per-record column buffers;
+// when the block budget fills, the buffered records are match-parsed
+// against themselves and serialized as one columnar block.
 type Writer struct {
 	cpu.BaseProbe
 	w       io.Writer
 	err     error
 	started bool
 
-	// buf is the block buffer (see writerBlock).
+	// buf accumulates one serialized block (plus header/done section)
+	// before it is handed to the underlying writer, so a block is
+	// written in a single Write call.
 	buf []byte
+
+	// Per-block record buffers, in delta space. opA holds the primary
+	// operand (zigzag seq delta; commit state for cycle records), opB
+	// the secondary one (zigzag PC delta for fetch, PSV for commit,
+	// commit count or zigzag seq delta for cycle records). Compute
+	// cycles' commit lists live flat in lists; listStart[i] points at
+	// record i's span (length = opB[i]).
+	kinds     []byte
+	dCyc      []uint64
+	opA       []uint64
+	opB       []uint64
+	listStart []uint32
+	lists     []uint64
+	// fps holds a per-record fingerprint over all delta-space fields,
+	// the fast path for record equality during the match parse.
+	fps []uint64
+
+	// htab is the pattern table: hash of a minMatch-record fingerprint
+	// window → most recent block position, -1 when empty. Cleared per
+	// block.
+	htab []int32
+
+	// tokBuf and cols are the per-block serialization scratch.
+	tokBuf []byte
+	cols   [nCols][]byte
 
 	// Delta-encoding state: cycles are monotonically non-decreasing;
 	// sequence numbers and PCs are locally close, so signed deltas
-	// compress well.
+	// compress well. Stream-continuous across blocks.
 	lastCycle uint64
 	lastSeq   uint64
 	lastPC    uint64
 
 	// digest accumulates the integrity hash over each record's logical
-	// values; the done record carries it for the reader to verify.
+	// values; the done section carries it for the reader to verify.
 	digest uint64
 
 	// Records counts serialized records (for statistics).
 	Records uint64
+
+	c Counters
 }
 
 // NewWriter returns a trace writer targeting w. Attach it to a core
 // like any other probe; the stream is complete after OnDone fires.
 func NewWriter(w io.Writer) *Writer {
-	return &Writer{w: w, buf: make([]byte, 0, writerBlock+64), digest: digestOffset}
+	return &Writer{w: w, digest: digestOffset}
 }
 
 // Err returns the first write error, if any.
 func (t *Writer) Err() error { return t.err }
+
+// Counters returns the writer's codec statistics. Complete only after
+// OnDone has fired (LogicalBytes/EncodedBytes include the done section).
+func (t *Writer) Counters() Counters {
+	c := t.c
+	c.Records = t.Records
+	return c
+}
 
 func (t *Writer) header() {
 	if t.started {
@@ -117,94 +241,91 @@ func (t *Writer) header() {
 	t.started = true
 	t.buf = append(t.buf, magic[:]...)
 	t.buf = append(t.buf, FormatVersion)
-}
-
-func (t *Writer) byteOut(b byte) {
-	t.buf = append(t.buf, b)
-}
-
-func (t *Writer) varint(v uint64) {
-	t.buf = binary.AppendUvarint(t.buf, v)
-}
-
-// endRecord closes one record: the block buffer drains to the
-// underlying writer only here, so flushes always land on record
-// boundaries.
-func (t *Writer) endRecord() {
-	t.Records++
-	if len(t.buf) >= writerBlock {
-		t.flush()
-	}
+	t.c.LogicalBytes += 5
 }
 
 func (t *Writer) flush() {
 	if t.err == nil && len(t.buf) > 0 {
 		_, t.err = t.w.Write(t.buf)
 	}
+	t.c.EncodedBytes += uint64(len(t.buf))
 	t.buf = t.buf[:0]
 }
 
-// cycleDelta emits the non-negative delta from the previous cycle.
-func (t *Writer) cycleDelta(cycle uint64) {
-	t.varint(cycle - t.lastCycle)
-	t.lastCycle = cycle
+// endRecord closes one buffered record; the block is serialized once
+// the record or commit-list budget fills. Both thresholds are pure
+// functions of the logical record sequence (see blockRecords).
+func (t *Writer) endRecord() {
+	t.Records++
+	if len(t.kinds) >= blockRecords || len(t.lists) >= blockListFlush {
+		t.flushBlock()
+	}
 }
 
-// seqDelta emits the zigzag-encoded signed delta from the previous
-// sequence number.
-func (t *Writer) seqDelta(seq uint64) {
-	t.varint(zigzag(int64(seq) - int64(t.lastSeq)))
-	t.lastSeq = seq
+// push buffers one record in delta space and fingerprints it.
+func (t *Writer) push(kind byte, dc, a, b uint64) {
+	t.kinds = append(t.kinds, kind)
+	t.dCyc = append(t.dCyc, dc)
+	t.opA = append(t.opA, a)
+	t.opB = append(t.opB, b)
+	t.listStart = append(t.listStart, uint32(len(t.lists)))
+	t.fps = append(t.fps, mix(mix(mix(mix(digestOffset, uint64(kind)), dc), a), b))
 }
 
-// pcDelta emits the zigzag-encoded signed delta from the previous PC.
-func (t *Writer) pcDelta(pc uint64) {
-	t.varint(zigzag(int64(pc) - int64(t.lastPC)))
-	t.lastPC = pc
+// pushList appends one commit-list element (zigzag seq delta) to the
+// current record and folds it into the record's fingerprint.
+func (t *Writer) pushList(d uint64) {
+	t.lists = append(t.lists, d)
+	i := len(t.fps) - 1
+	t.fps[i] = mix(t.fps[i], d)
 }
-
-func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
-func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 
 // OnFetch implements cpu.Probe.
 func (t *Writer) OnFetch(r cpu.Ref, cycle uint64) {
 	t.header()
-	t.byteOut(recFetch)
-	t.seqDelta(r.Seq)
-	t.pcDelta(r.PC)
-	t.cycleDelta(cycle)
+	ds := zigzag(int64(r.Seq) - int64(t.lastSeq))
+	dp := zigzag(int64(r.PC) - int64(t.lastPC))
+	dc := cycle - t.lastCycle
+	t.lastSeq, t.lastPC, t.lastCycle = r.Seq, r.PC, cycle
+	t.push(recFetch, dc, ds, dp)
 	t.digest = mix(mix(mix(mix(t.digest, recFetch), r.Seq), r.PC), cycle)
+	t.c.LogicalBytes += 1 + uvlen(ds) + uvlen(dp) + uvlen(dc)
 	t.endRecord()
 }
 
 // OnDispatch implements cpu.Probe.
 func (t *Writer) OnDispatch(r cpu.Ref, cycle uint64) {
 	t.header()
-	t.byteOut(recDispatch)
-	t.seqDelta(r.Seq)
-	t.cycleDelta(cycle)
+	ds := zigzag(int64(r.Seq) - int64(t.lastSeq))
+	dc := cycle - t.lastCycle
+	t.lastSeq, t.lastCycle = r.Seq, cycle
+	t.push(recDispatch, dc, ds, 0)
 	t.digest = mix(mix(mix(t.digest, recDispatch), r.Seq), cycle)
+	t.c.LogicalBytes += 1 + uvlen(ds) + uvlen(dc)
 	t.endRecord()
 }
 
 // OnCommit implements cpu.Probe. The µop's PSV is final here.
 func (t *Writer) OnCommit(r cpu.Ref, cycle uint64) {
 	t.header()
-	t.byteOut(recCommit)
-	t.seqDelta(r.Seq)
-	t.varint(uint64(r.PSV))
-	t.cycleDelta(cycle)
+	ds := zigzag(int64(r.Seq) - int64(t.lastSeq))
+	dc := cycle - t.lastCycle
+	t.lastSeq, t.lastCycle = r.Seq, cycle
+	t.push(recCommit, dc, ds, uint64(r.PSV))
 	t.digest = mix(mix(mix(mix(t.digest, recCommit), r.Seq), uint64(r.PSV)), cycle)
+	t.c.LogicalBytes += 1 + uvlen(ds) + uvlen(uint64(r.PSV)) + uvlen(dc)
 	t.endRecord()
 }
 
 // OnSquash implements cpu.Probe.
 func (t *Writer) OnSquash(r cpu.Ref, cycle uint64) {
 	t.header()
-	t.byteOut(recSquash)
-	t.seqDelta(r.Seq)
-	t.cycleDelta(cycle)
+	ds := zigzag(int64(r.Seq) - int64(t.lastSeq))
+	dc := cycle - t.lastCycle
+	t.lastSeq, t.lastCycle = r.Seq, cycle
+	t.push(recSquash, dc, ds, 0)
 	t.digest = mix(mix(mix(t.digest, recSquash), r.Seq), cycle)
+	t.c.LogicalBytes += 1 + uvlen(ds) + uvlen(dc)
 	t.endRecord()
 }
 
@@ -214,480 +335,226 @@ func (t *Writer) OnSquash(r cpu.Ref, cycle uint64) {
 // stream preserves that order naturally.
 func (t *Writer) OnCycle(ci *cpu.CycleInfo) {
 	t.header()
-	t.byteOut(recCycle)
-	t.cycleDelta(ci.Cycle)
-	t.byteOut(byte(ci.State))
+	dc := ci.Cycle - t.lastCycle
+	t.lastCycle = ci.Cycle
 	h := mix(mix(mix(t.digest, recCycle), ci.Cycle), uint64(ci.State))
+	lb := uint64(2) + uvlen(dc) // kind byte + state byte + cycle delta
 	switch ci.State {
 	case events.Compute:
-		t.varint(uint64(len(ci.Committed)))
-		h = mix(h, uint64(len(ci.Committed)))
+		n := uint64(len(ci.Committed))
+		t.push(recCycle, dc, uint64(ci.State), n)
+		h = mix(h, n)
+		lb += uvlen(n)
 		for _, r := range ci.Committed {
-			t.seqDelta(r.Seq)
+			ds := zigzag(int64(r.Seq) - int64(t.lastSeq))
+			t.lastSeq = r.Seq
+			t.pushList(ds)
 			h = mix(h, r.Seq)
+			lb += uvlen(ds)
 		}
 	case events.Stalled:
-		t.seqDelta(ci.Head.Seq)
+		ds := zigzag(int64(ci.Head.Seq) - int64(t.lastSeq))
+		t.lastSeq = ci.Head.Seq
+		t.push(recCycle, dc, uint64(ci.State), ds)
 		h = mix(h, ci.Head.Seq)
+		lb += uvlen(ds)
 	case events.Flushed:
-		t.seqDelta(ci.LastCommitted.Seq)
+		ds := zigzag(int64(ci.LastCommitted.Seq) - int64(t.lastSeq))
+		t.lastSeq = ci.LastCommitted.Seq
+		t.push(recCycle, dc, uint64(ci.State), ds)
 		h = mix(h, ci.LastCommitted.Seq)
-	case events.Drained:
-		// No operand: the next commit resolves the attribution.
+		lb += uvlen(ds)
+	default: // events.Drained: no operand; the next commit resolves the attribution.
+		t.push(recCycle, dc, uint64(ci.State), 0)
 	}
 	t.digest = h
+	t.c.LogicalBytes += lb
 	t.endRecord()
 }
 
-// OnDone implements cpu.Probe and finalizes the stream: the done
-// record carries the total cycle count and the integrity digest over
-// everything recorded before it.
+// OnDone implements cpu.Probe and finalizes the stream: any buffered
+// block is serialized, then the done section carries the total cycle
+// count and the integrity digest over everything recorded before it.
 func (t *Writer) OnDone(totalCycles uint64) {
 	t.header()
-	t.byteOut(recDone)
-	t.varint(totalCycles)
+	t.flushBlock()
+	t.buf = append(t.buf, recDone)
+	t.buf = binary.AppendUvarint(t.buf, totalCycles)
 	t.digest = mix(mix(t.digest, recDone), totalCycles)
-	t.varint(t.digest)
+	t.buf = binary.AppendUvarint(t.buf, t.digest)
 	t.Records++
+	t.c.LogicalBytes += 1 + uvlen(totalCycles) + uvlen(t.digest)
 	t.flush()
 }
 
-// winEnt is one in-flight instruction inside the replay's sliding
-// window.
-type winEnt struct {
-	pc        uint64
-	psv       events.PSV
-	committed bool
-}
-
-// Replay feeds a recorded trace to a set of probes, reconstructing the
-// refs the live probes would have seen. The probes cannot tell replay
-// from a live run: profiles built offline are identical to online ones
-// (the paper's out-of-band host processing).
-//
-// Sequence numbers are dense and retire roughly in order, so in-flight
-// instructions live in a small sliding window indexed by seq instead of
-// a map; the replay loop performs no per-record allocation. Committed
-// entries are dropped from the window once their cycle record has been
-// delivered; only the most recent committed instruction stays
-// referenceable (Flushed cycles point at it). Squashed entries stay in
-// place — the same sequence number is re-fetched later, which resets
-// the entry, mirroring the fresh µop the live core allocates.
-//
-// Every failure — truncation, implausible operands, an integrity-digest
-// mismatch — returns a typed *simerr.Error of kind simerr.ErrDecode
-// with the failing record's position in its snapshot. Replay never
-// panics on malformed input (FuzzReplay pins this).
-//
-//tealint:ctxroot uncancellable convenience entry point: callers with a context use ReplayContext
-func Replay(r io.Reader, probes ...cpu.Probe) (totalCycles uint64, err error) {
-	return ReplayContext(context.Background(), r, probes...)
-}
-
-// ReplayContext is Replay honoring cancellation: the context is polled
-// periodically and a cancelled replay returns simerr.ErrCanceled
-// wrapping ctx.Err() before the probes' completion hooks fire, so no
-// partial profile can be observed downstream. The stream is read fully
-// into memory first (captures are in-memory artifacts already), then
-// decoded by ReplayBytes.
-func ReplayContext(ctx context.Context, r io.Reader, probes ...cpu.Probe) (totalCycles uint64, err error) {
-	data, err := io.ReadAll(r)
-	if err != nil {
-		return 0, simerr.Wrap(simerr.ErrDecode, simerr.Snapshot{}, err, "trace: reading stream")
+// recEq reports whether buffered records i and j are identical in
+// delta space. The fingerprint comparison is only a fast path; a
+// colliding pair must not produce a false match (it would corrupt the
+// stream), so equality is always confirmed field by field.
+func (t *Writer) recEq(i, j int) bool {
+	if t.fps[i] != t.fps[j] {
+		return false
 	}
-	return ReplayBytes(ctx, data, probes...)
-}
-
-// Verify decodes a complete in-memory stream with no probes attached:
-// it returns nil only if the stream is well-formed end to end and its
-// integrity digest matches. The trace cache (internal/tracestore via
-// internal/analysis) validates disk-tier entries with it before
-// serving them, so a corrupt cache file is a miss, never an ErrDecode
-// surfaced to an experiment.
-//
-//tealint:ctxroot integrity check over an in-memory buffer, bounded by the buffer's length; nothing upstream to cancel it
-func Verify(data []byte) error {
-	_, err := ReplayBytes(context.Background(), data)
-	return err
-}
-
-// replayState is the pooled per-replay decode state: the sliding window
-// of in-flight instructions and the CycleInfo delivered to probes. The
-// suite scheduler replays each shared capture many times (per figure,
-// per sweep interval, per probe group), so recycling this state keeps
-// the replay loop allocation-free across replays, not just within one.
-type replayState struct {
-	win []winEnt
-	ci  cpu.CycleInfo
-}
-
-var replayPool = sync.Pool{New: func() any { return new(replayState) }}
-
-var errVarintOverflow = errors.New("varint overflows a 64-bit integer")
-
-// ReplayBytes is ReplayContext for a complete in-memory stream — the
-// replay hot path. Decoding runs on a slice cursor with pooled
-// window/cycle state, so one replay performs no per-record reads and no
-// per-record allocation. The data is only read, never written: callers
-// may replay the same shared bytes from many goroutines concurrently.
-func ReplayBytes(ctx context.Context, data []byte, probes ...cpu.Probe) (totalCycles uint64, err error) {
-	// Decode state shared with the error-snapshot helper.
-	var (
-		lastCycle, lastSeq, lastPC uint64
-		records                    uint64
-		digest                     = uint64(digestOffset)
-		pos                        int
-	)
-	decodeErr := func(cause error, format string, args ...any) error {
-		snap := simerr.Snapshot{Cycle: lastCycle, Seq: lastSeq}
-		snap.Detail = fmt.Sprintf("record %d", records)
-		if cause != nil {
-			return simerr.Wrap(simerr.ErrDecode, snap, cause, format, args...)
-		}
-		return simerr.New(simerr.ErrDecode, snap, format, args...)
+	if t.kinds[i] != t.kinds[j] || t.dCyc[i] != t.dCyc[j] ||
+		t.opA[i] != t.opA[j] || t.opB[i] != t.opB[j] {
+		return false
 	}
-
-	if len(data) < 5 {
-		return 0, decodeErr(io.ErrUnexpectedEOF, "trace: reading header")
-	}
-	if [4]byte(data[:4]) != magic {
-		return 0, decodeErr(nil, "trace: bad magic")
-	}
-	if data[4] != FormatVersion {
-		return 0, decodeErr(nil, "trace: unsupported version %d", data[4])
-	}
-	pos = 5
-
-	st := replayPool.Get().(*replayState)
-	var (
-		win  = st.win[:0]
-		head int    // index of the window's first live entry
-		base uint64 // seq of win[head]
-		last cpu.Ref
-	)
-	ci := &st.ci
-	defer func() {
-		st.win = win[:0]
-		ci.Committed = ci.Committed[:0]
-		ci.Head, ci.LastCommitted = cpu.Ref{}, cpu.Ref{}
-		replayPool.Put(st)
-	}()
-
-	// ensure grows the window to cover seq and returns its entry. The
-	// caller checks the maxWindow guard first.
-	ensure := func(seq uint64) *winEnt {
-		for uint64(len(win)-head) <= seq-base {
-			win = append(win, winEnt{})
-		}
-		return &win[head+int(seq-base)]
-	}
-	// ref builds the value-typed view of seq; sequence numbers outside
-	// the window (malformed traces) synthesize a zero entry, as the old
-	// map-based replay did.
-	ref := func(seq uint64) cpu.Ref {
-		if seq >= base && seq-base < uint64(len(win)-head) {
-			e := &win[head+int(seq-base)]
-			return cpu.Ref{Seq: seq, PC: e.pc, PSV: e.psv}
-		}
-		return cpu.Ref{Seq: seq}
-	}
-
-	u64 := func() (uint64, error) {
-		v, n := binary.Uvarint(data[pos:])
-		if n == 0 {
-			return 0, io.ErrUnexpectedEOF
-		}
-		if n < 0 {
-			return 0, errVarintOverflow
-		}
-		pos += n
-		return v, nil
-	}
-	// Delta-decoding mirroring the writer.
-	readCycle := func() (uint64, error) {
-		d, err := u64()
-		if err != nil {
-			return 0, err
-		}
-		lastCycle += d
-		return lastCycle, nil
-	}
-	readSeq := func() (uint64, error) {
-		d, err := u64()
-		if err != nil {
-			return 0, err
-		}
-		lastSeq = uint64(int64(lastSeq) + unzigzag(d))
-		return lastSeq, nil
-	}
-	readPC := func() (uint64, error) {
-		d, err := u64()
-		if err != nil {
-			return 0, err
-		}
-		lastPC = uint64(int64(lastPC) + unzigzag(d))
-		return lastPC, nil
-	}
-	for {
-		// Poll cancellation every 64 Ki records — far off the hot path,
-		// still prompt in wall-clock terms.
-		if records&0xFFFF == 0 {
-			if cause := context.Cause(ctx); cause != nil {
-				return totalCycles, simerr.Wrap(simerr.ErrCanceled,
-					simerr.Snapshot{Cycle: lastCycle, Seq: lastSeq}, cause, "replay canceled")
+	if t.kinds[i] == recCycle && t.opA[i] == uint64(events.Compute) {
+		n := int(t.opB[i])
+		si, sj := int(t.listStart[i]), int(t.listStart[j])
+		for k := 0; k < n; k++ {
+			if t.lists[si+k] != t.lists[sj+k] {
+				return false
 			}
 		}
-		if pos >= len(data) {
-			return totalCycles, decodeErr(nil, "trace: truncated stream (no done record)")
+	}
+	return true
+}
+
+// matchLen extends a candidate match at (i ← j), returning how many
+// consecutive records agree. Self-overlap (j+k crossing i) is fine:
+// the decoder copies element-wise, so an overlapping match replicates
+// a short period — exactly the loop-body case.
+func (t *Writer) matchLen(i, j int) int {
+	n := len(t.kinds)
+	k := 0
+	for i+k < n && t.recEq(i+k, j+k) {
+		k++
+	}
+	return k
+}
+
+// hashAt hashes the minMatch-record fingerprint window starting at i.
+func (t *Writer) hashAt(i int) uint32 {
+	h := uint64(digestOffset)
+	h = mix(h, t.fps[i])
+	h = mix(h, t.fps[i+1])
+	h = mix(h, t.fps[i+2])
+	h = mix(h, t.fps[i+3])
+	return uint32(h>>(64-hashBits)) & (1<<hashBits - 1)
+}
+
+// flushBlock match-parses the buffered records and serializes them as
+// one columnar block.
+func (t *Writer) flushBlock() {
+	n := len(t.kinds)
+	if n == 0 {
+		return
+	}
+
+	if t.htab == nil {
+		t.htab = make([]int32, 1<<hashBits)
+	}
+	for i := range t.htab {
+		t.htab[i] = -1
+	}
+
+	// Greedy parse: at each position try the most recent hash-table
+	// candidate and the previous match distance, take the longer run.
+	// Tokens: uvarint v — even: literal run of v>>1 records; odd:
+	// match of v>>1 records followed by uvarint distance.
+	t.tokBuf = t.tokBuf[:0]
+	nTokens := 0
+	emitLit := func(s, e int) {
+		if e > s {
+			t.tokBuf = binary.AppendUvarint(t.tokBuf, uint64(e-s)<<1)
+			nTokens++
+			t.c.LitTokens++
+			t.serializeLits(s, e)
 		}
-		kind := data[pos]
-		pos++
-		records++
+	}
+	litStart := 0
+	prevDist := 0
+	for i := 0; i < n; {
+		bestLen, bestDist := 0, 0
+		if i+minMatch <= n {
+			h := t.hashAt(i)
+			if cand := int(t.htab[h]); cand >= 0 && cand < i {
+				if l := t.matchLen(i, cand); l >= minMatch {
+					bestLen, bestDist = l, i-cand
+				}
+			}
+			if prevDist > 0 && i-prevDist >= 0 && prevDist != bestDist {
+				if l := t.matchLen(i, i-prevDist); l >= minMatch && l >= bestLen {
+					bestLen, bestDist = l, prevDist
+				}
+			}
+			t.htab[h] = int32(i)
+		}
+		if bestLen == 0 {
+			i++
+			continue
+		}
+		emitLit(litStart, i)
+		t.tokBuf = binary.AppendUvarint(t.tokBuf, uint64(bestLen)<<1|1)
+		t.tokBuf = binary.AppendUvarint(t.tokBuf, uint64(bestDist))
+		nTokens++
+		t.c.MatchTokens++
+		t.c.MatchedRecords += uint64(bestLen)
+		prevDist = bestDist
+		// Seed the pattern table across the matched span so later
+		// positions can reference runs inside it.
+		for j := i + 1; j < i+bestLen && j+minMatch <= n; j++ {
+			t.htab[t.hashAt(j)] = int32(j)
+		}
+		i += bestLen
+		litStart = i
+	}
+	emitLit(litStart, n)
+
+	// Block framing: tag, record/token counts, token span, then the
+	// seven length-prefixed literal columns.
+	t.buf = append(t.buf, blockTag)
+	t.buf = binary.AppendUvarint(t.buf, uint64(n))
+	t.buf = binary.AppendUvarint(t.buf, uint64(nTokens))
+	t.buf = binary.AppendUvarint(t.buf, uint64(len(t.tokBuf)))
+	t.buf = append(t.buf, t.tokBuf...)
+	for ci := 0; ci < nCols; ci++ {
+		t.buf = binary.AppendUvarint(t.buf, uint64(len(t.cols[ci])))
+		t.buf = append(t.buf, t.cols[ci]...)
+	}
+	t.c.Blocks++
+	t.flush()
+
+	t.kinds = t.kinds[:0]
+	t.dCyc = t.dCyc[:0]
+	t.opA = t.opA[:0]
+	t.opB = t.opB[:0]
+	t.listStart = t.listStart[:0]
+	t.lists = t.lists[:0]
+	t.fps = t.fps[:0]
+	for ci := 0; ci < nCols; ci++ {
+		t.cols[ci] = t.cols[ci][:0]
+	}
+}
+
+// serializeLits appends records [s, e) to the literal columns.
+func (t *Writer) serializeLits(s, e int) {
+	for r := s; r < e; r++ {
+		kind := t.kinds[r]
+		t.cols[colKinds] = append(t.cols[colKinds], kind)
+		t.cols[colCycles] = binary.AppendUvarint(t.cols[colCycles], t.dCyc[r])
 		switch kind {
 		case recFetch:
-			seq, err1 := readSeq()
-			pc, err2 := readPC()
-			cycle, err3 := readCycle()
-			if err := firstErr(err1, err2, err3); err != nil {
-				return totalCycles, decodeErr(err, "trace: fetch record")
-			}
-			if seq >= base {
-				if seq-base >= maxWindow {
-					return totalCycles, decodeErr(nil,
-						"trace: implausible sequence jump to %d (window base %d)", seq, base)
-				}
-				// A re-fetch after a squash reuses the entry; the fresh
-				// µop starts with an empty signature.
-				*ensure(seq) = winEnt{pc: pc}
-			}
-			digest = mix(mix(mix(mix(digest, recFetch), seq), pc), cycle)
-			r := cpu.Ref{Seq: seq, PC: pc}
-			for _, p := range probes {
-				p.OnFetch(r, cycle)
-			}
-		case recDispatch:
-			seq, err1 := readSeq()
-			cycle, err2 := readCycle()
-			if err := firstErr(err1, err2); err != nil {
-				return totalCycles, decodeErr(err, "trace: dispatch record")
-			}
-			digest = mix(mix(mix(digest, recDispatch), seq), cycle)
-			r := ref(seq)
-			for _, p := range probes {
-				p.OnDispatch(r, cycle)
-			}
-		case recCommit:
-			seq, err1 := readSeq()
-			psv, err2 := u64()
-			cycle, err3 := readCycle()
-			if err := firstErr(err1, err2, err3); err != nil {
-				return totalCycles, decodeErr(err, "trace: commit record")
-			}
-			var r cpu.Ref
-			if seq >= base {
-				if seq-base >= maxWindow {
-					return totalCycles, decodeErr(nil,
-						"trace: implausible sequence jump to %d (window base %d)", seq, base)
-				}
-				e := ensure(seq)
-				e.psv = events.PSV(psv)
-				e.committed = true
-				r = cpu.Ref{Seq: seq, PC: e.pc, PSV: e.psv}
-			} else {
-				r = cpu.Ref{Seq: seq, PSV: events.PSV(psv)}
-			}
-			digest = mix(mix(mix(mix(digest, recCommit), seq), psv), cycle)
-			for _, p := range probes {
-				p.OnCommit(r, cycle)
-			}
-			last = r
-		case recSquash:
-			seq, err1 := readSeq()
-			cycle, err2 := readCycle()
-			if err := firstErr(err1, err2); err != nil {
-				return totalCycles, decodeErr(err, "trace: squash record")
-			}
-			digest = mix(mix(mix(digest, recSquash), seq), cycle)
-			r := ref(seq)
-			for _, p := range probes {
-				p.OnSquash(r, cycle)
-			}
-		case recCycle:
-			cycle, err1 := readCycle()
-			if err1 == nil && pos >= len(data) {
-				err1 = io.ErrUnexpectedEOF
-			}
-			if err1 != nil {
-				return totalCycles, decodeErr(err1, "trace: cycle record")
-			}
-			stateByte := data[pos]
-			pos++
-			ci.Cycle = cycle
-			ci.State = events.CommitState(stateByte)
-			ci.Committed = ci.Committed[:0]
-			ci.Head = cpu.Ref{}
-			ci.LastCommitted = cpu.Ref{}
-			h := mix(mix(mix(digest, recCycle), cycle), uint64(stateByte))
-			switch ci.State {
-			case events.Compute:
-				n, err := u64()
-				if err != nil {
-					return totalCycles, decodeErr(err, "trace: cycle commit count")
-				}
-				if n > maxCommitPerCycle {
-					return totalCycles, decodeErr(nil,
-						"trace: implausible commit count %d in one cycle", n)
-				}
-				h = mix(h, n)
-				for i := uint64(0); i < n; i++ {
-					seq, err := readSeq()
-					if err != nil {
-						return totalCycles, decodeErr(err, "trace: cycle commit seq")
-					}
-					h = mix(h, seq)
-					ci.Committed = append(ci.Committed, ref(seq))
-				}
-			case events.Stalled:
-				seq, err := readSeq()
-				if err != nil {
-					return totalCycles, decodeErr(err, "trace: stalled head seq")
-				}
-				h = mix(h, seq)
-				ci.Head = ref(seq)
-			case events.Flushed:
-				seq, err := readSeq()
-				if err != nil {
-					return totalCycles, decodeErr(err, "trace: flushed seq")
-				}
-				h = mix(h, seq)
-				if last.Seq == seq {
-					ci.LastCommitted = last
-				} else {
-					ci.LastCommitted = ref(seq)
-				}
-			case events.Drained:
-				// No operand.
-			default:
-				return totalCycles, decodeErr(nil, "trace: unknown commit state %d", stateByte)
-			}
-			digest = h
-			for _, p := range probes {
-				p.OnCycle(ci)
-			}
-			// Slide the window past entries whose commit cycle has now
-			// been delivered; nothing references them again (Flushed
-			// cycles use last). The slide advances an index instead of
-			// re-slicing so the pooled backing array survives; the dead
-			// prefix is compacted once it dominates the buffer.
-			for head < len(win) && win[head].committed {
-				head++
-				base++
-			}
-			if head > 1024 && head*2 > len(win) {
-				n := copy(win, win[head:])
-				win = win[:n]
-				head = 0
-			}
-		case recDone:
-			totalCycles, err = u64()
-			if err != nil {
-				return totalCycles, decodeErr(err, "trace: done record")
-			}
-			digest = mix(mix(digest, recDone), totalCycles)
-			want, err := u64()
-			if err != nil {
-				return totalCycles, decodeErr(err, "trace: integrity digest")
-			}
-			if want != digest {
-				return totalCycles, decodeErr(nil,
-					"trace: integrity digest mismatch (stream corrupted or records reordered)")
-			}
-			// Only a verified stream reaches the completion hooks, so a
-			// corrupt trace can never materialize as a profile.
-			for _, p := range probes {
-				p.OnDone(totalCycles)
-			}
-			return totalCycles, nil
-		default:
-			return totalCycles, decodeErr(nil, "trace: unknown record kind %#x", kind)
-		}
-	}
-}
-
-func firstErr(errs ...error) error {
-	for _, e := range errs {
-		if e != nil {
-			return e
-		}
-	}
-	return nil
-}
-
-// RecordOffsets scans a complete in-memory trace and returns the byte
-// offset of every record start (the first offset is the header length).
-// The fault-injection harness uses it to truncate or splice captures at
-// exact record boundaries; the fuzz seed corpus is built the same way.
-func RecordOffsets(data []byte) ([]int, error) {
-	if len(data) < 5 || [4]byte(data[:4]) != magic || data[4] != FormatVersion {
-		return nil, simerr.New(simerr.ErrDecode, simerr.Snapshot{}, "trace: bad header")
-	}
-	pos := 5
-	var offsets []int
-	uv := func() (uint64, bool) {
-		v, n := binary.Uvarint(data[pos:])
-		if n <= 0 {
-			return 0, false
-		}
-		pos += n
-		return v, true
-	}
-	skip := func(n int) bool {
-		ok := true
-		for i := 0; i < n && ok; i++ {
-			_, ok = uv()
-		}
-		return ok
-	}
-	for pos < len(data) {
-		offsets = append(offsets, pos)
-		kind := data[pos]
-		pos++
-		ok := true
-		switch kind {
-		case recFetch:
-			ok = skip(3)
+			t.cols[colSeqs] = binary.AppendUvarint(t.cols[colSeqs], t.opA[r])
+			t.cols[colPCs] = binary.AppendUvarint(t.cols[colPCs], t.opB[r])
 		case recDispatch, recSquash:
-			ok = skip(2)
+			t.cols[colSeqs] = binary.AppendUvarint(t.cols[colSeqs], t.opA[r])
 		case recCommit:
-			ok = skip(3)
+			t.cols[colSeqs] = binary.AppendUvarint(t.cols[colSeqs], t.opA[r])
+			t.cols[colPSVs] = binary.AppendUvarint(t.cols[colPSVs], t.opB[r])
 		case recCycle:
-			ok = skip(1)
-			if ok && pos < len(data) {
-				state := events.CommitState(data[pos])
-				pos++
-				switch state {
-				case events.Compute:
-					n, got := uv()
-					ok = got && n <= maxCommitPerCycle && skip(int(n))
-				case events.Stalled, events.Flushed:
-					ok = skip(1)
+			t.cols[colStates] = append(t.cols[colStates], byte(t.opA[r]))
+			switch events.CommitState(t.opA[r]) {
+			case events.Compute:
+				t.cols[colCounts] = binary.AppendUvarint(t.cols[colCounts], t.opB[r])
+				ls := int(t.listStart[r])
+				for k := 0; k < int(t.opB[r]); k++ {
+					t.cols[colSeqs] = binary.AppendUvarint(t.cols[colSeqs], t.lists[ls+k])
 				}
-			} else {
-				ok = false
+			case events.Stalled, events.Flushed:
+				t.cols[colSeqs] = binary.AppendUvarint(t.cols[colSeqs], t.opB[r])
 			}
-		case recDone:
-			if !skip(2) {
-				return nil, simerr.New(simerr.ErrDecode, simerr.Snapshot{},
-					"trace: truncated done record at offset %d", offsets[len(offsets)-1])
-			}
-			return offsets, nil
-		default:
-			ok = false
-		}
-		if !ok {
-			return nil, simerr.New(simerr.ErrDecode, simerr.Snapshot{},
-				"trace: malformed record at offset %d", offsets[len(offsets)-1])
 		}
 	}
-	return nil, simerr.New(simerr.ErrDecode, simerr.Snapshot{}, "trace: no done record")
 }

@@ -1,0 +1,431 @@
+package trace_test
+
+// A faithful copy of the retired format-v3 codec (record-at-a-time
+// delta encoding, the layout shipped between PR 3 and PR 10). It exists
+// so the test suite can pin two properties of the v4 columnar codec
+// against its predecessor on real captures:
+//
+//   - equivalence: replaying a v3 stream and a v4 stream of the same
+//     run delivers an identical probe event sequence (and therefore
+//     identical profiles) — the encoding change is invisible at the
+//     logical level, digest included;
+//   - compression: the v4 stream is at least 5x smaller across the
+//     suite (the ISSUE 10 acceptance floor).
+//
+// It also anchors the codec benchmarks' v3 columns. The copy is
+// deliberately self-contained: the live package must stay free of dead
+// production code.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/cpu"
+	"repro/internal/events"
+	"repro/internal/simerr"
+)
+
+const (
+	v3RecFetch    = 0x01
+	v3RecDispatch = 0x02
+	v3RecCommit   = 0x03
+	v3RecSquash   = 0x04
+	v3RecCycle    = 0x05
+	v3RecDone     = 0x06
+
+	v3Version = 3
+
+	v3DigestOffset = 14695981039346656037
+	v3DigestPrime  = 1099511628211
+
+	v3MaxCommitPerCycle = 1024
+	v3MaxWindow         = 1 << 20
+)
+
+func v3Mix(h, v uint64) uint64 { return (h ^ v) * v3DigestPrime }
+
+func v3Zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func v3Unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// v3Writer is the retired record-at-a-time trace writer.
+type v3Writer struct {
+	cpu.BaseProbe
+	buf     []byte
+	started bool
+
+	lastCycle uint64
+	lastSeq   uint64
+	lastPC    uint64
+
+	digest  uint64
+	records uint64
+}
+
+func newV3Writer() *v3Writer { return &v3Writer{digest: v3DigestOffset} }
+
+// Bytes returns the encoded stream (complete after OnDone).
+func (t *v3Writer) Bytes() []byte { return t.buf }
+
+func (t *v3Writer) header() {
+	if t.started {
+		return
+	}
+	t.started = true
+	t.buf = append(t.buf, 'T', 'E', 'A', 'T', v3Version)
+}
+
+func (t *v3Writer) varint(v uint64) { t.buf = binary.AppendUvarint(t.buf, v) }
+
+func (t *v3Writer) cycleDelta(cycle uint64) {
+	t.varint(cycle - t.lastCycle)
+	t.lastCycle = cycle
+}
+
+func (t *v3Writer) seqDelta(seq uint64) {
+	t.varint(v3Zigzag(int64(seq) - int64(t.lastSeq)))
+	t.lastSeq = seq
+}
+
+func (t *v3Writer) pcDelta(pc uint64) {
+	t.varint(v3Zigzag(int64(pc) - int64(t.lastPC)))
+	t.lastPC = pc
+}
+
+func (t *v3Writer) OnFetch(r cpu.Ref, cycle uint64) {
+	t.header()
+	t.buf = append(t.buf, v3RecFetch)
+	t.seqDelta(r.Seq)
+	t.pcDelta(r.PC)
+	t.cycleDelta(cycle)
+	t.digest = v3Mix(v3Mix(v3Mix(v3Mix(t.digest, v3RecFetch), r.Seq), r.PC), cycle)
+	t.records++
+}
+
+func (t *v3Writer) OnDispatch(r cpu.Ref, cycle uint64) {
+	t.header()
+	t.buf = append(t.buf, v3RecDispatch)
+	t.seqDelta(r.Seq)
+	t.cycleDelta(cycle)
+	t.digest = v3Mix(v3Mix(v3Mix(t.digest, v3RecDispatch), r.Seq), cycle)
+	t.records++
+}
+
+func (t *v3Writer) OnCommit(r cpu.Ref, cycle uint64) {
+	t.header()
+	t.buf = append(t.buf, v3RecCommit)
+	t.seqDelta(r.Seq)
+	t.varint(uint64(r.PSV))
+	t.cycleDelta(cycle)
+	t.digest = v3Mix(v3Mix(v3Mix(v3Mix(t.digest, v3RecCommit), r.Seq), uint64(r.PSV)), cycle)
+	t.records++
+}
+
+func (t *v3Writer) OnSquash(r cpu.Ref, cycle uint64) {
+	t.header()
+	t.buf = append(t.buf, v3RecSquash)
+	t.seqDelta(r.Seq)
+	t.cycleDelta(cycle)
+	t.digest = v3Mix(v3Mix(v3Mix(t.digest, v3RecSquash), r.Seq), cycle)
+	t.records++
+}
+
+func (t *v3Writer) OnCycle(ci *cpu.CycleInfo) {
+	t.header()
+	t.buf = append(t.buf, v3RecCycle)
+	t.cycleDelta(ci.Cycle)
+	t.buf = append(t.buf, byte(ci.State))
+	h := v3Mix(v3Mix(v3Mix(t.digest, v3RecCycle), ci.Cycle), uint64(ci.State))
+	switch ci.State {
+	case events.Compute:
+		t.varint(uint64(len(ci.Committed)))
+		h = v3Mix(h, uint64(len(ci.Committed)))
+		for _, r := range ci.Committed {
+			t.seqDelta(r.Seq)
+			h = v3Mix(h, r.Seq)
+		}
+	case events.Stalled:
+		t.seqDelta(ci.Head.Seq)
+		h = v3Mix(h, ci.Head.Seq)
+	case events.Flushed:
+		t.seqDelta(ci.LastCommitted.Seq)
+		h = v3Mix(h, ci.LastCommitted.Seq)
+	case events.Drained:
+	}
+	t.digest = h
+	t.records++
+}
+
+func (t *v3Writer) OnDone(totalCycles uint64) {
+	t.header()
+	t.buf = append(t.buf, v3RecDone)
+	t.varint(totalCycles)
+	t.digest = v3Mix(v3Mix(t.digest, v3RecDone), totalCycles)
+	t.varint(t.digest)
+	t.records++
+}
+
+type v3WinEnt struct {
+	pc        uint64
+	psv       events.PSV
+	committed bool
+}
+
+var errV3Varint = errors.New("varint overflows a 64-bit integer")
+
+// v3ReplayBytes is the retired record-at-a-time decoder, preserved
+// verbatim (modulo pooling) so equivalence and benchmark comparisons
+// run the real v3 hot path.
+func v3ReplayBytes(data []byte, probes ...cpu.Probe) (totalCycles uint64, err error) {
+	var (
+		lastCycle, lastSeq, lastPC uint64
+		records                    uint64
+		digest                     = uint64(v3DigestOffset)
+		pos                        int
+	)
+	decodeErr := func(cause error, format string, args ...any) error {
+		snap := simerr.Snapshot{Cycle: lastCycle, Seq: lastSeq}
+		snap.Detail = fmt.Sprintf("record %d", records)
+		if cause != nil {
+			return simerr.Wrap(simerr.ErrDecode, snap, cause, format, args...)
+		}
+		return simerr.New(simerr.ErrDecode, snap, format, args...)
+	}
+
+	if len(data) < 5 {
+		return 0, decodeErr(io.ErrUnexpectedEOF, "v3: reading header")
+	}
+	if string(data[:4]) != "TEAT" || data[4] != v3Version {
+		return 0, decodeErr(nil, "v3: bad header")
+	}
+	pos = 5
+
+	var (
+		win  []v3WinEnt
+		head int
+		base uint64
+		last cpu.Ref
+		ci   cpu.CycleInfo
+	)
+
+	ensure := func(seq uint64) *v3WinEnt {
+		for uint64(len(win)-head) <= seq-base {
+			win = append(win, v3WinEnt{})
+		}
+		return &win[head+int(seq-base)]
+	}
+	ref := func(seq uint64) cpu.Ref {
+		if seq >= base && seq-base < uint64(len(win)-head) {
+			e := &win[head+int(seq-base)]
+			return cpu.Ref{Seq: seq, PC: e.pc, PSV: e.psv}
+		}
+		return cpu.Ref{Seq: seq}
+	}
+
+	u64 := func() (uint64, error) {
+		v, n := binary.Uvarint(data[pos:])
+		if n == 0 {
+			return 0, io.ErrUnexpectedEOF
+		}
+		if n < 0 {
+			return 0, errV3Varint
+		}
+		pos += n
+		return v, nil
+	}
+	readCycle := func() (uint64, error) {
+		d, err := u64()
+		if err != nil {
+			return 0, err
+		}
+		lastCycle += d
+		return lastCycle, nil
+	}
+	readSeq := func() (uint64, error) {
+		d, err := u64()
+		if err != nil {
+			return 0, err
+		}
+		lastSeq = uint64(int64(lastSeq) + v3Unzigzag(d))
+		return lastSeq, nil
+	}
+	readPC := func() (uint64, error) {
+		d, err := u64()
+		if err != nil {
+			return 0, err
+		}
+		lastPC = uint64(int64(lastPC) + v3Unzigzag(d))
+		return lastPC, nil
+	}
+	first := func(errs ...error) error {
+		for _, e := range errs {
+			if e != nil {
+				return e
+			}
+		}
+		return nil
+	}
+	for {
+		if pos >= len(data) {
+			return totalCycles, decodeErr(nil, "v3: truncated stream (no done record)")
+		}
+		kind := data[pos]
+		pos++
+		records++
+		switch kind {
+		case v3RecFetch:
+			seq, err1 := readSeq()
+			pc, err2 := readPC()
+			cycle, err3 := readCycle()
+			if err := first(err1, err2, err3); err != nil {
+				return totalCycles, decodeErr(err, "v3: fetch record")
+			}
+			if seq >= base {
+				if seq-base >= v3MaxWindow {
+					return totalCycles, decodeErr(nil, "v3: implausible sequence jump to %d", seq)
+				}
+				*ensure(seq) = v3WinEnt{pc: pc}
+			}
+			digest = v3Mix(v3Mix(v3Mix(v3Mix(digest, v3RecFetch), seq), pc), cycle)
+			r := cpu.Ref{Seq: seq, PC: pc}
+			for _, p := range probes {
+				p.OnFetch(r, cycle)
+			}
+		case v3RecDispatch:
+			seq, err1 := readSeq()
+			cycle, err2 := readCycle()
+			if err := first(err1, err2); err != nil {
+				return totalCycles, decodeErr(err, "v3: dispatch record")
+			}
+			digest = v3Mix(v3Mix(v3Mix(digest, v3RecDispatch), seq), cycle)
+			r := ref(seq)
+			for _, p := range probes {
+				p.OnDispatch(r, cycle)
+			}
+		case v3RecCommit:
+			seq, err1 := readSeq()
+			psv, err2 := u64()
+			cycle, err3 := readCycle()
+			if err := first(err1, err2, err3); err != nil {
+				return totalCycles, decodeErr(err, "v3: commit record")
+			}
+			var r cpu.Ref
+			if seq >= base {
+				if seq-base >= v3MaxWindow {
+					return totalCycles, decodeErr(nil, "v3: implausible sequence jump to %d", seq)
+				}
+				e := ensure(seq)
+				e.psv = events.PSV(psv)
+				e.committed = true
+				r = cpu.Ref{Seq: seq, PC: e.pc, PSV: e.psv}
+			} else {
+				r = cpu.Ref{Seq: seq, PSV: events.PSV(psv)}
+			}
+			digest = v3Mix(v3Mix(v3Mix(v3Mix(digest, v3RecCommit), seq), psv), cycle)
+			for _, p := range probes {
+				p.OnCommit(r, cycle)
+			}
+			last = r
+		case v3RecSquash:
+			seq, err1 := readSeq()
+			cycle, err2 := readCycle()
+			if err := first(err1, err2); err != nil {
+				return totalCycles, decodeErr(err, "v3: squash record")
+			}
+			digest = v3Mix(v3Mix(v3Mix(digest, v3RecSquash), seq), cycle)
+			r := ref(seq)
+			for _, p := range probes {
+				p.OnSquash(r, cycle)
+			}
+		case v3RecCycle:
+			cycle, err1 := readCycle()
+			if err1 == nil && pos >= len(data) {
+				err1 = io.ErrUnexpectedEOF
+			}
+			if err1 != nil {
+				return totalCycles, decodeErr(err1, "v3: cycle record")
+			}
+			stateByte := data[pos]
+			pos++
+			ci.Cycle = cycle
+			ci.State = events.CommitState(stateByte)
+			ci.Committed = ci.Committed[:0]
+			ci.Head = cpu.Ref{}
+			ci.LastCommitted = cpu.Ref{}
+			h := v3Mix(v3Mix(v3Mix(digest, v3RecCycle), cycle), uint64(stateByte))
+			switch ci.State {
+			case events.Compute:
+				n, err := u64()
+				if err != nil {
+					return totalCycles, decodeErr(err, "v3: cycle commit count")
+				}
+				if n > v3MaxCommitPerCycle {
+					return totalCycles, decodeErr(nil, "v3: implausible commit count %d", n)
+				}
+				h = v3Mix(h, n)
+				for i := uint64(0); i < n; i++ {
+					seq, err := readSeq()
+					if err != nil {
+						return totalCycles, decodeErr(err, "v3: cycle commit seq")
+					}
+					h = v3Mix(h, seq)
+					ci.Committed = append(ci.Committed, ref(seq))
+				}
+			case events.Stalled:
+				seq, err := readSeq()
+				if err != nil {
+					return totalCycles, decodeErr(err, "v3: stalled head seq")
+				}
+				h = v3Mix(h, seq)
+				ci.Head = ref(seq)
+			case events.Flushed:
+				seq, err := readSeq()
+				if err != nil {
+					return totalCycles, decodeErr(err, "v3: flushed seq")
+				}
+				h = v3Mix(h, seq)
+				if last.Seq == seq {
+					ci.LastCommitted = last
+				} else {
+					ci.LastCommitted = ref(seq)
+				}
+			case events.Drained:
+			default:
+				return totalCycles, decodeErr(nil, "v3: unknown commit state %d", stateByte)
+			}
+			digest = h
+			for _, p := range probes {
+				p.OnCycle(&ci)
+			}
+			for head < len(win) && win[head].committed {
+				head++
+				base++
+			}
+			if head > 1024 && head*2 > len(win) {
+				n := copy(win, win[head:])
+				win = win[:n]
+				head = 0
+			}
+		case v3RecDone:
+			totalCycles, err = u64()
+			if err != nil {
+				return totalCycles, decodeErr(err, "v3: done record")
+			}
+			digest = v3Mix(v3Mix(digest, v3RecDone), totalCycles)
+			want, err := u64()
+			if err != nil {
+				return totalCycles, decodeErr(err, "v3: integrity digest")
+			}
+			if want != digest {
+				return totalCycles, decodeErr(nil, "v3: integrity digest mismatch")
+			}
+			for _, p := range probes {
+				p.OnDone(totalCycles)
+			}
+			return totalCycles, nil
+		default:
+			return totalCycles, decodeErr(nil, "v3: unknown record kind %#x", kind)
+		}
+	}
+}

@@ -24,6 +24,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"repro/internal/simerr"
 )
 
 // Key is a content-address: a SHA-256 digest over the capture's
@@ -66,6 +68,17 @@ type Stats struct {
 	// validator — the entry framed correctly but its contents were not
 	// a decodable trace.
 	DiskRejectsPayload uint64
+	// PutBytes counts cumulative payload bytes inserted via Put (the
+	// encoded, post-codec size — what the disk tier actually stores).
+	// With the codec's logical-byte totals (internal/analysis) it gives
+	// operators the suite-wide compression ratio for tier sizing.
+	PutBytes uint64
+	// MemBytes is the memory tier's current payload footprint (a gauge,
+	// filled at Snapshot time).
+	MemBytes uint64
+	// Entries is the memory tier's current entry count (a gauge, filled
+	// at Snapshot time).
+	Entries uint64
 }
 
 // Store is the two-tier content-addressed cache. All methods are safe
@@ -121,11 +134,15 @@ func New(memBudget int64, dir string, validate func([]byte) error) *Store {
 // Dir returns the disk-tier root ("" if the tier is disabled).
 func (s *Store) Dir() string { return s.dir }
 
-// Snapshot returns the traffic counters.
+// Snapshot returns the traffic counters plus the memory tier's current
+// footprint gauges.
 func (s *Store) Snapshot() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	st.MemBytes = uint64(s.used)
+	st.Entries = uint64(len(s.entries))
+	return st
 }
 
 // Get returns the payload cached under key and whether any tier held
@@ -158,6 +175,7 @@ func (s *Store) Put(key Key, data []byte) {
 	s.mu.Lock()
 	s.insertLocked(key, data)
 	s.stats.Puts++
+	s.stats.PutBytes += uint64(len(data))
 	s.mu.Unlock()
 	s.writeDisk(key, data)
 }
@@ -257,6 +275,31 @@ func (s *Store) loadDisk(key Key) ([]byte, bool) {
 		}
 	}
 	return payload, true
+}
+
+// PayloadFromDiskEntry strips the disk-tier framing from a raw entry
+// file, returning the key the file claims to hold and its payload.
+// `teatrace -stats` uses it to inspect cache entries offline; unlike
+// the store's own load path it does not require knowing the key up
+// front, so a mislabeled file is still inspectable. Framing damage
+// fails with a typed simerr.ErrDecode.
+func PayloadFromDiskEntry(raw []byte) (Key, []byte, error) {
+	var key Key
+	hdr := len(diskMagic) + 1 + len(key)
+	if len(raw) < hdr {
+		return key, nil, simerr.New(simerr.ErrDecode, simerr.Snapshot{},
+			"tracestore: entry shorter than header")
+	}
+	if [4]byte(raw[:4]) != diskMagic {
+		return key, nil, simerr.New(simerr.ErrDecode, simerr.Snapshot{},
+			"tracestore: bad magic")
+	}
+	if raw[4] != diskVersion {
+		return key, nil, simerr.New(simerr.ErrDecode, simerr.Snapshot{},
+			"tracestore: unsupported disk format %d", raw[4])
+	}
+	key = Key(raw[5:hdr])
+	return key, raw[hdr:], nil
 }
 
 func checkDiskEntry(key Key, raw []byte) error {
